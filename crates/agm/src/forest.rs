@@ -1,0 +1,390 @@
+//! Spanning forests from AGM sketches (the paper's Theorem 10).
+//!
+//! [`AgmSketch`] maintains, for each of `O(log n)` independent *rounds*, one
+//! L0-sampler state per vertex over the signed incidence vector (see
+//! [`crate::incidence`]). Forest extraction runs Borůvka: in round `r`,
+//! every current component sums its members' round-`r` states (linearity —
+//! internal edges cancel) and samples an outgoing edge; sampled edges merge
+//! components. Fresh randomness per round keeps the adaptivity of Borůvka
+//! away from the samplers, which is exactly why the sketch keeps
+//! `O(log n)` independent copies.
+//!
+//! Two extras the paper's Algorithm 3 needs:
+//!
+//! * **supernode partitions** — `spanning_forest_with_partition` starts
+//!   Borůvka from a given clustering instead of singletons, implementing the
+//!   observation that "if a graph `H` is obtained from `G` by collapsing
+//!   some sets of nodes into supernodes, an AGM sketch for `H` can be
+//!   obtained from an AGM sketch for `G`";
+//! * **edge subtraction** — [`AgmSketch::subtract_edges`] deletes a known
+//!   edge set from the sketch by linearity ("starting with AGM sketches for
+//!   `G`, we can first subtract all edges in `E_low`, and then invoke
+//!   Theorem 10 on `G'`").
+
+use crate::incidence::{edge_coordinate, incidence_sign};
+use dsg_graph::components::UnionFind;
+use dsg_graph::{index_to_pair, Edge, Vertex};
+use dsg_sketch::l0::{L0Family, L0State};
+use dsg_util::SpaceUsage;
+
+/// Default extra rounds beyond `ceil(log2 n)`; Borůvka halves components
+/// per round in expectation, the slack absorbs unlucky sampling.
+const EXTRA_ROUNDS: usize = 4;
+
+/// The outcome of forest extraction.
+#[derive(Debug, Clone, Default)]
+pub struct ForestResult {
+    /// The forest edges found (a subgraph of the sketched graph whp).
+    pub edges: Vec<Edge>,
+    /// Number of component sampling attempts that failed to decode
+    /// (whp-failure events; nonzero values flag under-provisioned rounds).
+    pub decode_failures: usize,
+}
+
+/// A linear sketch of an `n`-vertex dynamic graph supporting spanning-forest
+/// extraction.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_agm::AgmSketch;
+/// use dsg_graph::Edge;
+///
+/// let mut sk = AgmSketch::new(5, 7);
+/// sk.update(Edge::new(0, 1), 1);
+/// sk.update(Edge::new(1, 2), 1);
+/// sk.update(Edge::new(3, 4), 1);
+/// sk.update(Edge::new(1, 2), -1); // deletion
+/// let f = sk.spanning_forest();
+/// assert_eq!(f.edges.len(), 2); // {0,1} and {3,4}
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgmSketch {
+    n: usize,
+    families: Vec<L0Family>,
+    /// `states[round][vertex]`.
+    states: Vec<Vec<L0State>>,
+}
+
+impl AgmSketch {
+    /// Creates a sketch for graphs on `n` vertices with the default
+    /// `ceil(log2 n) + 4` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let rounds = (usize::BITS - n.next_power_of_two().leading_zeros()) as usize + EXTRA_ROUNDS;
+        Self::with_rounds(n, rounds, seed)
+    }
+
+    /// Creates a sketch with an explicit number of Borůvka rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `rounds == 0`.
+    pub fn with_rounds(n: usize, rounds: usize, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two vertices");
+        assert!(rounds > 0, "need at least one round");
+        let universe_bits = 64 - (dsg_graph::ids::num_pairs(n).max(1)).leading_zeros();
+        let tree = dsg_hash::SeedTree::new(seed ^ 0x41_474D_534B_4531); // "AGMSKE1"
+        let families: Vec<L0Family> = (0..rounds)
+            .map(|r| L0Family::new(universe_bits, tree.child(r as u64).seed()))
+            .collect();
+        let states =
+            families.iter().map(|f| (0..n).map(|_| f.new_state()).collect()).collect();
+        Self { n, families, states }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of independent rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Applies a signed edge update (`delta` = net multiplicity change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn update(&mut self, edge: Edge, delta: i128) {
+        assert!((edge.v() as usize) < self.n, "edge {edge} out of range");
+        if delta == 0 {
+            return;
+        }
+        let coord = edge_coordinate(&edge, self.n);
+        for (family, states) in self.families.iter().zip(&mut self.states) {
+            for w in [edge.u(), edge.v()] {
+                let sign = incidence_sign(w, &edge);
+                family.update(&mut states[w as usize], coord, sign * delta);
+            }
+        }
+    }
+
+    /// Subtracts a set of known edges (each with multiplicity 1) from the
+    /// sketch — the `E \ E_low` step of the paper's Algorithm 3.
+    pub fn subtract_edges<'a, I: IntoIterator<Item = &'a Edge>>(&mut self, edges: I) {
+        for e in edges {
+            self.update(*e, -1);
+        }
+    }
+
+    /// Adds another sketch (the distributed-servers pattern: each server
+    /// sketches its local updates, sketches are merged centrally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches are incompatible.
+    pub fn merge(&mut self, other: &AgmSketch) {
+        assert_eq!(self.n, other.n, "vertex count mismatch");
+        assert_eq!(self.num_rounds(), other.num_rounds(), "round count mismatch");
+        for (mine, theirs) in self.states.iter_mut().zip(&other.states) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.merge(b);
+            }
+        }
+    }
+
+    /// Extracts a spanning forest of the sketched graph.
+    pub fn spanning_forest(&self) -> ForestResult {
+        let mut uf = UnionFind::new(self.n);
+        self.extract_forest(&mut uf)
+    }
+
+    /// Extracts a spanning forest of the graph with the given vertex
+    /// partition collapsed into supernodes. Returned edges connect distinct
+    /// *parts*; edges internal to a part are invisible (they cancel).
+    ///
+    /// `partition[v]` is the part id of vertex `v` (any `Vertex` values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition.len() != n`.
+    pub fn spanning_forest_with_partition(&self, partition: &[Vertex]) -> ForestResult {
+        assert_eq!(partition.len(), self.n, "partition size mismatch");
+        let mut uf = UnionFind::new(self.n);
+        // Collapse each part by unioning consecutive members.
+        let mut rep: std::collections::HashMap<Vertex, Vertex> = std::collections::HashMap::new();
+        for (v, &part) in partition.iter().enumerate() {
+            match rep.entry(part) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    uf.union(*o.get(), v as Vertex);
+                }
+                std::collections::hash_map::Entry::Vacant(vac) => {
+                    vac.insert(v as Vertex);
+                }
+            }
+        }
+        self.extract_forest(&mut uf)
+    }
+
+    /// Borůvka over the current component structure in `uf`.
+    fn extract_forest(&self, uf: &mut UnionFind) -> ForestResult {
+        let mut result = ForestResult::default();
+        for (family, states) in self.families.iter().zip(&self.states) {
+            if uf.num_components() == 1 {
+                break;
+            }
+            // Group members by component root.
+            let mut groups: std::collections::HashMap<Vertex, Vec<Vertex>> =
+                std::collections::HashMap::new();
+            for v in 0..self.n as Vertex {
+                groups.entry(uf.find(v)).or_default().push(v);
+            }
+            // Sum member states per component and sample an outgoing edge.
+            let mut found: Vec<Edge> = Vec::new();
+            for members in groups.values() {
+                let mut sum = family.new_state();
+                for &v in members {
+                    sum.merge(&states[v as usize]);
+                }
+                match family.sample(&sum) {
+                    Ok(Some((coord, _))) => {
+                        let (u, v) = index_to_pair(coord, self.n);
+                        found.push(Edge::new(u, v));
+                    }
+                    Ok(None) => {} // isolated component — correct outcome
+                    Err(_) => result.decode_failures += 1,
+                }
+            }
+            for e in found {
+                if uf.union(e.u(), e.v()) {
+                    result.edges.push(e);
+                }
+            }
+        }
+        result.edges.sort_unstable();
+        result
+    }
+}
+
+impl AgmSketch {
+    /// Worst-case (dense) footprint in bytes: the per-vertex reservation
+    /// the `O(n log^3 n)` bound of Theorem 10 charges.
+    pub fn nominal_bytes(&self) -> usize {
+        self.families
+            .iter()
+            .map(|f| f.nominal_state_bytes() * self.n + f.space_bytes())
+            .sum()
+    }
+}
+
+impl SpaceUsage for AgmSketch {
+    fn space_bytes(&self) -> usize {
+        let families: usize = self.families.iter().map(SpaceUsage::space_bytes).sum();
+        let states: usize = self
+            .states
+            .iter()
+            .map(|row| row.iter().map(SpaceUsage::space_bytes).sum::<usize>())
+            .sum();
+        families + states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::components::{is_spanning_forest, num_components};
+    use dsg_graph::{gen, Graph};
+
+    fn sketch_graph(g: &Graph, seed: u64) -> AgmSketch {
+        let mut sk = AgmSketch::new(g.num_vertices(), seed);
+        for e in g.edges() {
+            sk.update(*e, 1);
+        }
+        sk
+    }
+
+    #[test]
+    fn forest_of_connected_graph() {
+        let g = gen::erdos_renyi(50, 0.15, 1);
+        let sk = sketch_graph(&g, 2);
+        let f = sk.spanning_forest();
+        assert!(is_spanning_forest(&g, &f.edges), "failures={}", f.decode_failures);
+    }
+
+    #[test]
+    fn forest_respects_components() {
+        // Two separate cliques.
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                edges.push(Edge::new(u, v));
+                edges.push(Edge::new(u + 10, v + 10));
+            }
+        }
+        let g = Graph::from_edges(20, edges);
+        let sk = sketch_graph(&g, 3);
+        let f = sk.spanning_forest();
+        assert!(is_spanning_forest(&g, &f.edges));
+        assert_eq!(f.edges.len(), 18); // 9 + 9
+    }
+
+    #[test]
+    fn deletions_respected() {
+        let g = gen::cycle(12);
+        let mut sk = sketch_graph(&g, 4);
+        // Delete one cycle edge: still connected (a path).
+        sk.update(*g.edges().first().unwrap(), -1);
+        let f = sk.spanning_forest();
+        let h = g.minus(&[*g.edges().first().unwrap()].into_iter().collect());
+        assert!(is_spanning_forest(&h, &f.edges));
+    }
+
+    #[test]
+    fn empty_graph_empty_forest() {
+        let sk = AgmSketch::new(8, 5);
+        let f = sk.spanning_forest();
+        assert!(f.edges.is_empty());
+        assert_eq!(f.decode_failures, 0);
+    }
+
+    #[test]
+    fn single_edge_found() {
+        let mut sk = AgmSketch::new(4, 6);
+        sk.update(Edge::new(1, 3), 1);
+        let f = sk.spanning_forest();
+        assert_eq!(f.edges, vec![Edge::new(1, 3)]);
+    }
+
+    #[test]
+    fn partition_contracts_clusters() {
+        // Path 0-1-2-3-4-5; partition {0,1,2} and {3,4,5}: the contracted
+        // graph has one crossing edge (2,3).
+        let g = gen::path(6);
+        let sk = sketch_graph(&g, 7);
+        let partition = vec![0, 0, 0, 1, 1, 1];
+        let f = sk.spanning_forest_with_partition(&partition);
+        assert_eq!(f.edges, vec![Edge::new(2, 3)]);
+    }
+
+    #[test]
+    fn partition_hides_internal_edges() {
+        let g = gen::complete(6);
+        let sk = sketch_graph(&g, 8);
+        // One big part: no crossing edges at all.
+        let f = sk.spanning_forest_with_partition(&vec![0; 6]);
+        assert!(f.edges.is_empty());
+    }
+
+    #[test]
+    fn subtract_edges_disconnects() {
+        // Path 0-1-2; removing (1,2) leaves {0,1} and {2}.
+        let g = gen::path(3);
+        let mut sk = sketch_graph(&g, 9);
+        sk.subtract_edges(&[Edge::new(1, 2)]);
+        let f = sk.spanning_forest();
+        assert_eq!(f.edges, vec![Edge::new(0, 1)]);
+    }
+
+    #[test]
+    fn merge_of_server_shards() {
+        // Distributed pattern: two servers each hold half the edges.
+        let g = gen::erdos_renyi(30, 0.2, 10);
+        let mid = g.num_edges() / 2;
+        let mut a = AgmSketch::new(30, 11);
+        let mut b = AgmSketch::new(30, 11);
+        for (i, e) in g.edges().iter().enumerate() {
+            if i < mid {
+                a.update(*e, 1);
+            } else {
+                b.update(*e, 1);
+            }
+        }
+        a.merge(&b);
+        let f = a.spanning_forest();
+        assert!(is_spanning_forest(&g, &f.edges));
+    }
+
+    #[test]
+    fn survives_heavy_churn_via_stream() {
+        let g = gen::erdos_renyi(40, 0.1, 12);
+        let stream = dsg_graph::GraphStream::with_churn(&g, 3.0, 13);
+        let mut sk = AgmSketch::new(40, 14);
+        for up in stream.updates() {
+            sk.update(up.edge, up.delta as i128);
+        }
+        let f = sk.spanning_forest();
+        assert!(is_spanning_forest(&g, &f.edges));
+    }
+
+    #[test]
+    fn forest_size_matches_component_count() {
+        let g = gen::erdos_renyi(60, 0.03, 15); // likely disconnected
+        let sk = sketch_graph(&g, 16);
+        let f = sk.spanning_forest();
+        assert!(is_spanning_forest(&g, &f.edges));
+        assert_eq!(f.edges.len(), 60 - num_components(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_update_panics() {
+        let mut sk = AgmSketch::new(4, 1);
+        sk.update(Edge::new(0, 9), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Benchmarks for the single-pass additive spanner (Theorem 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsg_graph::{gen, GraphStream, StreamAlgorithm};
+use dsg_spanner::additive::{run_additive, AdditiveParams};
+use dsg_spanner::AdditiveSpanner;
+use std::hint::black_box;
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("additive_update");
+    for d in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let n = 256;
+            let g = gen::erdos_renyi(n, 8.0 / n as f64, 3);
+            let stream = GraphStream::insert_only(&g, 4);
+            let mut alg = AdditiveSpanner::new(n, AdditiveParams::new(d, 5));
+            alg.begin_pass(0);
+            let updates = stream.updates();
+            let mut i = 0usize;
+            b.iter(|| {
+                alg.process(black_box(&updates[i % updates.len()]));
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("additive_full");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let g = gen::erdos_renyi(n, 10.0 / n as f64, 6);
+            let stream = GraphStream::with_churn(&g, 1.0, 7);
+            b.iter(|| black_box(run_additive(&stream, AdditiveParams::new(8, 8))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks for AGM sketches: per-edge update cost and spanning-forest
+//! extraction (Theorem 10's `O(n log^3 n)` object).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsg_agm::AgmSketch;
+use dsg_graph::{gen, Edge};
+use std::hint::black_box;
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agm_update");
+    for n in [128usize, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sk = AgmSketch::new(n, 7);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let u = i % n as u32;
+                let v = (u + 1 + i % (n as u32 - 1)) % n as u32;
+                if u != v {
+                    sk.update(black_box(Edge::new(u, v)), 1);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agm_spanning_forest");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let g = gen::erdos_renyi(n, 6.0 / n as f64, 9);
+            let mut sk = AgmSketch::new(n, 11);
+            for e in g.edges() {
+                sk.update(*e, 1);
+            }
+            b.iter(|| black_box(sk.spanning_forest()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_forest);
+criterion_main!(benches);

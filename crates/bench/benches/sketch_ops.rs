@@ -1,0 +1,92 @@
+//! Micro-benchmarks for the sketching substrate: per-update costs and
+//! decode latency — the "efficiently updatable" claim of linear sketching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsg_sketch::{DistinctEstimator, L0Sampler, LinearHashTable, SparseRecovery};
+use std::hint::black_box;
+
+fn bench_sparse_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_recovery");
+    for budget in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("update", budget), &budget, |b, &budget| {
+            let mut sk = SparseRecovery::new(budget, 42);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                sk.update(black_box(i % 100_000), 1);
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_at_budget", budget),
+            &budget,
+            |b, &budget| {
+                let mut sk = SparseRecovery::new(budget, 43);
+                for i in 0..budget as u64 {
+                    sk.update(i * 7919, 1);
+                }
+                b.iter(|| black_box(sk.decode().unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_l0_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l0_sampler");
+    group.bench_function("update_20bit_universe", |b| {
+        let mut s = L0Sampler::new(20, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            s.update(black_box(i % (1 << 20)), 1);
+        });
+    });
+    group.bench_function("sample_10k_support", |b| {
+        let mut s = L0Sampler::new(20, 2);
+        for i in 0..10_000u64 {
+            s.update(i * 3, 1);
+        }
+        b.iter(|| black_box(s.sample().unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_hashtable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linear_hashtable");
+    group.bench_function("update_width3", |b| {
+        let mut t = LinearHashTable::new(256, 3, 3);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            t.update(black_box(i % 1000), &[1, 2, 3]);
+        });
+    });
+    group.bench_function("decode_128_keys", |b| {
+        let mut t = LinearHashTable::new(256, 3, 4);
+        for i in 0..128u64 {
+            t.update(i, &[i as i128, 1, 2]);
+        }
+        b.iter(|| black_box(t.decode().unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_distinct(c: &mut Criterion) {
+    c.bench_function("distinct_update", |b| {
+        let mut d = DistinctEstimator::new(20, 0.5, 5, 5);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            d.update(black_box(i % (1 << 20)), 1);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sparse_recovery,
+    bench_l0_sampler,
+    bench_hashtable,
+    bench_distinct
+);
+criterion_main!(benches);

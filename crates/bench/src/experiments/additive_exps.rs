@@ -1,0 +1,62 @@
+//! Experiment E6: the single-pass additive spanner (Theorem 3/19).
+
+use crate::Scale;
+use dsg_graph::{gen, GraphStream};
+use dsg_spanner::additive::{run_additive, AdditiveParams};
+use dsg_spanner::verify;
+use dsg_util::{space::human_bytes, Table};
+
+/// E6: additive distortion and space across the `d` sweep.
+pub fn additive(scale: Scale) {
+    println!("\n## E6 — additive spanner: distortion O(n/d) in ~O(nd) space\n");
+    let n = scale.pick(240, 100);
+    // A graph with both dense hubs and sparse periphery.
+    let g = gen::power_law(n, 2.3, (n as f64).sqrt(), 53);
+    println!("input: power-law graph, n={n}, m={}\n", g.num_edges());
+    let ds: &[usize] = scale.pick(&[2, 4, 8, 16, 32][..], &[2, 8, 32][..]);
+    let mut t = Table::new(&[
+        "d",
+        "edges",
+        "distortion",
+        "n/d",
+        "nd-bytes (nominal)",
+        "low-degree",
+        "attached",
+    ]);
+    for &d in ds {
+        let stream = GraphStream::with_churn(&g, 1.0, 59 + d as u64);
+        let out = run_additive(&stream, AdditiveParams::new(d, 1200 + d as u64));
+        let distortion = verify::max_additive_distortion(&g, &out.spanner, n.min(80));
+        let alg = dsg_spanner::AdditiveSpanner::new(n, AdditiveParams::new(d, 0));
+        t.add_row(&[
+            d.to_string(),
+            out.spanner.num_edges().to_string(),
+            distortion.to_string(),
+            (n / d).to_string(),
+            human_bytes(alg.nominal_neighborhood_bytes()),
+            out.stats.num_low_degree.to_string(),
+            out.stats.num_attached.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("(distortion should fall and space rise as d grows — Theorem 3's tradeoff)\n");
+
+    // Second table: a clique, where compression is extreme.
+    let kn = scale.pick(120, 60);
+    let g2 = gen::complete(kn);
+    let mut t2 = Table::new(&["d", "edges kept", "of m", "distortion", "bound 8n/d"]);
+    for &d in scale.pick(&[2usize, 4, 8][..], &[2, 8][..]) {
+        let stream = GraphStream::insert_only(&g2, 61 + d as u64);
+        let out = run_additive(&stream, AdditiveParams::new(d, 1300 + d as u64));
+        let distortion = verify::max_additive_distortion(&g2, &out.spanner, kn);
+        t2.add_row(&[
+            d.to_string(),
+            out.spanner.num_edges().to_string(),
+            format!("{:.1}%", 100.0 * out.spanner.num_edges() as f64 / g2.num_edges() as f64),
+            distortion.to_string(),
+            (8 * kn / d).to_string(),
+        ]);
+    }
+    println!("K_{kn}:");
+    println!("{t2}");
+}

@@ -1,0 +1,135 @@
+//! Breadth-first shortest paths for unweighted graphs.
+//!
+//! Used to measure spanner stretch (Lemma 13: `d_H(u,v) <= 2^k · d_G(u,v)`)
+//! and additive distortion (Theorem 19: `d_H <= d_G + O(n/d)`).
+
+use crate::graph::Adjacency;
+use crate::ids::Vertex;
+use std::collections::VecDeque;
+
+/// Distance label for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances; unreachable vertices get [`UNREACHABLE`].
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{gen, bfs};
+///
+/// let g = gen::path(5);
+/// let d = bfs::bfs_distances(&g.adjacency(), 0);
+/// assert_eq!(d, vec![0, 1, 2, 3, 4]);
+/// ```
+pub fn bfs_distances(adj: &Adjacency, src: Vertex) -> Vec<u32> {
+    let n = adj.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in adj.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS truncated at `radius`: vertices farther than `radius` keep
+/// [`UNREACHABLE`]. Used by the `ESTIMATE` oracle queries, which only need
+/// to distinguish `d(u,v) > ρλ` from `d(u,v) <= ρλ`.
+pub fn bfs_distances_bounded(adj: &Adjacency, src: Vertex, radius: u32) -> Vec<u32> {
+    let n = adj.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du == radius {
+            continue;
+        }
+        for &w in adj.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest paths by repeated BFS. Quadratic memory — intended
+/// for verification at experiment scales.
+pub fn apsp(adj: &Adjacency) -> Vec<Vec<u32>> {
+    (0..adj.num_vertices() as Vertex).map(|s| bfs_distances(adj, s)).collect()
+}
+
+/// The eccentricity-based diameter of the component containing `src`
+/// (maximum finite distance from `src`).
+pub fn eccentricity(adj: &Adjacency, src: Vertex) -> u32 {
+    bfs_distances(adj, src).into_iter().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::graph::Graph;
+    use crate::ids::Edge;
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = gen::cycle(6);
+        let d = bfs_distances(&g.adjacency(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Graph::from_edges(4, [Edge::new(0, 1)]);
+        let d = bfs_distances(&g.adjacency(), 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn bounded_bfs_truncates() {
+        let g = gen::path(10);
+        let d = bfs_distances_bounded(&g.adjacency(), 0, 3);
+        assert_eq!(d[3], 3);
+        assert_eq!(d[4], UNREACHABLE);
+    }
+
+    #[test]
+    fn bounded_radius_zero_is_source_only() {
+        let g = gen::path(5);
+        let d = bfs_distances_bounded(&g.adjacency(), 2, 0);
+        assert_eq!(d[2], 0);
+        assert!(d.iter().filter(|&&x| x != UNREACHABLE).count() == 1);
+    }
+
+    #[test]
+    fn apsp_symmetric() {
+        let g = gen::grid(4, 4);
+        let all = apsp(&g.adjacency());
+        for u in 0..16 {
+            for v in 0..16 {
+                assert_eq!(all[u][v], all[v][u]);
+            }
+        }
+        assert_eq!(all[0][15], 6); // manhattan distance corner-to-corner
+    }
+
+    #[test]
+    fn eccentricity_of_path_end() {
+        let g = gen::path(8);
+        assert_eq!(eccentricity(&g.adjacency(), 0), 7);
+        assert_eq!(eccentricity(&g.adjacency(), 4), 4);
+    }
+}

@@ -1,0 +1,158 @@
+//! Dijkstra shortest paths for weighted graphs.
+//!
+//! Verification machinery for the weighted spanner reduction (Remark 14):
+//! weighted stretch is measured against these exact distances.
+
+use crate::graph::WeightedGraph;
+use crate::ids::Vertex;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Weighted adjacency in CSR form.
+#[derive(Debug, Clone)]
+pub struct WeightedAdjacency {
+    offsets: Vec<usize>,
+    targets: Vec<Vertex>,
+    weights: Vec<f64>,
+}
+
+impl WeightedAdjacency {
+    /// Builds weighted adjacency from a weighted graph.
+    pub fn new(g: &WeightedGraph) -> Self {
+        let n = g.num_vertices();
+        let mut degree = vec![0usize; n];
+        for (e, _) in g.edges() {
+            degree[e.u() as usize] += 1;
+            degree[e.v() as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as Vertex; g.num_edges() * 2];
+        let mut weights = vec![0.0f64; g.num_edges() * 2];
+        for (e, w) in g.edges() {
+            let (u, v) = e.endpoints();
+            targets[cursor[u as usize]] = v;
+            weights[cursor[u as usize]] = *w;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            weights[cursor[v as usize]] = *w;
+            cursor[v as usize] += 1;
+        }
+        Self { offsets, targets, weights }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn edges_of(&self, u: Vertex) -> impl Iterator<Item = (Vertex, f64)> + '_ {
+        let range = self.offsets[u as usize]..self.offsets[u as usize + 1];
+        range.clone().map(move |i| (self.targets[i], self.weights[i]))
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    vertex: Vertex,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; distances are finite non-NaN by invariant.
+        other.dist.partial_cmp(&self.dist).expect("no NaN distances")
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra distances; unreachable vertices get `f64::INFINITY`.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{WeightedGraph, Edge, dijkstra};
+///
+/// let g = WeightedGraph::from_edges(3, [(Edge::new(0, 1), 2.0), (Edge::new(1, 2), 0.5)]);
+/// let adj = dijkstra::WeightedAdjacency::new(&g);
+/// let d = dijkstra::dijkstra_distances(&adj, 0);
+/// assert_eq!(d, vec![0.0, 2.0, 2.5]);
+/// ```
+pub fn dijkstra_distances(adj: &WeightedAdjacency, src: Vertex) -> Vec<f64> {
+    let n = adj.num_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    heap.push(HeapItem { dist: 0.0, vertex: src });
+    while let Some(HeapItem { dist: du, vertex: u }) = heap.pop() {
+        if du > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (w, len) in adj.edges_of(u) {
+            let cand = du + len;
+            if cand < dist[w as usize] {
+                dist[w as usize] = cand;
+                heap.push(HeapItem { dist: cand, vertex: w });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::ids::Edge;
+
+    #[test]
+    fn matches_bfs_on_unit_weights() {
+        let g = gen::grid(4, 5);
+        let wg = crate::graph::WeightedGraph::from_edges(
+            g.num_vertices(),
+            g.edges().iter().map(|&e| (e, 1.0)),
+        );
+        let wd = dijkstra_distances(&WeightedAdjacency::new(&wg), 0);
+        let bd = crate::bfs::bfs_distances(&g.adjacency(), 0);
+        for (w, b) in wd.iter().zip(&bd) {
+            assert_eq!(*w as u32, *b);
+        }
+    }
+
+    #[test]
+    fn prefers_lighter_detour() {
+        // 0-2 direct costs 10; 0-1-2 costs 3.
+        let g = WeightedGraph::from_edges(
+            3,
+            [(Edge::new(0, 2), 10.0), (Edge::new(0, 1), 1.0), (Edge::new(1, 2), 2.0)],
+        );
+        let d = dijkstra_distances(&WeightedAdjacency::new(&g), 0);
+        assert_eq!(d[2], 3.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = WeightedGraph::from_edges(4, [(Edge::new(0, 1), 1.0)]);
+        let d = dijkstra_distances(&WeightedAdjacency::new(&g), 0);
+        assert!(d[2].is_infinite());
+        assert!(d[3].is_infinite());
+    }
+
+    #[test]
+    fn empty_graph_only_source_reachable() {
+        let g = WeightedGraph::empty(3);
+        let d = dijkstra_distances(&WeightedAdjacency::new(&g), 1);
+        assert_eq!(d[1], 0.0);
+        assert!(d[0].is_infinite() && d[2].is_infinite());
+    }
+}

@@ -1,0 +1,319 @@
+//! In-memory reference graphs with CSR adjacency.
+//!
+//! These are *not* streaming structures — they are the ground truth that
+//! streams are generated from and that streaming outputs are verified
+//! against. Simple graphs only (the model forbids self-loops, and our
+//! streams deliver multiplicity-1 indicators; multigraph multiplicities are
+//! exercised at the sketch level).
+
+use crate::ids::{Edge, Vertex};
+use std::collections::HashSet;
+
+/// An undirected simple graph on vertices `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{Graph, Edge};
+///
+/// let g = Graph::from_edges(4, [Edge::new(0, 1), Edge::new(1, 2)]);
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.adjacency().degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Creates an empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Builds a graph from an edge collection, deduplicating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge endpoint is `>= n`.
+    pub fn from_edges<I: IntoIterator<Item = Edge>>(n: usize, edges: I) -> Self {
+        let mut set: Vec<Edge> = edges.into_iter().collect();
+        set.sort_unstable();
+        set.dedup();
+        for e in &set {
+            assert!((e.v() as usize) < n, "edge {e} out of range for n={n}");
+        }
+        Self { n, edges: set }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list, sorted.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Whether `{u, v}` is an edge (binary search on the sorted list).
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        if u == v {
+            return false;
+        }
+        self.edges.binary_search(&Edge::new(u, v)).is_ok()
+    }
+
+    /// Builds the CSR adjacency structure.
+    pub fn adjacency(&self) -> Adjacency {
+        Adjacency::new(self.n, &self.edges)
+    }
+
+    /// The edge set as a hash set (for verification code).
+    pub fn edge_set(&self) -> HashSet<Edge> {
+        self.edges.iter().copied().collect()
+    }
+
+    /// A new graph with `other`'s edges removed.
+    pub fn minus(&self, other: &HashSet<Edge>) -> Graph {
+        Graph {
+            n: self.n,
+            edges: self.edges.iter().filter(|e| !other.contains(e)).copied().collect(),
+        }
+    }
+}
+
+/// Compressed-sparse-row adjacency for fast traversal.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    offsets: Vec<usize>,
+    neighbors: Vec<Vertex>,
+}
+
+impl Adjacency {
+    /// Builds adjacency from an edge list.
+    pub fn new(n: usize, edges: &[Edge]) -> Self {
+        let mut degree = vec![0usize; n];
+        for e in edges {
+            degree[e.u() as usize] += 1;
+            degree[e.v() as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as Vertex; edges.len() * 2];
+        for e in edges {
+            neighbors[cursor[e.u() as usize]] = e.v();
+            cursor[e.u() as usize] += 1;
+            neighbors[cursor[e.v() as usize]] = e.u();
+            cursor[e.v() as usize] += 1;
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The neighbors of `u`.
+    pub fn neighbors(&self, u: Vertex) -> &[Vertex] {
+        &self.neighbors[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// The degree of `u`.
+    pub fn degree(&self, u: Vertex) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+}
+
+/// An undirected weighted simple graph with positive edge weights.
+///
+/// The paper's weighted model: a stream either adds a weighted edge or
+/// removes it entirely (the weight is known at update time).
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{WeightedGraph, Edge};
+///
+/// let g = WeightedGraph::from_edges(3, [(Edge::new(0, 1), 2.5), (Edge::new(1, 2), 1.0)]);
+/// assert_eq!(g.total_weight(), 3.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    n: usize,
+    edges: Vec<(Edge, f64)>,
+}
+
+impl WeightedGraph {
+    /// Creates an empty weighted graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Builds a weighted graph from `(edge, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight is not strictly positive and finite, if an edge
+    /// repeats, or if an endpoint is out of range.
+    pub fn from_edges<I: IntoIterator<Item = (Edge, f64)>>(n: usize, edges: I) -> Self {
+        let mut list: Vec<(Edge, f64)> = edges.into_iter().collect();
+        list.sort_unstable_by_key(|(e, _)| *e);
+        for window in list.windows(2) {
+            assert_ne!(window[0].0, window[1].0, "duplicate edge {}", window[0].0);
+        }
+        for (e, w) in &list {
+            assert!((e.v() as usize) < n, "edge {e} out of range for n={n}");
+            assert!(w.is_finite() && *w > 0.0, "weight {w} for {e} must be positive");
+        }
+        Self { n, edges: list }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The `(edge, weight)` list, sorted by edge.
+    pub fn edges(&self) -> &[(Edge, f64)] {
+        &self.edges
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Smallest and largest edge weight, or `None` for an empty graph.
+    pub fn weight_range(&self) -> Option<(f64, f64)> {
+        if self.edges.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (_, w) in &self.edges {
+            lo = lo.min(*w);
+            hi = hi.max(*w);
+        }
+        Some((lo, hi))
+    }
+
+    /// The unweighted skeleton.
+    pub fn skeleton(&self) -> Graph {
+        Graph::from_edges(self.n, self.edges.iter().map(|(e, _)| *e))
+    }
+
+    /// The weight of `{u, v}` if present.
+    pub fn weight(&self, u: Vertex, v: Vertex) -> Option<f64> {
+        if u == v {
+            return None;
+        }
+        let e = Edge::new(u, v);
+        self.edges.binary_search_by_key(&e, |(e, _)| *e).ok().map(|i| self.edges[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)])
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = Graph::from_edges(3, [Edge::new(0, 1), Edge::new(1, 0), Edge::new(0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn has_edge_queries() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        let g2 = Graph::from_edges(4, [Edge::new(0, 1)]);
+        assert!(!g2.has_edge(2, 3));
+    }
+
+    #[test]
+    fn adjacency_round_trip() {
+        let g = triangle();
+        let adj = g.adjacency();
+        assert_eq!(adj.num_vertices(), 3);
+        for u in 0..3 {
+            assert_eq!(adj.degree(u), 2);
+            let mut nbrs = adj.neighbors(u).to_vec();
+            nbrs.sort_unstable();
+            let expect: Vec<Vertex> = (0..3).filter(|&w| w != u).collect();
+            assert_eq!(nbrs, expect);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.adjacency().degree(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_edges(2, [Edge::new(0, 5)]);
+    }
+
+    #[test]
+    fn minus_removes_edges() {
+        let g = triangle();
+        let mut kill = HashSet::new();
+        kill.insert(Edge::new(0, 1));
+        let h = g.minus(&kill);
+        assert_eq!(h.num_edges(), 2);
+        assert!(!h.has_edge(0, 1));
+    }
+
+    #[test]
+    fn weighted_graph_basics() {
+        let g = WeightedGraph::from_edges(3, [(Edge::new(0, 1), 2.0), (Edge::new(1, 2), 3.0)]);
+        assert_eq!(g.weight(0, 1), Some(2.0));
+        assert_eq!(g.weight(1, 0), Some(2.0));
+        assert_eq!(g.weight(0, 2), None);
+        assert_eq!(g.weight_range(), Some((2.0, 3.0)));
+        assert_eq!(g.skeleton().num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_weight_panics() {
+        WeightedGraph::from_edges(2, [(Edge::new(0, 1), 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_weighted_edge_panics() {
+        WeightedGraph::from_edges(2, [(Edge::new(0, 1), 1.0), (Edge::new(1, 0), 2.0)]);
+    }
+
+    #[test]
+    fn weight_range_empty_is_none() {
+        assert_eq!(WeightedGraph::empty(3).weight_range(), None);
+    }
+}

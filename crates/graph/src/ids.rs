@@ -1,0 +1,227 @@
+//! Vertex, edge and coordinate identifiers.
+//!
+//! The dynamic-stream model treats the graph as a vector indexed by
+//! unordered vertex pairs. [`pair_to_index`] and [`index_to_pair`] implement
+//! the row-major bijection between pairs `{u, v}` (with `u < v`) and
+//! coordinates `0 .. C(n,2)`; every sketch in the workspace hashes these
+//! coordinates.
+
+/// A vertex identifier in `[0, n)`.
+pub type Vertex = u32;
+
+/// An unordered pair of distinct vertices, stored with `u < v`.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::Edge;
+///
+/// let e = Edge::new(5, 2);
+/// assert_eq!((e.u(), e.v()), (2, 5)); // normalized
+/// assert_eq!(e, Edge::new(2, 5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    u: Vertex,
+    v: Vertex,
+}
+
+impl Edge {
+    /// Creates the unordered pair `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`: the model has no self-loops.
+    pub fn new(a: Vertex, b: Vertex) -> Self {
+        assert_ne!(a, b, "self-loops are not part of the model");
+        if a < b {
+            Self { u: a, v: b }
+        } else {
+            Self { u: b, v: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    pub fn u(&self) -> Vertex {
+        self.u
+    }
+
+    /// The larger endpoint.
+    pub fn v(&self) -> Vertex {
+        self.v
+    }
+
+    /// Both endpoints as a tuple `(u, v)` with `u < v`.
+    pub fn endpoints(&self) -> (Vertex, Vertex) {
+        (self.u, self.v)
+    }
+
+    /// The endpoint that is not `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not an endpoint of this edge.
+    pub fn other(&self, w: Vertex) -> Vertex {
+        if w == self.u {
+            self.v
+        } else if w == self.v {
+            self.u
+        } else {
+            panic!("vertex {w} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Whether `w` is an endpoint.
+    pub fn touches(&self, w: Vertex) -> bool {
+        self.u == w || self.v == w
+    }
+
+    /// The stream coordinate of this edge in an `n`-vertex graph.
+    pub fn index(&self, n: usize) -> u64 {
+        pair_to_index(self.u, self.v, n)
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+/// Number of coordinates in the edge-indicator vector: `C(n,2)`.
+pub fn num_pairs(n: usize) -> u64 {
+    let n = n as u64;
+    n * (n - 1) / 2
+}
+
+/// Maps an unordered pair (`u < v`, both below `n`) to its coordinate in
+/// `[0, C(n,2))`, row-major: pairs with smaller `u` come first.
+///
+/// # Panics
+///
+/// Panics if `u >= v` or `v >= n`.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::pair_to_index;
+/// assert_eq!(pair_to_index(0, 1, 4), 0);
+/// assert_eq!(pair_to_index(0, 3, 4), 2);
+/// assert_eq!(pair_to_index(1, 2, 4), 3);
+/// assert_eq!(pair_to_index(2, 3, 4), 5);
+/// ```
+pub fn pair_to_index(u: Vertex, v: Vertex, n: usize) -> u64 {
+    assert!(u < v, "pair must be ordered: {u} >= {v}");
+    assert!((v as usize) < n, "vertex {v} out of range for n={n}");
+    let (u, v, n) = (u as u64, v as u64, n as u64);
+    // Pairs with first coordinate < u occupy sum_{i<u} (n-1-i) slots.
+    u * (n - 1) - u * u.saturating_sub(1) / 2 + (v - u - 1)
+}
+
+/// Inverts [`pair_to_index`].
+///
+/// # Panics
+///
+/// Panics if `index >= C(n,2)`.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{index_to_pair, pair_to_index};
+/// let n = 10;
+/// for idx in 0..45u64 {
+///     let (u, v) = index_to_pair(idx, n);
+///     assert_eq!(pair_to_index(u, v, n), idx);
+/// }
+/// ```
+pub fn index_to_pair(index: u64, n: usize) -> (Vertex, Vertex) {
+    assert!(index < num_pairs(n), "index {index} out of range for n={n}");
+    let nu = n as u64;
+    // Find u: the largest u with offset(u) <= index, where
+    // offset(u) = u*(n-1) - u*(u-1)/2. Solve by binary search (robust
+    // against floating-point edge cases at large n).
+    let offset = |u: u64| u * (nu - 1) - u * (u.saturating_sub(1)) / 2;
+    let (mut lo, mut hi) = (0u64, nu - 1);
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if offset(mid) <= index {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let v = u + 1 + (index - offset(u));
+    (u as Vertex, v as Vertex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_normalizes() {
+        let e = Edge::new(9, 3);
+        assert_eq!(e.endpoints(), (3, 9));
+        assert_eq!(e.other(3), 9);
+        assert_eq!(e.other(9), 3);
+        assert!(e.touches(3) && e.touches(9) && !e.touches(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Edge::new(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_rejects_non_endpoint() {
+        Edge::new(1, 2).other(3);
+    }
+
+    #[test]
+    fn pair_index_bijection_small() {
+        for n in 2..40usize {
+            let mut seen = std::collections::HashSet::new();
+            for u in 0..n as Vertex {
+                for v in (u + 1)..n as Vertex {
+                    let idx = pair_to_index(u, v, n);
+                    assert!(idx < num_pairs(n));
+                    assert!(seen.insert(idx), "duplicate index {idx} at n={n}");
+                    assert_eq!(index_to_pair(idx, n), (u, v));
+                }
+            }
+            assert_eq!(seen.len() as u64, num_pairs(n));
+        }
+    }
+
+    #[test]
+    fn pair_index_large_n() {
+        let n = 1_000_000usize;
+        let cases = [(0, 1), (0, 999_999), (1, 2), (499_999, 500_000), (999_998, 999_999)];
+        for (u, v) in cases {
+            let idx = pair_to_index(u, v, n);
+            assert_eq!(index_to_pair(idx, n), (u, v));
+        }
+        assert_eq!(pair_to_index(0, 1, n), 0);
+        assert_eq!(pair_to_index(999_998, 999_999, n), num_pairs(n) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        index_to_pair(num_pairs(5), 5);
+    }
+
+    #[test]
+    fn edge_index_matches_pair_index() {
+        let e = Edge::new(7, 2);
+        assert_eq!(e.index(10), pair_to_index(2, 7, 10));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Edge::new(3, 1).to_string(), "(1, 3)");
+    }
+}

@@ -1,0 +1,83 @@
+//! Kruskal minimum spanning forest.
+//!
+//! One of the AGM applications (AGM12a builds MSFs from `O(log n)` rounds
+//! of connectivity sketches); here it serves as a weighted verification
+//! target and a utility for examples.
+
+use crate::components::UnionFind;
+use crate::graph::WeightedGraph;
+use crate::ids::Edge;
+
+/// Computes a minimum spanning forest, returning `(edges, total_weight)`.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{WeightedGraph, Edge, mst};
+///
+/// let g = WeightedGraph::from_edges(3, [
+///     (Edge::new(0, 1), 1.0),
+///     (Edge::new(1, 2), 2.0),
+///     (Edge::new(0, 2), 10.0),
+/// ]);
+/// let (edges, weight) = mst::minimum_spanning_forest(&g);
+/// assert_eq!(edges.len(), 2);
+/// assert_eq!(weight, 3.0);
+/// ```
+pub fn minimum_spanning_forest(g: &WeightedGraph) -> (Vec<Edge>, f64) {
+    let mut order: Vec<(f64, Edge)> = g.edges().iter().map(|&(e, w)| (w, e)).collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("weights are finite"));
+    let mut uf = UnionFind::new(g.num_vertices());
+    let mut picked = Vec::new();
+    let mut total = 0.0;
+    for (w, e) in order {
+        if uf.union(e.u(), e.v()) {
+            picked.push(e);
+            total += w;
+        }
+    }
+    (picked, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn tree_of_connected_graph_has_n_minus_1_edges() {
+        let g = gen::with_random_weights(&gen::complete(12), 1.0, 10.0, 3);
+        let (edges, _) = minimum_spanning_forest(&g);
+        assert_eq!(edges.len(), 11);
+    }
+
+    #[test]
+    fn forest_of_disconnected_graph() {
+        let g = WeightedGraph::from_edges(
+            5,
+            [(Edge::new(0, 1), 1.0), (Edge::new(3, 4), 2.0)],
+        );
+        let (edges, weight) = minimum_spanning_forest(&g);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(weight, 3.0);
+    }
+
+    #[test]
+    fn picks_cheapest_cycle_break() {
+        let g = WeightedGraph::from_edges(
+            3,
+            [(Edge::new(0, 1), 5.0), (Edge::new(1, 2), 1.0), (Edge::new(0, 2), 2.0)],
+        );
+        let (edges, weight) = minimum_spanning_forest(&g);
+        assert_eq!(weight, 3.0);
+        assert!(!edges.contains(&Edge::new(0, 1)));
+    }
+
+    #[test]
+    fn empty_graph_empty_forest() {
+        let g = WeightedGraph::empty(4);
+        let (edges, weight) = minimum_spanning_forest(&g);
+        assert!(edges.is_empty());
+        assert_eq!(weight, 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! The dynamic graph stream model.
+//!
+//! A stream is a sequence of signed edge updates `(i, j, ±1)`; the graph at
+//! the end of the stream is determined by the net multiplicity of every
+//! pair, which the model requires to be non-negative (here: 0 or 1 — the
+//! generators keep final graphs simple; sketches themselves tolerate general
+//! multiplicities and are tested for that separately).
+//!
+//! For weighted graphs the paper's convention applies: an update either adds
+//! a weighted edge or removes a previously added edge entirely, with the
+//! weight known at update time — never incremental weight changes.
+
+use crate::graph::{Graph, WeightedGraph};
+use crate::ids::{Edge, Vertex};
+use dsg_hash::SplitMix64;
+use std::collections::HashMap;
+
+/// A single signed update to the edge-indicator vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamUpdate {
+    /// The affected pair.
+    pub edge: Edge,
+    /// `+1` for insertion, `-1` for deletion.
+    pub delta: i8,
+    /// The edge weight (`1.0` for unweighted streams). A deletion carries
+    /// the same weight as its insertion, per the model.
+    pub weight: f64,
+}
+
+impl StreamUpdate {
+    /// An unweighted insertion.
+    pub fn insert(u: Vertex, v: Vertex) -> Self {
+        Self { edge: Edge::new(u, v), delta: 1, weight: 1.0 }
+    }
+
+    /// An unweighted deletion.
+    pub fn delete(u: Vertex, v: Vertex) -> Self {
+        Self { edge: Edge::new(u, v), delta: -1, weight: 1.0 }
+    }
+}
+
+/// A dynamic stream over a graph on `n` vertices.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{gen, GraphStream};
+///
+/// let g = gen::erdos_renyi(40, 0.2, 3);
+/// let s = GraphStream::insert_only(&g, 17);
+/// assert_eq!(s.len(), g.num_edges());
+/// assert_eq!(&s.final_graph(), &g);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphStream {
+    n: usize,
+    updates: Vec<StreamUpdate>,
+}
+
+impl GraphStream {
+    /// Wraps a raw update sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, a delta is not ±1, or a
+    /// prefix drives some multiplicity negative.
+    pub fn new(n: usize, updates: Vec<StreamUpdate>) -> Self {
+        let mut mult: HashMap<Edge, i64> = HashMap::new();
+        for up in &updates {
+            assert!((up.edge.v() as usize) < n, "edge {} out of range", up.edge);
+            assert!(up.delta == 1 || up.delta == -1, "delta must be ±1");
+            let m = mult.entry(up.edge).or_insert(0);
+            *m += up.delta as i64;
+            assert!(*m >= 0, "negative multiplicity for {}", up.edge);
+        }
+        Self { n, updates }
+    }
+
+    /// An insertion-only stream of `g`'s edges in seeded random order.
+    pub fn insert_only(g: &Graph, seed: u64) -> Self {
+        let mut updates: Vec<StreamUpdate> = g
+            .edges()
+            .iter()
+            .map(|e| StreamUpdate { edge: *e, delta: 1, weight: 1.0 })
+            .collect();
+        shuffle(&mut updates, seed);
+        Self { n: g.num_vertices(), updates }
+    }
+
+    /// A stream with deletions: inserts all of `g` plus `churn` × |E(g)|
+    /// decoy non-edges, then deletes every decoy, with deletions interleaved
+    /// after their insertions. The final graph is exactly `g`.
+    ///
+    /// The decoy count is capped at the size of `g`'s complement (dense
+    /// graphs simply cannot sustain arbitrary churn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `churn` is negative.
+    pub fn with_churn(g: &Graph, churn: f64, seed: u64) -> Self {
+        assert!(churn >= 0.0, "churn must be non-negative");
+        let n = g.num_vertices();
+        let mut rng = SplitMix64::new(seed);
+        let complement_size = crate::ids::num_pairs(n) as usize - g.num_edges();
+        let want = ((churn * g.num_edges() as f64).round() as usize).min(complement_size);
+        let mut decoy_set = std::collections::HashSet::with_capacity(want);
+        while decoy_set.len() < want {
+            let idx = rng.next_below(crate::ids::num_pairs(n));
+            let (u, v) = crate::ids::index_to_pair(idx, n);
+            let e = Edge::new(u, v);
+            if !g.has_edge(u, v) {
+                decoy_set.insert(e);
+            }
+        }
+        // Sort for determinism (HashSet iteration order is per-instance).
+        let mut decoys: Vec<Edge> = decoy_set.into_iter().collect();
+        decoys.sort_unstable();
+        // Phase 1: all real inserts + decoy inserts, shuffled.
+        let mut phase1: Vec<StreamUpdate> = g
+            .edges()
+            .iter()
+            .map(|e| StreamUpdate { edge: *e, delta: 1, weight: 1.0 })
+            .chain(decoys.iter().map(|e| StreamUpdate { edge: *e, delta: 1, weight: 1.0 }))
+            .collect();
+        shuffle(&mut phase1, rng.next_u64());
+        // Phase 2: decoy deletes, shuffled.
+        let mut phase2: Vec<StreamUpdate> =
+            decoys.iter().map(|e| StreamUpdate { edge: *e, delta: -1, weight: 1.0 }).collect();
+        shuffle(&mut phase2, rng.next_u64());
+        // Interleave: phase-2 updates are spliced into the second half, so
+        // deletions race with late insertions without going negative.
+        let mut updates = phase1;
+        let split = updates.len() / 2;
+        let mut tail: Vec<StreamUpdate> = updates.split_off(split);
+        tail.extend(phase2);
+        shuffle(&mut tail, rng.next_u64());
+        // A decoy deletion may now precede its insertion: repair order by
+        // tracking multiplicity and deferring premature deletions.
+        let mut mult: HashMap<Edge, i64> = HashMap::new();
+        for up in &updates {
+            *mult.entry(up.edge).or_insert(0) += up.delta as i64;
+        }
+        let mut repaired = updates;
+        let mut deferred: Vec<StreamUpdate> = Vec::new();
+        for up in tail {
+            if up.delta == -1 && mult.get(&up.edge).copied().unwrap_or(0) <= 0 {
+                deferred.push(up);
+            } else {
+                *mult.entry(up.edge).or_insert(0) += up.delta as i64;
+                repaired.push(up);
+                // Flush any deferred deletions now legal.
+                let mut i = 0;
+                while i < deferred.len() {
+                    let d = deferred[i];
+                    if mult.get(&d.edge).copied().unwrap_or(0) > 0 {
+                        *mult.get_mut(&d.edge).unwrap() -= 1;
+                        repaired.push(d);
+                        deferred.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        repaired.extend(deferred);
+        Self::new(n, repaired)
+    }
+
+    /// A weighted stream delivering `g`'s weighted edges (plus optional
+    /// decoy churn on non-edges with random weights) in seeded order.
+    pub fn weighted_with_churn(g: &WeightedGraph, churn: f64, seed: u64) -> Self {
+        let skeleton = g.skeleton();
+        let base = Self::with_churn(&skeleton, churn, seed);
+        let mut decoy_weights: HashMap<Edge, f64> = HashMap::new();
+        let (w_lo, w_hi) = g.weight_range().unwrap_or((1.0, 1.0));
+        let mut rng = SplitMix64::new(seed ^ 0xD15C_0DE5);
+        let updates = base
+            .updates
+            .into_iter()
+            .map(|mut up| {
+                if let Some(w) = g.weight(up.edge.u(), up.edge.v()) {
+                    up.weight = w;
+                } else {
+                    // Decoy edge: a stable random weight within range, shared
+                    // by its insertion and deletion.
+                    let w = *decoy_weights.entry(up.edge).or_insert_with(|| {
+                        w_lo + rng.next_f64() * (w_hi - w_lo)
+                    });
+                    up.weight = w;
+                }
+                up
+            })
+            .collect();
+        Self { n: base.n, updates }
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The update sequence.
+    pub fn updates(&self) -> &[StreamUpdate] {
+        &self.updates
+    }
+
+    /// Replays the stream into the final (unweighted) graph.
+    pub fn final_graph(&self) -> Graph {
+        let mut mult: HashMap<Edge, i64> = HashMap::new();
+        for up in &self.updates {
+            *mult.entry(up.edge).or_insert(0) += up.delta as i64;
+        }
+        Graph::from_edges(
+            self.n,
+            mult.into_iter().filter(|&(_, m)| m > 0).map(|(e, _)| e),
+        )
+    }
+
+    /// Replays the stream into the final weighted graph.
+    pub fn final_weighted_graph(&self) -> WeightedGraph {
+        let mut mult: HashMap<Edge, (i64, f64)> = HashMap::new();
+        for up in &self.updates {
+            let entry = mult.entry(up.edge).or_insert((0, up.weight));
+            entry.0 += up.delta as i64;
+            entry.1 = up.weight;
+        }
+        WeightedGraph::from_edges(
+            self.n,
+            mult.into_iter().filter(|&(_, (m, _))| m > 0).map(|(e, (_, w))| (e, w)),
+        )
+    }
+
+    /// Count of deletion updates.
+    pub fn num_deletions(&self) -> usize {
+        self.updates.iter().filter(|u| u.delta < 0).count()
+    }
+}
+
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn insert_only_replays_to_graph() {
+        let g = gen::erdos_renyi(30, 0.2, 1);
+        let s = GraphStream::insert_only(&g, 2);
+        assert_eq!(s.final_graph(), g);
+        assert_eq!(s.num_deletions(), 0);
+    }
+
+    #[test]
+    fn churn_preserves_final_graph() {
+        let g = gen::erdos_renyi(30, 0.15, 3);
+        for churn in [0.5, 1.0, 3.0] {
+            let s = GraphStream::with_churn(&g, churn, 4);
+            assert_eq!(s.final_graph(), g, "churn={churn}");
+            assert!(s.num_deletions() > 0, "churn={churn} produced no deletions");
+        }
+    }
+
+    #[test]
+    fn churn_volume_scales() {
+        let g = gen::erdos_renyi(40, 0.2, 5);
+        let s = GraphStream::with_churn(&g, 2.0, 6);
+        let expect_deletes = (2.0 * g.num_edges() as f64).round() as usize;
+        assert_eq!(s.num_deletions(), expect_deletes);
+        assert_eq!(s.len(), g.num_edges() + 2 * expect_deletes);
+    }
+
+    #[test]
+    fn prefix_multiplicities_stay_nonnegative() {
+        let g = gen::erdos_renyi(25, 0.2, 7);
+        let s = GraphStream::with_churn(&g, 2.5, 8);
+        let mut mult: HashMap<Edge, i64> = HashMap::new();
+        for up in s.updates() {
+            let m = mult.entry(up.edge).or_insert(0);
+            *m += up.delta as i64;
+            assert!(*m >= 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negative multiplicity")]
+    fn negative_multiplicity_rejected() {
+        GraphStream::new(3, vec![StreamUpdate::delete(0, 1)]);
+    }
+
+    #[test]
+    fn churn_capped_on_dense_graphs() {
+        let g = gen::complete(12); // no non-edges at all
+        let s = GraphStream::with_churn(&g, 5.0, 1);
+        assert_eq!(s.num_deletions(), 0);
+        assert_eq!(s.final_graph(), g);
+    }
+
+    #[test]
+    fn weighted_stream_replays_weights() {
+        let g = gen::with_random_weights(&gen::cycle(12), 1.0, 4.0, 9);
+        let s = GraphStream::weighted_with_churn(&g, 1.0, 10);
+        assert_eq!(s.final_weighted_graph(), g);
+    }
+
+    #[test]
+    fn weighted_deletion_carries_same_weight() {
+        let g = gen::with_random_weights(&gen::cycle(10), 1.0, 4.0, 11);
+        let s = GraphStream::weighted_with_churn(&g, 2.0, 12);
+        let mut seen: HashMap<Edge, f64> = HashMap::new();
+        for up in s.updates() {
+            match seen.entry(up.edge) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    assert_eq!(*o.get(), up.weight, "weight changed mid-stream for {}", up.edge);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(up.weight);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = gen::erdos_renyi(20, 0.3, 1);
+        let a = GraphStream::with_churn(&g, 1.0, 42);
+        let b = GraphStream::with_churn(&g, 1.0, 42);
+        assert_eq!(a.updates(), b.updates());
+    }
+
+    #[test]
+    fn stream_update_constructors() {
+        let i = StreamUpdate::insert(3, 1);
+        assert_eq!(i.delta, 1);
+        assert_eq!(i.edge, Edge::new(1, 3));
+        let d = StreamUpdate::delete(1, 3);
+        assert_eq!(d.delta, -1);
+    }
+}

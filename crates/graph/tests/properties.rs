@@ -1,0 +1,138 @@
+//! Property tests for the graph substrate: codec bijections, stream
+//! invariants, and algorithm cross-checks.
+
+use dsg_graph::bfs::{bfs_distances, UNREACHABLE};
+use dsg_graph::components::{num_components, UnionFind};
+use dsg_graph::dijkstra::{dijkstra_distances, WeightedAdjacency};
+use dsg_graph::{gen, index_to_pair, pair_to_index, Edge, Graph, GraphStream, WeightedGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pair_index_roundtrip(n in 2usize..500, idx_frac in 0.0f64..1.0) {
+        let pairs = dsg_graph::ids::num_pairs(n);
+        let idx = ((pairs as f64 - 1.0) * idx_frac) as u64;
+        let (u, v) = index_to_pair(idx, n);
+        prop_assert!(u < v);
+        prop_assert!((v as usize) < n);
+        prop_assert_eq!(pair_to_index(u, v, n), idx);
+    }
+
+    #[test]
+    fn pair_index_is_monotone_in_rows(n in 3usize..100) {
+        // Coordinates are row-major: (0,1) < (0,2) < … < (1,2) < …
+        let mut prev = None;
+        for u in 0..(n as u32).min(10) {
+            for v in (u + 1)..(n as u32) {
+                let idx = pair_to_index(u, v, n);
+                if let Some(p) = prev {
+                    prop_assert!(idx == p + 1, "gap at ({u},{v})");
+                }
+                prev = Some(idx);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_final_graph_invariant(n in 5usize..60, p in 0.05f64..0.5, churn in 0.0f64..3.0, seed in 0u64..500) {
+        let g = gen::erdos_renyi(n, p, seed);
+        let stream = GraphStream::with_churn(&g, churn, seed ^ 0xFF);
+        prop_assert_eq!(stream.final_graph(), g);
+    }
+
+    #[test]
+    fn stream_prefix_multiplicities_nonnegative(n in 5usize..40, seed in 0u64..200) {
+        let g = gen::erdos_renyi(n, 0.2, seed);
+        let stream = GraphStream::with_churn(&g, 2.0, seed ^ 0xAA);
+        let mut mult = std::collections::HashMap::new();
+        for up in stream.updates() {
+            let m = mult.entry(up.edge).or_insert(0i64);
+            *m += up.delta as i64;
+            prop_assert!(*m >= 0);
+        }
+    }
+
+    #[test]
+    fn bfs_satisfies_triangle_steps(n in 5usize..60, p in 0.05f64..0.4, seed in 0u64..200) {
+        // Adjacent vertices differ by at most 1 in BFS distance.
+        let g = gen::erdos_renyi(n, p, seed);
+        let adj = g.adjacency();
+        let d = bfs_distances(&adj, 0);
+        for e in g.edges() {
+            let (du, dv) = (d[e.u() as usize], d[e.v() as usize]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge {e}: {du} vs {dv}");
+            } else {
+                prop_assert_eq!(du, dv); // same component or both unreachable
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_weights(n in 5usize..40, p in 0.1f64..0.4, seed in 0u64..100) {
+        let g = gen::erdos_renyi(n, p, seed);
+        let wg = WeightedGraph::from_edges(n, g.edges().iter().map(|&e| (e, 1.0)));
+        let bd = bfs_distances(&g.adjacency(), 0);
+        let dd = dijkstra_distances(&WeightedAdjacency::new(&wg), 0);
+        for v in 0..n {
+            if bd[v] == UNREACHABLE {
+                prop_assert!(dd[v].is_infinite());
+            } else {
+                prop_assert_eq!(dd[v] as u32, bd[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_agrees_with_bfs_reachability(n in 4usize..50, p in 0.02f64..0.3, seed in 0u64..100) {
+        let g = gen::erdos_renyi(n, p, seed);
+        let mut uf = UnionFind::new(n);
+        for e in g.edges() {
+            uf.union(e.u(), e.v());
+        }
+        let d = bfs_distances(&g.adjacency(), 0);
+        for v in 0..n as u32 {
+            prop_assert_eq!(uf.connected(0, v), d[v as usize] != UNREACHABLE);
+        }
+    }
+
+    #[test]
+    fn generators_respect_bounds(n in 2usize..80, seed in 0u64..100) {
+        let m_max = n * (n - 1) / 2;
+        let g = gen::gnm(n, m_max.min(3 * n), seed);
+        prop_assert_eq!(g.num_edges(), m_max.min(3 * n));
+        for e in g.edges() {
+            prop_assert!((e.v() as usize) < n);
+        }
+    }
+
+    #[test]
+    fn minus_is_set_difference(n in 4usize..40, seed in 0u64..100) {
+        let g = gen::erdos_renyi(n, 0.3, seed);
+        let kill: std::collections::HashSet<Edge> =
+            g.edges().iter().step_by(3).copied().collect();
+        let h = g.minus(&kill);
+        prop_assert_eq!(h.num_edges(), g.num_edges() - kill.len());
+        for e in h.edges() {
+            prop_assert!(!kill.contains(e));
+        }
+    }
+
+    #[test]
+    fn components_monotone_under_edge_addition(n in 4usize..40, seed in 0u64..100) {
+        let g = gen::erdos_renyi(n, 0.1, seed);
+        let mut edges = g.edges().to_vec();
+        let before = num_components(&g);
+        // Add one more non-edge if any exists.
+        'outer: for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if !g.has_edge(u, v) {
+                    edges.push(Edge::new(u, v));
+                    break 'outer;
+                }
+            }
+        }
+        let h = Graph::from_edges(n, edges);
+        prop_assert!(num_components(&h) <= before);
+    }
+}

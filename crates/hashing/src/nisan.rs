@@ -1,0 +1,174 @@
+//! A Nisan-style pseudorandom generator for space-bounded computation.
+//!
+//! Section 6.3 of the paper notes that the sparsification pipeline nominally
+//! needs `Ω(n^2)` perfectly-random bits for its edge-set partitions, and
+//! replaces them with Nisan's generator so the total space stays
+//! `n^{1+o(1)}`. We implement the generator faithfully: seed length
+//! `O(k·b)` for `2^k` output blocks of `b = 64` bits, with one pairwise
+//! independent function per level.
+//!
+//! Nisan's recursion is `G_0(x) = x` and
+//! `G_k(x) = G_{k-1}(x) ∘ G_{k-1}(h_k(x))`, which means the `i`-th output
+//! block is obtained by applying `h_l` for every set bit `l` of `i` (reading
+//! from the most significant level down). That gives `O(k)`-time random
+//! access to any block with only the `k` hash functions stored — the
+//! small-space property the paper relies on.
+//!
+//! In the rest of the workspace the production samplers use k-wise
+//! independent families directly (see `DESIGN.md`); this module exists to
+//! reproduce the derandomization component and is exercised by tests and the
+//! experiment harness.
+
+use crate::field;
+use crate::kwise::KWiseHash;
+use crate::rng::SplitMix64;
+use dsg_util::SpaceUsage;
+
+/// Nisan's pseudorandom generator with 61-bit blocks.
+///
+/// Stretches a seed of `levels + 1` field elements' worth of randomness into
+/// `2^levels` blocks that fool space-bounded distinguishers.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_hash::NisanPrg;
+///
+/// let g = NisanPrg::new(10, 42); // 2^10 = 1024 blocks
+/// assert_eq!(g.num_blocks(), 1024);
+/// assert_eq!(g.block(17), g.block(17));
+/// assert_ne!(g.block(17), g.block(18)); // whp
+/// ```
+#[derive(Debug, Clone)]
+pub struct NisanPrg {
+    /// One pairwise independent function per recursion level.
+    hashes: Vec<KWiseHash>,
+    /// The initial seed block `x`.
+    x0: u64,
+    levels: u32,
+}
+
+impl NisanPrg {
+    /// Creates a generator producing `2^levels` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels > 62` (output index space would overflow `u64`).
+    pub fn new(levels: u32, seed: u64) -> Self {
+        assert!(levels <= 62, "levels {levels} too large");
+        let mut rng = SplitMix64::new(seed);
+        let x0 = rng.next_below(field::P);
+        let hashes = (0..levels).map(|l| KWiseHash::new(2, seed ^ (l as u64 + 1).wrapping_mul(0x9E37_79B9))).collect();
+        Self { hashes, x0, levels }
+    }
+
+    /// Number of 61-bit output blocks, `2^levels`.
+    pub fn num_blocks(&self) -> u64 {
+        1u64 << self.levels
+    }
+
+    /// Random access to output block `index`.
+    ///
+    /// Walks the recursion: level `l` (0 = outermost split) contributes
+    /// `h_{levels-l}` when bit `levels-1-l` of `index` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_blocks()`.
+    pub fn block(&self, index: u64) -> u64 {
+        assert!(index < self.num_blocks(), "block index {index} out of range");
+        let mut x = self.x0;
+        // hashes[l] is h_{l+1}; the recursion applies the highest level first.
+        for l in (0..self.levels).rev() {
+            if index >> l & 1 == 1 {
+                x = self.hashes[l as usize].hash(x);
+            }
+        }
+        x
+    }
+
+    /// A pseudorandom bit: bit `index % 61` of block `index / 61`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived block index is out of range.
+    pub fn bit(&self, index: u64) -> bool {
+        let block = self.block(index / 61);
+        block >> (index % 61) & 1 == 1
+    }
+
+    /// Seed length in bits: the quantity Nisan's theorem bounds by
+    /// `O(k · b)` for `2^k` blocks of `b` bits.
+    pub fn seed_bits(&self) -> usize {
+        self.space_bits()
+    }
+}
+
+impl SpaceUsage for NisanPrg {
+    fn space_bytes(&self) -> usize {
+        self.hashes.iter().map(SpaceUsage::space_bytes).sum::<usize>() + self.x0.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recursion_structure_matches_definition() {
+        // For levels = 2: blocks are
+        //   G_2(x) = G_1(x) ∘ G_1(h_2(x))
+        //   G_1(y) = y ∘ h_1(y)
+        // so block(0)=x, block(1)=h1(x), block(2)=h2(x), block(3)=h1(h2(x)).
+        let g = NisanPrg::new(2, 77);
+        let h1 = &g.hashes[0];
+        let h2 = &g.hashes[1];
+        let x = g.x0;
+        assert_eq!(g.block(0), x);
+        assert_eq!(g.block(1), h1.hash(x));
+        assert_eq!(g.block(2), h2.hash(x));
+        assert_eq!(g.block(3), h1.hash(h2.hash(x)));
+    }
+
+    #[test]
+    fn seed_is_logarithmic_in_output() {
+        let g = NisanPrg::new(20, 1); // 2^20 blocks = 2^26 bits of output
+        // Seed: 20 pairwise hashes (2 coeffs each) + x0 = 41 words.
+        assert_eq!(g.space_bytes(), (20 * 2 + 1) * 8);
+        assert!(g.seed_bits() < 4096);
+    }
+
+    #[test]
+    fn blocks_deterministic_and_distinct() {
+        let g = NisanPrg::new(12, 5);
+        let h = NisanPrg::new(12, 5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            assert_eq!(g.block(i), h.block(i));
+            seen.insert(g.block(i));
+        }
+        // Pairwise hashes give essentially no collisions at this scale.
+        assert!(seen.len() > 4000, "only {} distinct blocks", seen.len());
+    }
+
+    #[test]
+    fn bits_roughly_balanced() {
+        let g = NisanPrg::new(10, 9);
+        let ones = (0..32_768u64).filter(|&i| g.bit(i)).count();
+        assert!((14_000..19_000).contains(&ones), "ones={ones}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_block_panics() {
+        NisanPrg::new(3, 1).block(8);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NisanPrg::new(6, 1);
+        let b = NisanPrg::new(6, 2);
+        let agree = (0..64u64).filter(|&i| a.block(i) == b.block(i)).count();
+        assert!(agree < 4, "seeds produce nearly identical streams");
+    }
+}

@@ -1,0 +1,144 @@
+//! The hard input distribution of Theorem 4.
+//!
+//! `s` disjoint blocks, each a `G(d, 1/2)` random graph on `d` vertices
+//! (Alice's input `X`, one bit per potential edge), plus Bob's designated
+//! pairs `{U_ℓ, V_ℓ}` (uniform distinct vertices per block) and the
+//! chaining path edges `{V_ℓ, U_{ℓ+1}}`.
+
+use dsg_graph::{Edge, Vertex};
+use dsg_hash::SplitMix64;
+
+/// One sampled hard instance.
+#[derive(Debug, Clone)]
+pub struct HardInstance {
+    /// Number of blocks `s`.
+    pub blocks: usize,
+    /// Vertices per block `d`.
+    pub d: usize,
+    /// Alice's edges: the union of the block graphs.
+    pub alice_edges: Vec<Edge>,
+    /// Bob's designated pair per block (`{U_ℓ, V_ℓ}`).
+    pub pairs: Vec<(Vertex, Vertex)>,
+    /// Bob's chaining path edges `{V_ℓ, U_{ℓ+1}}`.
+    pub bob_edges: Vec<Edge>,
+}
+
+impl HardInstance {
+    /// Samples an instance: `blocks` blocks of `G(d, 1/2)`, designated
+    /// pairs, and the chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 2` or `blocks == 0`.
+    pub fn sample(blocks: usize, d: usize, seed: u64) -> Self {
+        assert!(d >= 2, "blocks need at least 2 vertices");
+        assert!(blocks >= 1, "need at least one block");
+        let mut rng = SplitMix64::new(seed);
+        let mut alice_edges = Vec::new();
+        let mut pairs = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let base = (b * d) as Vertex;
+            for u in 0..d as Vertex {
+                for v in (u + 1)..d as Vertex {
+                    if rng.next_u64() & 1 == 1 {
+                        alice_edges.push(Edge::new(base + u, base + v));
+                    }
+                }
+            }
+            let u = rng.next_below(d as u64) as Vertex;
+            let mut v = rng.next_below(d as u64) as Vertex;
+            while v == u {
+                v = rng.next_below(d as u64) as Vertex;
+            }
+            pairs.push((base + u, base + v));
+        }
+        let bob_edges = (0..blocks.saturating_sub(1))
+            .map(|b| Edge::new(pairs[b].1, pairs[b + 1].0))
+            .collect();
+        Self { blocks, d, alice_edges, pairs, bob_edges }
+    }
+
+    /// Total number of vertices `s · d`.
+    pub fn num_vertices(&self) -> usize {
+        self.blocks * self.d
+    }
+
+    /// The number of INDEX bits Alice holds: `s · C(d, 2)`.
+    pub fn index_bits(&self) -> usize {
+        self.blocks * self.d * (self.d - 1) / 2
+    }
+
+    /// Whether the designated pair of `block` is one of Alice's edges (the
+    /// ground-truth bit `X_I`).
+    pub fn pair_is_edge(&self, block: usize) -> bool {
+        let (u, v) = self.pairs[block];
+        let e = Edge::new(u, v);
+        self.alice_edges.binary_search(&e).map_or_else(
+            |_| self.alice_edges.contains(&e), // unsorted fallback
+            |_| true,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_shape() {
+        let inst = HardInstance::sample(6, 8, 1);
+        assert_eq!(inst.num_vertices(), 48);
+        assert_eq!(inst.pairs.len(), 6);
+        assert_eq!(inst.bob_edges.len(), 5);
+        assert_eq!(inst.index_bits(), 6 * 28);
+    }
+
+    #[test]
+    fn blocks_are_disjoint() {
+        let inst = HardInstance::sample(4, 10, 2);
+        for e in &inst.alice_edges {
+            assert_eq!(
+                e.u() as usize / 10,
+                e.v() as usize / 10,
+                "edge {e} crosses blocks"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_density_near_half() {
+        let inst = HardInstance::sample(8, 12, 3);
+        let expect = inst.index_bits() as f64 / 2.0;
+        let got = inst.alice_edges.len() as f64;
+        assert!((got - expect).abs() < 4.0 * expect.sqrt(), "{got} vs {expect}");
+    }
+
+    #[test]
+    fn pairs_inside_their_blocks() {
+        let inst = HardInstance::sample(5, 7, 4);
+        for (b, (u, v)) in inst.pairs.iter().enumerate() {
+            assert_eq!(*u as usize / 7, b);
+            assert_eq!(*v as usize / 7, b);
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn chain_connects_consecutive_pairs() {
+        let inst = HardInstance::sample(4, 6, 5);
+        for (b, e) in inst.bob_edges.iter().enumerate() {
+            assert!(e.touches(inst.pairs[b].1));
+            assert!(e.touches(inst.pairs[b + 1].0));
+        }
+    }
+
+    #[test]
+    fn ground_truth_consistent() {
+        let inst = HardInstance::sample(3, 9, 6);
+        for b in 0..3 {
+            let (u, v) = inst.pairs[b];
+            let manual = inst.alice_edges.contains(&Edge::new(u, v));
+            assert_eq!(inst.pair_is_edge(b), manual);
+        }
+    }
+}

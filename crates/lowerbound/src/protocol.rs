@@ -1,0 +1,218 @@
+//! Playing the INDEX game against the one-pass additive spanner.
+//!
+//! One game: Alice streams her block edges through a fresh
+//! [`AdditiveSpanner`]; the measured sketch size at hand-off is the
+//! one-way message length. Bob streams his chaining edges, finishes the
+//! pass, and answers whether the designated pair of the queried block
+//! appears in the returned spanner. Theorem 4 says: to win with
+//! probability ≥ 2/3 over the hard distribution, the message must carry
+//! `Ω(nd)` bits — so an algorithm whose space is sized for `d' ≪ d`
+//! (too-small sketches) must lose its advantage, which experiment E7
+//! sweeps.
+
+use crate::instance::HardInstance;
+use dsg_graph::stream::StreamUpdate;
+use dsg_graph::StreamAlgorithm;
+use dsg_spanner::{AdditiveParams, AdditiveSpanner};
+use dsg_util::SpaceUsage;
+
+/// The outcome of playing the game on every block of one instance.
+#[derive(Debug, Clone)]
+pub struct GameResult {
+    /// Message length in bytes: the algorithm's worst-case space
+    /// reservation (the quantity Theorem 4 lower-bounds — a streaming
+    /// algorithm must provision its state before seeing the input).
+    pub message_bytes: usize,
+    /// The `Θ(nd log n)` component of the message (the neighborhood
+    /// sketches); the rest is `Θ(n polylog n)` independent of `d`.
+    pub message_nd_bytes: usize,
+    /// Actually-touched sketch bytes at the hand-off (for context).
+    pub touched_bytes: usize,
+    /// Measured additive distortion of the returned spanner on the chained
+    /// instance — Theorem 4's contrapositive: with sub-`Ω(nd)` space,
+    /// either this exceeds `n/d` or the success probability drops.
+    pub distortion: u32,
+    /// Per-block verdicts: `(truth, claim)`.
+    pub verdicts: Vec<(bool, bool)>,
+}
+
+impl GameResult {
+    /// Fraction of blocks answered correctly (the INDEX success rate;
+    /// every block is a uniformly random index, so this estimates the
+    /// per-index success probability).
+    pub fn success_rate(&self) -> f64 {
+        if self.verdicts.is_empty() {
+            return 0.0;
+        }
+        self.verdicts.iter().filter(|(t, c)| t == c).count() as f64 / self.verdicts.len() as f64
+    }
+
+    /// Success rate restricted to blocks whose designated pair IS an edge
+    /// (the retention rate the theorem's argument lower-bounds).
+    pub fn edge_retention_rate(&self) -> f64 {
+        let positives: Vec<_> = self.verdicts.iter().filter(|(t, _)| *t).collect();
+        if positives.is_empty() {
+            return 1.0;
+        }
+        positives.iter().filter(|(_, c)| *c).count() as f64 / positives.len() as f64
+    }
+}
+
+/// Plays the game once with the additive spanner configured by `params`.
+///
+/// The same run answers every block's index (each block is an independent
+/// uniform index into Alice's string, which is how the theorem's
+/// distributional statement is exercised efficiently).
+pub fn play(instance: &HardInstance, params: AdditiveParams) -> GameResult {
+    let n = instance.num_vertices();
+    let mut alg = AdditiveSpanner::new(n, params);
+    alg.begin_pass(0);
+    // Alice's half of the stream.
+    for e in &instance.alice_edges {
+        alg.process(&StreamUpdate { edge: *e, delta: 1, weight: 1.0 });
+    }
+    // The one-way message: everything Bob needs to continue.
+    let message_bytes = alg.nominal_bytes();
+    let message_nd_bytes = alg.nominal_neighborhood_bytes();
+    let touched_bytes = alg.space_bytes();
+    // Bob's half.
+    for e in &instance.bob_edges {
+        alg.process(&StreamUpdate { edge: *e, delta: 1, weight: 1.0 });
+    }
+    alg.end_pass(0);
+    let spanner = alg.into_output().expect("pass completed").spanner;
+    let verdicts = (0..instance.blocks)
+        .map(|b| {
+            let (u, v) = instance.pairs[b];
+            (instance.pair_is_edge(b), spanner.has_edge(u, v))
+        })
+        .collect();
+    // Distortion of the returned spanner on the full chained instance.
+    let full = dsg_graph::Graph::from_edges(
+        n,
+        instance.alice_edges.iter().chain(&instance.bob_edges).copied(),
+    );
+    let distortion =
+        dsg_spanner::verify::max_additive_distortion(&full, &spanner, n.min(64));
+    GameResult { message_bytes, message_nd_bytes, touched_bytes, distortion, verdicts }
+}
+
+/// Aggregate of repeated games: mean success and message size.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The spanner's `d` parameter used by the algorithm.
+    pub algo_d: usize,
+    /// Mean message bytes (total reservation).
+    pub mean_message_bytes: f64,
+    /// Mean `Θ(nd log n)` message component.
+    pub mean_nd_bytes: f64,
+    /// Mean INDEX success rate.
+    pub mean_success: f64,
+    /// Mean retention of planted edges.
+    pub mean_retention: f64,
+    /// Mean measured additive distortion on the instance.
+    pub mean_distortion: f64,
+}
+
+/// Plays `trials` games at a given algorithm budget `algo_d` on instances
+/// with block size `instance_d`.
+pub fn sweep_point(
+    blocks: usize,
+    instance_d: usize,
+    algo_d: usize,
+    trials: usize,
+    seed: u64,
+) -> SweepPoint {
+    let mut msg = 0.0;
+    let mut nd = 0.0;
+    let mut succ = 0.0;
+    let mut ret = 0.0;
+    let mut dist = 0.0;
+    for t in 0..trials {
+        let inst = HardInstance::sample(blocks, instance_d, seed.wrapping_add(t as u64 * 7919));
+        let res = play(&inst, AdditiveParams::new(algo_d, seed.wrapping_add(t as u64)));
+        msg += res.message_bytes as f64;
+        nd += res.message_nd_bytes as f64;
+        succ += res.success_rate();
+        ret += res.edge_retention_rate();
+        dist += res.distortion as f64;
+    }
+    let t = trials as f64;
+    SweepPoint {
+        algo_d,
+        mean_message_bytes: msg / t,
+        mean_nd_bytes: nd / t,
+        mean_success: succ / t,
+        mean_retention: ret / t,
+        mean_distortion: dist / t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adequate_space_wins_the_game() {
+        // With the algorithm's d matched to the instance (space ~ nd), all
+        // block vertices are low-degree: the spanner keeps everything and
+        // Bob answers perfectly.
+        let inst = HardInstance::sample(6, 8, 1);
+        let res = play(&inst, AdditiveParams::new(8, 2));
+        assert!(
+            res.success_rate() >= 6.0 / 7.0,
+            "success {} below theorem threshold",
+            res.success_rate()
+        );
+    }
+
+    #[test]
+    fn success_degrades_with_message_size() {
+        // Sweep the algorithm budget down: the nd-component of the message
+        // shrinks and success falls toward coin-flipping.
+        let big = sweep_point(6, 16, 16, 3, 3);
+        let small = sweep_point(6, 16, 1, 3, 4);
+        assert!(
+            small.mean_nd_bytes < big.mean_nd_bytes / 2.0,
+            "nd-components {} vs {}",
+            small.mean_nd_bytes,
+            big.mean_nd_bytes
+        );
+        assert!(
+            small.mean_message_bytes < big.mean_message_bytes,
+            "total messages {} vs {}",
+            small.mean_message_bytes,
+            big.mean_message_bytes
+        );
+        assert!(
+            small.mean_success < big.mean_success,
+            "success {} vs {}",
+            small.mean_success,
+            big.mean_success
+        );
+        assert!(big.mean_success >= 0.85);
+    }
+
+    #[test]
+    fn retention_tracks_theorem_argument() {
+        // The theorem needs ≥ 5/6 of planted pairs retained when the
+        // distortion guarantee holds; with adequate space retention is
+        // essentially 1.
+        let inst = HardInstance::sample(8, 10, 5);
+        let res = play(&inst, AdditiveParams::new(10, 6));
+        assert!(res.edge_retention_rate() >= 0.9, "retention {}", res.edge_retention_rate());
+    }
+
+    #[test]
+    fn message_bytes_scale_with_d() {
+        let small = sweep_point(4, 8, 2, 2, 7);
+        let large = sweep_point(4, 8, 8, 2, 8);
+        assert!(
+            large.mean_nd_bytes > 1.5 * small.mean_nd_bytes,
+            "nd-components {} vs {}",
+            large.mean_nd_bytes,
+            small.mean_nd_bytes
+        );
+        assert!(large.mean_message_bytes > small.mean_message_bytes);
+    }
+}

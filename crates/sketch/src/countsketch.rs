@@ -1,0 +1,219 @@
+//! CountSketch: frequency estimation for dynamic vectors.
+//!
+//! The paper notes after Theorem 8 that "we could also use other sketches,
+//! such as CountSketch ... improving upon the logarithmic factors in the
+//! space, though the reconstruction time will be larger". This module
+//! provides that alternative: a `rows × buckets` array of signed counters
+//! with median-of-rows point queries. It is used by the benchmark suite to
+//! compare against [`crate::SparseRecovery`] and completes the sketching
+//! toolbox a downstream user would expect.
+
+use dsg_hash::{KWiseHash, SeedTree};
+use dsg_util::SpaceUsage;
+
+/// A CountSketch frequency estimator.
+///
+/// Point queries return `x[key]` within `±‖x‖_2 / sqrt(buckets)` per row,
+/// sharpened by taking the median over rows.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_sketch::CountSketch;
+///
+/// let mut cs = CountSketch::new(5, 256, 42);
+/// cs.update(7, 100);
+/// for i in 0..50u64 {
+///     cs.update(1000 + i, 1); // light noise
+/// }
+/// let est = cs.query(7);
+/// assert!((est - 100).abs() <= 10, "est={est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    rows: usize,
+    buckets: usize,
+    seed: u64,
+    bucket_hashes: Vec<KWiseHash>,
+    sign_hashes: Vec<KWiseHash>,
+    counters: Vec<i128>,
+}
+
+impl CountSketch {
+    /// Creates a CountSketch with `rows` independent rows of `buckets`
+    /// counters each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `buckets == 0`.
+    pub fn new(rows: usize, buckets: usize, seed: u64) -> Self {
+        assert!(rows > 0, "rows must be positive");
+        assert!(buckets > 0, "buckets must be positive");
+        let tree = SeedTree::new(seed ^ 0x434F_554E_5453_4B31); // "COUNTSK1"
+        let bucket_hashes =
+            (0..rows).map(|r| KWiseHash::new(2, tree.child(r as u64).child(0).seed())).collect();
+        let sign_hashes =
+            (0..rows).map(|r| KWiseHash::new(4, tree.child(r as u64).child(1).seed())).collect();
+        Self { rows, buckets, seed, bucket_hashes, sign_hashes, counters: vec![0; rows * buckets] }
+    }
+
+    /// Applies `x[key] += delta`.
+    pub fn update(&mut self, key: u64, delta: i128) {
+        if delta == 0 {
+            return;
+        }
+        for r in 0..self.rows {
+            let b = self.bucket_hashes[r].hash_below(key, self.buckets as u64) as usize;
+            let s = self.sign_hashes[r].hash_sign(key) as i128;
+            self.counters[r * self.buckets + b] += s * delta;
+        }
+    }
+
+    /// Estimates `x[key]` (median over rows).
+    pub fn query(&self, key: u64) -> i128 {
+        let mut ests: Vec<i128> = (0..self.rows)
+            .map(|r| {
+                let b = self.bucket_hashes[r].hash_below(key, self.buckets as u64) as usize;
+                let s = self.sign_hashes[r].hash_sign(key) as i128;
+                s * self.counters[r * self.buckets + b]
+            })
+            .collect();
+        ests.sort_unstable();
+        ests[ests.len() / 2]
+    }
+
+    /// Adds another CountSketch (linearity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or seeds differ.
+    pub fn merge(&mut self, other: &CountSketch) {
+        assert!(
+            self.rows == other.rows && self.buckets == other.buckets && self.seed == other.seed,
+            "merging incompatible CountSketches"
+        );
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+    }
+
+    /// Whether all counters are zero.
+    pub fn is_zero(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+    }
+
+    /// Heavy hitters: all candidates whose estimated magnitude is at least
+    /// `threshold`, from a candidate key set.
+    ///
+    /// CountSketch cannot enumerate keys by itself (that is what
+    /// [`crate::SparseRecovery`] adds); given candidates — e.g. the vertex
+    /// ids of a graph — it reports the heavy ones.
+    pub fn heavy_hitters<I: IntoIterator<Item = u64>>(
+        &self,
+        candidates: I,
+        threshold: i128,
+    ) -> Vec<(u64, i128)> {
+        assert!(threshold > 0, "threshold must be positive");
+        let mut out: Vec<(u64, i128)> = candidates
+            .into_iter()
+            .filter_map(|k| {
+                let est = self.query(k);
+                (est.abs() >= threshold).then_some((k, est))
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v.abs()));
+        out
+    }
+}
+
+impl SpaceUsage for CountSketch {
+    fn space_bytes(&self) -> usize {
+        self.counters.space_bytes()
+            + self.bucket_hashes.iter().map(SpaceUsage::space_bytes).sum::<usize>()
+            + self.sign_hashes.iter().map(SpaceUsage::space_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_isolated_key() {
+        let mut cs = CountSketch::new(3, 64, 1);
+        cs.update(42, -17);
+        assert_eq!(cs.query(42), -17);
+    }
+
+    #[test]
+    fn absent_key_estimates_near_zero() {
+        let mut cs = CountSketch::new(5, 512, 2);
+        for i in 0..100u64 {
+            cs.update(i, 1);
+        }
+        let est = cs.query(999_999);
+        assert!(est.abs() <= 3, "est={est}");
+    }
+
+    #[test]
+    fn deletions_cancel() {
+        let mut cs = CountSketch::new(3, 64, 3);
+        cs.update(5, 10);
+        cs.update(5, -10);
+        assert!(cs.is_zero());
+    }
+
+    #[test]
+    fn heavy_hitter_dominates_noise() {
+        let mut cs = CountSketch::new(7, 1024, 4);
+        cs.update(1, 10_000);
+        for i in 2..2000u64 {
+            cs.update(i, 1);
+        }
+        let est = cs.query(1);
+        assert!((est - 10_000).abs() < 500, "est={est}");
+    }
+
+    #[test]
+    fn merge_matches_direct() {
+        let mut a = CountSketch::new(3, 32, 5);
+        let mut b = CountSketch::new(3, 32, 5);
+        let mut direct = CountSketch::new(3, 32, 5);
+        a.update(1, 4);
+        direct.update(1, 4);
+        b.update(2, -4);
+        direct.update(2, -4);
+        a.merge(&b);
+        assert_eq!(a.query(1), direct.query(1));
+        assert_eq!(a.query(2), direct.query(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn incompatible_merge_panics() {
+        let mut a = CountSketch::new(3, 32, 1);
+        let b = CountSketch::new(3, 32, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn heavy_hitters_found_and_ranked() {
+        let mut cs = CountSketch::new(7, 512, 9);
+        cs.update(100, 5_000);
+        cs.update(200, -3_000);
+        for i in 0..500u64 {
+            cs.update(1000 + i, 1);
+        }
+        let hh = cs.heavy_hitters(0..2000u64, 1_000);
+        assert_eq!(hh.len(), 2, "hh = {hh:?}");
+        assert_eq!(hh[0].0, 100);
+        assert_eq!(hh[1].0, 200);
+        assert!(hh[1].1 < 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        CountSketch::new(2, 8, 1).heavy_hitters(0..4u64, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Polynomial fingerprints for dynamic-vector equality testing.
+//!
+//! A fingerprint is the cheapest linear sketch: a single field word
+//! `Σ_i x_i · h(i) (mod p)` that equals for two vectors only if the vectors
+//! are equal, except with probability `O(1/p)`. The workspace uses
+//! fingerprints inside every recovery cell; this standalone version is
+//! handy in tests and for verifying that two differently-built sketch
+//! pipelines observed the same stream.
+
+use crate::onesparse::mod_p;
+use dsg_hash::{field, KWiseHash};
+use dsg_util::SpaceUsage;
+
+/// A one-word linear fingerprint of a dynamic vector.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_sketch::VectorFingerprint;
+///
+/// let mut a = VectorFingerprint::new(42);
+/// let mut b = VectorFingerprint::new(42);
+/// a.update(1, 5);
+/// a.update(2, -3);
+/// b.update(2, -3);
+/// b.update(1, 5); // order doesn't matter
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorFingerprint {
+    hash: KWiseHash,
+    value: u64,
+}
+
+impl VectorFingerprint {
+    /// Creates a zero fingerprint with randomness from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { hash: KWiseHash::new(3, seed ^ 0x4650_5249_4E54_5631), value: 0 }
+    }
+
+    /// Applies `x[key] += delta`.
+    pub fn update(&mut self, key: u64, delta: i128) {
+        let d = mod_p(delta);
+        self.value = field::add(self.value, field::mul(d, self.hash.hash(key)));
+    }
+
+    /// Adds another fingerprint built with the same seed.
+    pub fn merge(&mut self, other: &VectorFingerprint) {
+        debug_assert_eq!(self.hash, other.hash, "merging incompatible fingerprints");
+        self.value = field::add(self.value, other.value);
+    }
+
+    /// Whether the fingerprint is zero (vector is zero whp).
+    pub fn is_zero(&self) -> bool {
+        self.value == 0
+    }
+
+    /// The raw fingerprint word.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl SpaceUsage for VectorFingerprint {
+    fn space_bytes(&self) -> usize {
+        self.hash.space_bytes() + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_vectors_equal_fingerprints() {
+        let mut a = VectorFingerprint::new(7);
+        let mut b = VectorFingerprint::new(7);
+        for i in 0..100u64 {
+            a.update(i, i as i128);
+        }
+        for i in (0..100u64).rev() {
+            b.update(i, i as i128);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_vectors_differ() {
+        let mut a = VectorFingerprint::new(7);
+        let mut b = VectorFingerprint::new(7);
+        a.update(1, 1);
+        b.update(2, 1);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn cancellation_zeroes() {
+        let mut a = VectorFingerprint::new(9);
+        a.update(5, 3);
+        a.update(5, -3);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = VectorFingerprint::new(3);
+        let mut b = VectorFingerprint::new(3);
+        let mut direct = VectorFingerprint::new(3);
+        a.update(1, 2);
+        b.update(9, 4);
+        direct.update(1, 2);
+        direct.update(9, 4);
+        a.merge(&b);
+        assert_eq!(a, direct);
+    }
+}

@@ -1,0 +1,72 @@
+//! Linear sketches for dynamic streams.
+//!
+//! This crate implements, from scratch, every sketching primitive consumed
+//! by Kapralov–Woodruff's "Spanners and Sparsifiers in Dynamic Streams"
+//! (PODC 2014):
+//!
+//! * [`OneSparseCell`] — exact recovery of 1-sparse signed vectors with a
+//!   fingerprint test; the building block of everything below.
+//! * [`SparseRecovery`] — the paper's `SKETCH_B` / `DECODE` pair
+//!   (Theorem 8's role): a linear sketch from which any `B`-sparse vector is
+//!   reconstructed exactly with high probability, and decoding failures are
+//!   *detected*. Implemented as an invertible Bloom lookup table (IBLT) with
+//!   peeling decode — same guarantee shape as the CM06 matrices the paper
+//!   cites (see `DESIGN.md` for the substitution argument).
+//! * [`LinearHashTable`] — the `H^u_j` structure of Algorithm 2: a linear
+//!   hash table whose *values* are themselves small linear sketches, realized
+//!   exactly as the paper outlines ("treating the sketches associated with
+//!   nodes `v ∈ V` as poly(log n)-length bit numbers and sketching this
+//!   vector").
+//! * [`L0Sampler`] — samples a (near-)uniform nonzero coordinate of a
+//!   dynamic vector; the primitive behind AGM spanning-forest sketches.
+//! * [`DistinctEstimator`] — `(1±eps)` estimation of the number of distinct
+//!   (nonzero) coordinates (Theorem 9's role, after KNW10), used by the
+//!   paper as a decodability guard and as the degree estimator `d_u` in
+//!   Algorithm 3.
+//! * [`GuardedSketch`] — `SKETCH_B` bundled with the distinct-elements
+//!   decodability guard, exactly as described after Theorem 9.
+//! * [`CountSketch`] — the alternative frequency sketch the paper mentions
+//!   as a drop-in for Theorem 8.
+//!
+//! Every sketch is **linear**: it supports positive and negative updates,
+//! and [`merge`](SparseRecovery::merge)ing the sketches of two vectors gives
+//! the sketch of their sum, bit for bit. Property tests in
+//! `tests/linearity.rs` pin this down.
+//!
+//! # Examples
+//!
+//! ```
+//! use dsg_sketch::SparseRecovery;
+//!
+//! // Sketch a vector, delete most of it, recover what remains.
+//! let mut sk = SparseRecovery::new(8, 42);
+//! for i in 0..100u64 {
+//!     sk.update(i, 1);
+//! }
+//! for i in 0..97u64 {
+//!     sk.update(i, -1); // deletions
+//! }
+//! let mut support = sk.decode().unwrap();
+//! support.sort();
+//! assert_eq!(support, vec![(97, 1), (98, 1), (99, 1)]);
+//! ```
+
+pub mod countsketch;
+pub mod distinct;
+pub mod error;
+pub mod fingerprint;
+pub mod guarded;
+pub mod hashtable;
+pub mod l0;
+pub mod onesparse;
+pub mod ssparse;
+
+pub use countsketch::CountSketch;
+pub use distinct::DistinctEstimator;
+pub use error::DecodeError;
+pub use fingerprint::VectorFingerprint;
+pub use guarded::GuardedSketch;
+pub use hashtable::LinearHashTable;
+pub use l0::L0Sampler;
+pub use onesparse::{OneSparseCell, OneSparseVerdict};
+pub use ssparse::SparseRecovery;

@@ -1,0 +1,155 @@
+//! Adversarial and failure-injection tests: the sketches must *detect*
+//! every failure they cannot avoid — the paper's algorithms condition on
+//! decode success, so a silent wrong answer would invalidate everything
+//! downstream.
+
+use dsg_sketch::{DecodeError, L0Sampler, LinearHashTable, SparseRecovery};
+
+/// Overloads must be detected across two orders of magnitude of abuse.
+#[test]
+fn overload_always_detected_never_wrong() {
+    for scale in [2usize, 10, 100] {
+        let budget = 8;
+        let mut sk = SparseRecovery::new(budget, scale as u64);
+        let support = budget * scale;
+        for i in 0..support as u64 {
+            sk.update(i * 31 + 1, 1);
+        }
+        match sk.decode() {
+            Ok(items) => {
+                // A successful decode must be exactly right even above
+                // budget (possible when peeling gets lucky).
+                assert_eq!(items.len(), support, "silent partial decode");
+            }
+            Err(DecodeError::Overloaded) => {}
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+}
+
+/// Clustered keys (worst case for bucket hashing) still decode at budget.
+#[test]
+fn clustered_keys_decode() {
+    let mut failures = 0;
+    for seed in 0..50u64 {
+        let mut sk = SparseRecovery::new(16, seed);
+        // All keys consecutive — maximal correlation pressure on placement.
+        for i in 0..16u64 {
+            sk.update(1_000_000 + i, (i + 1) as i128);
+        }
+        if sk.decode().is_err() {
+            failures += 1;
+        }
+    }
+    assert!(failures <= 2, "clustered keys broke {failures}/50 decodes");
+}
+
+/// The same coordinate updated forward and backward millions of times must
+/// behave exactly like its net value.
+#[test]
+fn churn_torture_single_coordinate() {
+    let mut sk = SparseRecovery::new(4, 99);
+    for round in 0..10_000i128 {
+        sk.update(777, round % 5 - 2); // sums to 0 over each 5-cycle
+    }
+    // 10_000 rounds of (-2,-1,0,1,2) sum to 0: sketch must be zero.
+    assert!(sk.is_zero());
+    sk.update(777, 42);
+    assert_eq!(sk.decode().unwrap(), vec![(777, 42)]);
+}
+
+/// Values at the magnitude limit the stream model allows (poly(n)) are
+/// recovered exactly.
+#[test]
+fn large_values_exact() {
+    let mut sk = SparseRecovery::new(4, 7);
+    let big = 1i128 << 60;
+    sk.update(5, big);
+    sk.update(6, -big);
+    let decoded = sk.decode().unwrap();
+    assert_eq!(decoded, vec![(5, big), (6, -big)]);
+}
+
+/// Merging many empty sketches is a no-op; merging then unmerging returns
+/// to the start (group structure).
+#[test]
+fn merge_group_structure() {
+    let mut acc = SparseRecovery::new(8, 1);
+    acc.update(3, 9);
+    let snapshot = acc.decode().unwrap();
+    let mut other = SparseRecovery::new(8, 1);
+    for i in 0..100u64 {
+        other.update(i, (i % 7) as i128);
+    }
+    acc.merge(&other);
+    acc.unmerge(&other);
+    assert_eq!(acc.decode().unwrap(), snapshot);
+}
+
+/// L0 sampler: a vector that becomes zero after heavy churn reports zero,
+/// not a stale coordinate.
+#[test]
+fn l0_no_ghost_coordinates() {
+    for seed in 0..20u64 {
+        let mut s = L0Sampler::new(16, seed);
+        for i in 0..1000u64 {
+            s.update(i, 2);
+        }
+        for i in 0..1000u64 {
+            s.update(i, -2);
+        }
+        assert_eq!(s.sample().unwrap(), None, "ghost at seed {seed}");
+    }
+}
+
+/// Hash table: key sets crossing the capacity boundary either decode fully
+/// or fail loudly.
+#[test]
+fn hashtable_boundary_behaviour() {
+    for extra in 0..30usize {
+        let cap = 16;
+        let mut t = LinearHashTable::new(cap, 2, extra as u64);
+        let keys = cap + extra;
+        for i in 0..keys as u64 {
+            t.update(i * 17, &[1, -1]);
+        }
+        match t.decode() {
+            Ok(entries) => assert_eq!(entries.len(), keys, "partial decode at {keys}"),
+            Err(_) => assert!(extra > 0, "failed below capacity"),
+        }
+    }
+}
+
+/// Hash table payload churn: interleaved ± payload updates across many keys
+/// leave exactly the net state.
+#[test]
+fn hashtable_payload_churn() {
+    let mut t = LinearHashTable::new(32, 3, 5);
+    for round in 0..50i128 {
+        for key in 0..20u64 {
+            t.update(key, &[round, -round, 1]);
+            t.update(key, &[-round, round, 0]);
+        }
+    }
+    // Net payload per key: [0, 0, 50].
+    let entries = t.decode().unwrap();
+    assert_eq!(entries.len(), 20);
+    for (_, p) in entries {
+        assert_eq!(p, vec![0, 0, 50]);
+    }
+}
+
+/// Decode must be read-only even through failures.
+#[test]
+fn failed_decode_does_not_corrupt() {
+    let mut sk = SparseRecovery::new(4, 11);
+    for i in 0..100u64 {
+        sk.update(i, 1);
+    }
+    assert!(sk.decode().is_err());
+    // Remove the overload; the sketch must recover.
+    for i in 2..100u64 {
+        sk.update(i, -1);
+    }
+    assert_eq!(sk.decode().unwrap(), vec![(0, 1), (1, 1)]);
+}

@@ -1,0 +1,462 @@
+//! The single-pass `O(n/d)`-additive spanner (Theorem 3 / Algorithm 3).
+//!
+//! One pass over the dynamic stream maintains, per vertex `u`:
+//!
+//! * `S(u) = SKETCH_{~O(d)}(N(u))` — the full neighborhood, decodable when
+//!   `deg(u) = O(d log n)`;
+//! * `A^r(u) = SKETCH_{O(log n)}(N(u) ∩ C ∩ Z_r)` for `r ∈ [0, log2 n]` —
+//!   recovers one neighbor among the sampled centers `C` (rate `O(1/d)`);
+//! * a degree estimate `d̂_u` (Theorem 9);
+//!
+//! plus one AGM spanning-forest sketch bank for the whole graph.
+//!
+//! Post-processing classifies vertices by estimated degree: low-degree
+//! vertices contribute all their edges (`E_low`); high-degree vertices
+//! attach to a center neighbor, forming star clusters `T_u, u ∈ C`. The
+//! algorithm then *subtracts* `E_low` from the AGM sketches (linearity),
+//! contracts the clusters into supernodes, and extracts a spanning forest
+//! `F'` of the contracted remainder. The spanner is `E_low ∪ F ∪ F'`; the
+//! paper's Theorem 19 shows any shortest path survives with additive error
+//! `O(n/d)` because it crosses each of the `O(n/d)` clusters at most once.
+
+use dsg_agm::AgmSketch;
+use dsg_graph::stream::StreamUpdate;
+use dsg_graph::{Edge, Graph, StreamAlgorithm, Vertex};
+use dsg_hash::{SeedTree, SubsetSampler};
+use dsg_sketch::distinct::{DistinctFamily, DistinctState};
+use dsg_sketch::ssparse::{RecoveryFamily, RecoveryState};
+use dsg_util::SpaceUsage;
+use std::collections::{HashMap, HashSet};
+
+/// Parameters of the additive spanner.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_spanner::AdditiveParams;
+///
+/// let p = AdditiveParams::new(8, 42);
+/// assert_eq!(p.d, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdditiveParams {
+    /// The degree threshold parameter: space is `~O(nd)`, distortion
+    /// `O(n/d)`.
+    pub d: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Multiplier `c` in the center sampling rate `min(1, c/d)`.
+    pub center_factor: f64,
+    /// Multiplier on the low-degree threshold `d · log2 n`.
+    pub threshold_factor: f64,
+}
+
+impl AdditiveParams {
+    /// Creates parameters with paper defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: usize, seed: u64) -> Self {
+        assert!(d >= 1, "d must be at least 1");
+        Self { d, seed, center_factor: 3.0, threshold_factor: 1.0 }
+    }
+
+    /// The center sampling rate `min(1, c/d)`.
+    pub fn center_rate(&self) -> f64 {
+        (self.center_factor / self.d as f64).min(1.0)
+    }
+
+    /// The low-degree threshold `Θ(d log n)`.
+    pub fn low_degree_threshold(&self, n: usize) -> usize {
+        ((self.threshold_factor * self.d as f64 * (n.max(2) as f64).log2()).ceil() as usize).max(1)
+    }
+
+    /// The `S(u)` decode budget: double the threshold plus slack, so the
+    /// degree-estimate error margin keeps low-degree decodes inside budget.
+    pub fn neighborhood_budget(&self, n: usize) -> usize {
+        2 * self.low_degree_threshold(n) + 4
+    }
+}
+
+/// Execution statistics of an additive-spanner run.
+#[derive(Debug, Clone, Default)]
+pub struct AdditiveStats {
+    /// Measured sketch bytes at the end of the pass.
+    pub sketch_bytes: usize,
+    /// Vertices classified low-degree.
+    pub num_low_degree: usize,
+    /// Vertices attached to a center.
+    pub num_attached: usize,
+    /// High-degree vertices with no decodable center neighbor (fell back to
+    /// neighborhood decode or singleton status).
+    pub num_fallbacks: usize,
+    /// Decode failures across all sketches.
+    pub decode_failures: usize,
+    /// AGM forest decode failures.
+    pub forest_failures: usize,
+}
+
+/// Output of the additive spanner.
+#[derive(Debug, Clone)]
+pub struct AdditiveOutput {
+    /// The spanner `H = E_low ∪ F ∪ F'`.
+    pub spanner: Graph,
+    /// Statistics.
+    pub stats: AdditiveStats,
+}
+
+/// The single-pass additive-spanner algorithm (implements
+/// [`StreamAlgorithm`]).
+#[derive(Debug)]
+pub struct AdditiveSpanner {
+    n: usize,
+    params: AdditiveParams,
+    centers: SubsetSampler,
+    z_samplers: Vec<SubsetSampler>,
+    /// `S(u)` family and per-vertex states.
+    nbr_family: RecoveryFamily,
+    nbr_states: Vec<RecoveryState>,
+    /// `A^r(u)` families (per `r`) and per-(u, r) states (lazy).
+    center_families: Vec<RecoveryFamily>,
+    center_states: HashMap<(Vertex, u8), RecoveryState>,
+    /// Degree estimators.
+    degree_family: DistinctFamily,
+    degree_states: Vec<DistinctState>,
+    /// AGM sketches for the contracted forest.
+    agm: AgmSketch,
+    stats: AdditiveStats,
+    output: Option<AdditiveOutput>,
+}
+
+impl AdditiveSpanner {
+    /// Creates the algorithm for graphs on `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, params: AdditiveParams) -> Self {
+        assert!(n >= 2, "need at least two vertices");
+        let tree = SeedTree::new(params.seed ^ 0x4144_4453_5041_4E31); // "ADDSPAN1"
+        let vertex_bits = (n.max(2) as f64).log2().ceil() as u32 + 1;
+        let levels = vertex_bits as usize + 1;
+        let centers = SubsetSampler::new(tree.child(0).seed(), params.center_rate());
+        let z_samplers = (0..levels)
+            .map(|r| SubsetSampler::at_rate_pow2(tree.child(1).child(r as u64).seed(), r as u32))
+            .collect();
+        let nbr_family =
+            RecoveryFamily::new(params.neighborhood_budget(n), tree.child(2).seed());
+        let nbr_states = (0..n).map(|_| nbr_family.new_state()).collect();
+        let center_families = (0..levels)
+            .map(|r| RecoveryFamily::new(8, tree.child(3).child(r as u64).seed()))
+            .collect();
+        let degree_family = DistinctFamily::new(vertex_bits, 0.5, 5, tree.child(4).seed());
+        let degree_states = (0..n).map(|_| degree_family.new_state()).collect();
+        let agm = AgmSketch::new(n, tree.child(5).seed());
+        Self {
+            n,
+            params,
+            centers,
+            z_samplers,
+            nbr_family,
+            nbr_states,
+            center_families,
+            center_states: HashMap::new(),
+            degree_family,
+            degree_states,
+            agm,
+            stats: AdditiveStats::default(),
+            output: None,
+        }
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> &AdditiveParams {
+        &self.params
+    }
+
+    /// Consumes the algorithm, returning the output if the pass ran.
+    pub fn into_output(self) -> Option<AdditiveOutput> {
+        self.output
+    }
+
+    /// Worst-case (dense) space reservation in bytes: the `~O(nd)` quantity
+    /// Theorem 3 charges. Unlike [`SpaceUsage::space_bytes`] (which counts
+    /// currently-touched cells), this scales with the decode budgets.
+    pub fn nominal_bytes(&self) -> usize {
+        let per_vertex = self.nbr_family.nominal_state_bytes()
+            + self.degree_family.nominal_state_bytes()
+            + self
+                .center_families
+                .iter()
+                .map(|f| f.nominal_state_bytes())
+                .sum::<usize>();
+        self.n * per_vertex + self.agm.nominal_bytes() + self.z_samplers.space_bytes()
+    }
+
+    /// The `Θ(n·d·log n)` component of the reservation: the per-vertex
+    /// neighborhood sketches `S(u) = SKETCH_{~O(d)}(N(u))`. The remaining
+    /// terms of [`Self::nominal_bytes`] are `Θ(n·polylog n)` and independent
+    /// of `d` — at small `n` they dominate, so experiments report both.
+    pub fn nominal_neighborhood_bytes(&self) -> usize {
+        self.n * self.nbr_family.nominal_state_bytes()
+    }
+
+    fn post_process(&mut self) {
+        let threshold = self.params.low_degree_threshold(self.n);
+        let mut e_low: HashSet<Edge> = HashSet::new();
+        let mut star_edges: Vec<Edge> = Vec::new();
+        // Partition labels: centers and singletons label themselves;
+        // attached vertices label their parent center.
+        let mut labels: Vec<Vertex> = (0..self.n as Vertex).collect();
+
+        for u in 0..self.n as Vertex {
+            let d_hat = match self.degree_family.estimate(&self.degree_states[u as usize]) {
+                Ok(d) => d as usize,
+                Err(_) => {
+                    self.stats.decode_failures += 1;
+                    usize::MAX // force the high-degree path
+                }
+            };
+            if d_hat <= threshold {
+                // Low degree: recover the full neighborhood.
+                match self.nbr_family.decode(&self.nbr_states[u as usize]) {
+                    Ok(items) => {
+                        self.stats.num_low_degree += 1;
+                        for (v, mult) in items {
+                            if mult > 0 && v < self.n as u64 && v != u as u64 {
+                                e_low.insert(Edge::new(u, v as Vertex));
+                            }
+                        }
+                        continue;
+                    }
+                    Err(_) => self.stats.decode_failures += 1, // fall through
+                }
+            }
+            if self.centers.contains(u as u64) {
+                // Centers root their own star; nothing to attach.
+                continue;
+            }
+            // High degree: find a center neighbor via the A^r sketches.
+            let mut attached = false;
+            for r in (0..self.center_families.len()).rev() {
+                let Some(state) = self.center_states.get(&(u, r as u8)) else { continue };
+                match self.center_families[r].decode(state) {
+                    Ok(items) => {
+                        if let Some(&(w, mult)) = items.iter().find(|&&(_, m)| m > 0) {
+                            if mult > 0 && w < self.n as u64 {
+                                labels[u as usize] = w as Vertex;
+                                star_edges.push(Edge::new(u, w as Vertex));
+                                attached = true;
+                                break;
+                            }
+                        }
+                    }
+                    Err(_) => self.stats.decode_failures += 1,
+                }
+            }
+            if attached {
+                self.stats.num_attached += 1;
+            } else {
+                // No decodable center neighbor: fall back to the full
+                // neighborhood sketch (the vertex may simply be isolated or
+                // mid-degree with an overestimated d̂).
+                self.stats.num_fallbacks += 1;
+                if let Ok(items) = self.nbr_family.decode(&self.nbr_states[u as usize]) {
+                    for (v, mult) in items {
+                        if mult > 0 && v < self.n as u64 && v != u as u64 {
+                            e_low.insert(Edge::new(u, v as Vertex));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Subtract E_low from the AGM sketches and extract the contracted
+        // spanning forest.
+        self.agm.subtract_edges(e_low.iter());
+        let forest = self.agm.spanning_forest_with_partition(&labels);
+        self.stats.forest_failures = forest.decode_failures;
+
+        let mut edges: HashSet<Edge> = e_low;
+        edges.extend(star_edges);
+        edges.extend(forest.edges);
+        self.stats.sketch_bytes = self.space_bytes();
+        self.output = Some(AdditiveOutput {
+            spanner: Graph::from_edges(self.n, edges),
+            stats: self.stats.clone(),
+        });
+    }
+}
+
+impl StreamAlgorithm for AdditiveSpanner {
+    fn num_passes(&self) -> usize {
+        1
+    }
+
+    fn begin_pass(&mut self, _pass: usize) {}
+
+    fn process(&mut self, up: &StreamUpdate) {
+        let delta = up.delta as i128;
+        let (a, b) = up.edge.endpoints();
+        // Neighborhood and degree sketches, both directions.
+        for (x, y) in [(a, b), (b, a)] {
+            self.nbr_family.update(&mut self.nbr_states[x as usize], y as u64, delta);
+            self.degree_family.update(&mut self.degree_states[x as usize], y as u64, delta);
+            if self.centers.contains(y as u64) {
+                for r in 0..self.z_samplers.len() {
+                    if self.z_samplers[r].contains(y as u64) {
+                        let family = &self.center_families[r];
+                        let st = self
+                            .center_states
+                            .entry((x, r as u8))
+                            .or_insert_with(|| family.new_state());
+                        family.update(st, y as u64, delta);
+                        if st.is_zero() {
+                            self.center_states.remove(&(x, r as u8));
+                        }
+                    }
+                }
+            }
+        }
+        self.agm.update(up.edge, delta);
+    }
+
+    fn end_pass(&mut self, _pass: usize) {
+        self.stats.sketch_bytes = self.space_bytes();
+        self.post_process();
+    }
+}
+
+impl SpaceUsage for AdditiveSpanner {
+    fn space_bytes(&self) -> usize {
+        let nbr: usize = self.nbr_family.space_bytes()
+            + self.nbr_states.iter().map(SpaceUsage::space_bytes).sum::<usize>();
+        let centers: usize = self.center_families.iter().map(SpaceUsage::space_bytes).sum::<usize>()
+            + self.center_states.values().map(SpaceUsage::space_bytes).sum::<usize>();
+        let degrees: usize = self.degree_family.space_bytes()
+            + self.degree_states.iter().map(SpaceUsage::space_bytes).sum::<usize>();
+        nbr + centers + degrees + self.agm.space_bytes() + self.z_samplers.space_bytes()
+    }
+}
+
+/// Convenience: runs the additive spanner over a stream.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{gen, GraphStream};
+/// use dsg_spanner::additive::{run_additive, AdditiveParams};
+///
+/// let g = gen::erdos_renyi(60, 0.2, 1);
+/// let stream = GraphStream::with_churn(&g, 1.0, 2);
+/// let out = run_additive(&stream, AdditiveParams::new(6, 3));
+/// assert!(out.spanner.num_edges() <= g.num_edges());
+/// ```
+pub fn run_additive(
+    stream: &dsg_graph::GraphStream,
+    params: AdditiveParams,
+) -> AdditiveOutput {
+    let mut alg = AdditiveSpanner::new(stream.num_vertices(), params);
+    dsg_graph::pass::run(&mut alg, stream);
+    alg.into_output().expect("pass completed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use dsg_graph::{gen, GraphStream};
+
+    #[test]
+    fn spanner_is_subgraph() {
+        let g = gen::erdos_renyi(60, 0.2, 1);
+        let stream = GraphStream::with_churn(&g, 1.0, 2);
+        let out = run_additive(&stream, AdditiveParams::new(6, 3));
+        assert!(verify::is_subgraph(&g, &out.spanner));
+    }
+
+    #[test]
+    fn connectivity_preserved() {
+        let g = gen::erdos_renyi(80, 0.1, 4);
+        let stream = GraphStream::with_churn(&g, 1.5, 5);
+        let out = run_additive(&stream, AdditiveParams::new(8, 6));
+        assert_eq!(
+            dsg_graph::components::num_components(&g),
+            dsg_graph::components::num_components(&out.spanner),
+            "stats: {:?}",
+            out.stats
+        );
+    }
+
+    #[test]
+    fn additive_distortion_bounded() {
+        let n = 100;
+        let g = gen::erdos_renyi(n, 0.15, 7);
+        let stream = GraphStream::with_churn(&g, 1.0, 8);
+        let d = 8;
+        let out = run_additive(&stream, AdditiveParams::new(d, 9));
+        let distortion = verify::max_additive_distortion(&g, &out.spanner, n);
+        // Theorem 19: O(n/d); constant checked empirically (E6 sweeps it).
+        let bound = 8 * n as u32 / d as u32;
+        assert!(distortion <= bound, "distortion {distortion} > {bound}, stats {:?}", out.stats);
+    }
+
+    #[test]
+    fn low_degree_graph_kept_exactly() {
+        // Everything below the threshold: E_low = E, distortion 0.
+        let g = gen::cycle(40);
+        let stream = GraphStream::with_churn(&g, 2.0, 10);
+        let out = run_additive(&stream, AdditiveParams::new(4, 11));
+        assert_eq!(out.spanner.num_edges(), g.num_edges());
+        assert_eq!(verify::max_additive_distortion(&g, &out.spanner, 40), 0);
+    }
+
+    #[test]
+    fn dense_graph_compresses() {
+        // A clique on 60 vertices with d=4: high-degree nodes keep only
+        // star + forest edges.
+        let g = gen::complete(60);
+        let stream = GraphStream::insert_only(&g, 12);
+        let out = run_additive(&stream, AdditiveParams::new(4, 13));
+        assert!(
+            out.spanner.num_edges() < g.num_edges() / 2,
+            "no compression: {} of {}",
+            out.spanner.num_edges(),
+            g.num_edges()
+        );
+        let distortion = verify::max_additive_distortion(&g, &out.spanner, 60);
+        assert!(distortion <= 60, "distortion={distortion}");
+    }
+
+    #[test]
+    fn deletions_respected() {
+        let g = gen::erdos_renyi(50, 0.2, 14);
+        let stream = GraphStream::with_churn(&g, 3.0, 15);
+        let out = run_additive(&stream, AdditiveParams::new(6, 16));
+        assert!(verify::is_subgraph(&g, &out.spanner));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let g = gen::erdos_renyi(50, 0.3, 17);
+        let stream = GraphStream::insert_only(&g, 18);
+        let out = run_additive(&stream, AdditiveParams::new(4, 19));
+        assert!(out.stats.sketch_bytes > 0);
+        assert!(out.stats.num_low_degree + out.stats.num_attached > 0);
+    }
+
+    #[test]
+    fn params_validation() {
+        let p = AdditiveParams::new(10, 0);
+        assert_eq!(p.center_rate(), 0.3);
+        assert!(p.low_degree_threshold(100) >= 10);
+        assert!(p.neighborhood_budget(100) > 2 * p.low_degree_threshold(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_d_panics() {
+        AdditiveParams::new(0, 0);
+    }
+}

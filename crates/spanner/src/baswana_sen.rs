@@ -1,0 +1,205 @@
+//! The Baswana–Sen `(2k-1)`-spanner — the classical offline baseline.
+//!
+//! The paper positions its two-pass `2^k` construction against the
+//! `(2k-1)`-stretch, `O(k n^{1+1/k})`-size spanners of Baswana–Sen (BS07)
+//! (and notes its own algorithm "does not seem to be a less adaptive
+//! implementation" of it). This module implements the unweighted BS
+//! algorithm so experiments can put the streaming constructions' size and
+//! stretch next to the classical offline tradeoff (experiment E14).
+
+use dsg_graph::{Edge, Graph, Vertex};
+use dsg_hash::derive_seed;
+use std::collections::{BTreeMap, HashSet};
+
+/// Builds a `(2k-1)`-spanner of `g` with the Baswana–Sen clustering.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::gen;
+/// use dsg_spanner::baswana_sen;
+///
+/// let g = gen::erdos_renyi(60, 0.3, 1);
+/// let h = baswana_sen::build_spanner(&g, 2, 42);
+/// assert!(h.num_edges() <= g.num_edges());
+/// ```
+pub fn build_spanner(g: &Graph, k: usize, seed: u64) -> Graph {
+    assert!(k >= 1, "k must be at least 1");
+    let n = g.num_vertices();
+    let sample_rate = (n.max(2) as f64).powf(-1.0 / k as f64);
+    // Per-(round, center) coin flips keyed by hashing, so the construction
+    // is deterministic regardless of set-iteration order.
+    let coin = |round: usize, center: Vertex| {
+        let h = derive_seed(seed, &[round as u64, center as u64]);
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < sample_rate
+    };
+
+    // Remaining edges as adjacency sets (edges are removed as they are
+    // spanned or discarded).
+    let mut adj: Vec<HashSet<Vertex>> = vec![HashSet::new(); n];
+    for e in g.edges() {
+        adj[e.u() as usize].insert(e.v());
+        adj[e.v() as usize].insert(e.u());
+    }
+    let mut spanner: HashSet<Edge> = HashSet::new();
+    // cluster[v] = Some(center) while v is clustered; None once discarded.
+    let mut cluster: Vec<Option<Vertex>> = (0..n as Vertex).map(Some).collect();
+
+    // Phase 1: k-1 sampling iterations.
+    for round in 0..k.saturating_sub(1) {
+        // Sample the surviving cluster centers.
+        let centers: HashSet<Vertex> =
+            cluster.iter().flatten().copied().collect();
+        let sampled: HashSet<Vertex> =
+            centers.iter().copied().filter(|&c| coin(round, c)).collect();
+        let mut next_cluster: Vec<Option<Vertex>> = vec![None; n];
+        // Vertices inside sampled clusters stay put.
+        for v in 0..n {
+            if let Some(c) = cluster[v] {
+                if sampled.contains(&c) {
+                    next_cluster[v] = Some(c);
+                }
+            }
+        }
+        for v in 0..n as Vertex {
+            let vi = v as usize;
+            if cluster[vi].is_none() || next_cluster[vi].is_some() {
+                continue; // discarded earlier, or already in a sampled cluster
+            }
+            // Group v's remaining neighbors by their current cluster.
+            let mut by_cluster: BTreeMap<Vertex, Vertex> = BTreeMap::new();
+            for &w in &adj[vi] {
+                if let Some(c) = cluster[w as usize] {
+                    let slot = by_cluster.entry(c).or_insert(w);
+                    if w < *slot { *slot = w; } // deterministic representative
+                }
+            }
+            // Adjacent sampled cluster?
+            let joined = by_cluster
+                .iter()
+                .find(|(c, _)| sampled.contains(c))
+                .map(|(&c, &w)| (c, w));
+            match joined {
+                Some((c, w)) => {
+                    // Join c through edge (v, w); drop edges into c.
+                    spanner.insert(Edge::new(v, w));
+                    next_cluster[vi] = Some(c);
+                    let into_c: Vec<Vertex> = adj[vi]
+                        .iter()
+                        .copied()
+                        .filter(|&x| cluster[x as usize] == Some(c))
+                        .collect();
+                    for x in into_c {
+                        adj[vi].remove(&x);
+                        adj[x as usize].remove(&v);
+                    }
+                }
+                None => {
+                    // No sampled neighbor cluster: one edge per adjacent
+                    // cluster, then v drops out.
+                    for (&c, &w) in &by_cluster {
+                        spanner.insert(Edge::new(v, w));
+                        let into_c: Vec<Vertex> = adj[vi]
+                            .iter()
+                            .copied()
+                            .filter(|&x| cluster[x as usize] == Some(c))
+                            .collect();
+                        for x in into_c {
+                            adj[vi].remove(&x);
+                            adj[x as usize].remove(&v);
+                        }
+                    }
+                    next_cluster[vi] = None;
+                }
+            }
+        }
+        cluster = next_cluster;
+    }
+
+    // Phase 2: vertex–cluster joining on the remaining edges.
+    for v in 0..n as Vertex {
+        let vi = v as usize;
+        let mut by_cluster: BTreeMap<Vertex, Vertex> = BTreeMap::new();
+        for &w in &adj[vi] {
+            if let Some(c) = cluster[w as usize] {
+                let slot = by_cluster.entry(c).or_insert(w);
+                    if w < *slot { *slot = w; } // deterministic representative
+            }
+        }
+        for (_, &w) in &by_cluster {
+            spanner.insert(Edge::new(v, w));
+        }
+    }
+
+    Graph::from_edges(n, spanner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use dsg_graph::gen;
+
+    #[test]
+    fn spanner_is_subgraph() {
+        let g = gen::erdos_renyi(70, 0.25, 1);
+        let h = build_spanner(&g, 3, 2);
+        assert!(verify::is_subgraph(&g, &h));
+    }
+
+    #[test]
+    fn stretch_within_2k_minus_1() {
+        for (k, seed) in [(1usize, 3u64), (2, 4), (3, 5)] {
+            let g = gen::erdos_renyi(60, 0.2, seed);
+            let h = build_spanner(&g, k, seed * 31);
+            let stretch = verify::max_multiplicative_stretch(&g, &h, 60);
+            assert!(
+                stretch <= (2 * k - 1) as f64 + 1e-9,
+                "k={k}: stretch {stretch} exceeds {}",
+                2 * k - 1
+            );
+        }
+    }
+
+    #[test]
+    fn k1_returns_whole_graph() {
+        let g = gen::erdos_renyi(30, 0.3, 6);
+        let h = build_spanner(&g, 1, 7);
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn size_compresses_dense_graphs() {
+        let g = gen::complete(80);
+        let h = build_spanner(&g, 2, 8);
+        // Expected O(n^{1.5}) ≈ 716 edges vs 3160 in K_80.
+        assert!(
+            h.num_edges() < g.num_edges() / 2,
+            "spanner has {} of {} edges",
+            h.num_edges(),
+            g.num_edges()
+        );
+        let stretch = verify::max_multiplicative_stretch(&g, &h, 80);
+        assert!(stretch <= 3.0);
+    }
+
+    #[test]
+    fn connectivity_preserved() {
+        let g = gen::erdos_renyi(60, 0.1, 9);
+        let h = build_spanner(&g, 3, 10);
+        assert_eq!(
+            dsg_graph::components::num_components(&g),
+            dsg_graph::components::num_components(&h)
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = gen::erdos_renyi(40, 0.3, 11);
+        assert_eq!(build_spanner(&g, 2, 12), build_spanner(&g, 2, 12));
+    }
+}

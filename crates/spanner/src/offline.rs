@@ -1,0 +1,190 @@
+//! Offline reference implementation of the basic `2^k`-spanner algorithm
+//! (Section 3.1 of the paper).
+//!
+//! Runs the same two phases as the streaming version but with direct
+//! adjacency access instead of sketches. Used to cross-validate the
+//! streaming implementation (same center sets when given the same seed) and
+//! as a fast baseline in experiments.
+
+use crate::cluster::{ClusterForest, NodeId};
+use crate::params::SpannerParams;
+use dsg_graph::{Edge, Graph, Vertex};
+use std::collections::HashSet;
+
+/// Output of the offline construction.
+#[derive(Debug, Clone)]
+pub struct OfflineOutput {
+    /// The spanner subgraph `H = (V, E')`.
+    pub spanner: Graph,
+    /// The cluster forest (phase 1).
+    pub forest: ClusterForest,
+}
+
+/// Runs the basic algorithm on an explicit graph.
+///
+/// Phase 1 grows the cluster forest level by level: each copy `(i, u)`
+/// attaches to an arbitrary center of `C_{i+1}` adjacent to its member set
+/// (recording a witness edge) or becomes terminal. Phase 2 adds the witness
+/// edges plus, for every terminal copy, one edge to each outside neighbor of
+/// its member set.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::gen;
+/// use dsg_spanner::{offline, SpannerParams};
+///
+/// let g = gen::erdos_renyi(60, 0.2, 1);
+/// let out = offline::build_spanner(&g, SpannerParams::new(2, 42));
+/// assert!(out.spanner.num_edges() <= g.num_edges());
+/// ```
+pub fn build_spanner(g: &Graph, params: SpannerParams) -> OfflineOutput {
+    let n = g.num_vertices();
+    let k = params.k;
+    let adj = g.adjacency();
+    let mut forest = ClusterForest::new(n, k, params.seed);
+
+    // Phase 1: construct the clusters bottom-up.
+    for i in 0..k {
+        let centers: Vec<Vertex> = forest.centers_at(i).collect();
+        for u in centers {
+            let node = NodeId::new(i, u);
+            if i == k - 1 {
+                forest.set_terminal(node);
+                continue;
+            }
+            // Find a neighbor of T_u in C_{i+1}, with a witness edge.
+            let members = forest.members(node);
+            let mut attach: Option<(Vertex, Edge)> = None;
+            'search: for &a in &members {
+                for &b in adj.neighbors(a) {
+                    if forest.is_center(i + 1, b) {
+                        attach = Some((b, Edge::new(a, b)));
+                        break 'search;
+                    }
+                }
+            }
+            match attach {
+                Some((w, witness)) => forest.set_parent(node, w, witness),
+                None => forest.set_terminal(node),
+            }
+        }
+    }
+
+    // Phase 2: spanner edges.
+    let mut edges: HashSet<Edge> = forest.witness_edges().into_iter().collect();
+    for t in forest.terminals() {
+        let members = forest.members(t);
+        let member_set: HashSet<Vertex> = members.iter().copied().collect();
+        // One edge from each outside neighbor v into T_u.
+        let mut covered: HashSet<Vertex> = HashSet::new();
+        for &a in &members {
+            for &v in adj.neighbors(a) {
+                if !member_set.contains(&v) && covered.insert(v) {
+                    edges.insert(Edge::new(a, v));
+                }
+            }
+        }
+    }
+
+    OfflineOutput { spanner: Graph::from_edges(n, edges), forest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use dsg_graph::gen;
+
+    #[test]
+    fn spanner_is_subgraph() {
+        let g = gen::erdos_renyi(80, 0.15, 1);
+        let out = build_spanner(&g, SpannerParams::new(2, 2));
+        let edge_set = g.edge_set();
+        for e in out.spanner.edges() {
+            assert!(edge_set.contains(e), "{e} not in input graph");
+        }
+    }
+
+    #[test]
+    fn stretch_bounded_by_2_to_k() {
+        for (k, seed) in [(1usize, 3u64), (2, 4), (3, 5)] {
+            let g = gen::erdos_renyi(70, 0.15, seed);
+            let out = build_spanner(&g, SpannerParams::new(k, seed));
+            let stretch = verify::max_multiplicative_stretch(&g, &out.spanner, 70);
+            assert!(
+                stretch <= (1u64 << k) as f64,
+                "k={k}: stretch {stretch} exceeds {}",
+                1 << k
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_connectivity() {
+        let g = gen::erdos_renyi(60, 0.1, 7);
+        let out = build_spanner(&g, SpannerParams::new(2, 8));
+        assert_eq!(
+            dsg_graph::components::num_components(&g),
+            dsg_graph::components::num_components(&out.spanner)
+        );
+    }
+
+    #[test]
+    fn k1_keeps_all_cross_cluster_edges() {
+        // k = 1: every vertex is terminal at level 0; the spanner keeps one
+        // edge per (vertex, neighbor) pair — i.e. every edge. Stretch 2.
+        let g = gen::erdos_renyi(30, 0.2, 9);
+        let out = build_spanner(&g, SpannerParams::new(1, 10));
+        assert_eq!(out.spanner.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn cluster_diameters_respect_lemma13() {
+        // Lemma 13's induction: diameter of φ(T_u) for u ∈ C_j is at most
+        // 2^{j+1} - 2.
+        let g = gen::erdos_renyi(100, 0.2, 11);
+        let out = build_spanner(&g, SpannerParams::new(3, 12));
+        for i in 0..3usize {
+            for u in out.forest.centers_at(i).collect::<Vec<_>>() {
+                let node = NodeId::new(i, u);
+                let d = out
+                    .forest
+                    .witness_diameter(node)
+                    .expect("witnesses must connect members");
+                assert!(
+                    d as u64 <= (1u64 << (i + 1)) - 2 || d == 0,
+                    "level {i} diameter {d} exceeds {}",
+                    (1u64 << (i + 1)) - 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_spanner() {
+        let g = Graph::empty(10);
+        let out = build_spanner(&g, SpannerParams::new(2, 1));
+        assert_eq!(out.spanner.num_edges(), 0);
+    }
+
+    #[test]
+    fn path_spanner_keeps_path_connected() {
+        let g = gen::path(50);
+        let out = build_spanner(&g, SpannerParams::new(2, 13));
+        let stretch = verify::max_multiplicative_stretch(&g, &out.spanner, 50);
+        assert!(stretch <= 4.0, "stretch={stretch}");
+    }
+
+    #[test]
+    fn spanner_size_obeys_lemma12() {
+        // |E'| = O(k n^{1+1/k} log n); check with a generous constant.
+        let n = 150;
+        let g = gen::erdos_renyi(n, 0.4, 14);
+        let k = 2;
+        let out = build_spanner(&g, SpannerParams::new(k, 15));
+        let bound =
+            8.0 * k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64) * (n as f64).log2();
+        assert!((out.spanner.num_edges() as f64) < bound);
+    }
+}

@@ -1,0 +1,159 @@
+//! Distance oracles backed by spanners.
+//!
+//! Section 6 of the paper plugs the two-pass spanner into KP12 *as a
+//! distance oracle*: "The oracle required by KP12 needs to output, given
+//! a pair of nodes `u, v ∈ V`, an estimate `d̂(u,v)` that satisfies
+//! `d(u,v) ≤ d̂(u,v) ≤ λ · d(u,v)`. Note that our multiplicative spanner
+//! construction provides such an estimate with `λ ≤ 2^k`."
+//!
+//! [`DistanceOracle`] packages that contract: it holds a spanner subgraph
+//! and answers queries by (optionally bounded) BFS over it. Because the
+//! spanner is a subgraph, answers never underestimate; because its stretch
+//! is `λ`, they never overestimate by more than `λ`.
+
+use dsg_graph::bfs::{bfs_distances, bfs_distances_bounded, UNREACHABLE};
+use dsg_graph::graph::Adjacency;
+use dsg_graph::{Graph, Vertex};
+
+/// A stretch-`λ` distance oracle over a spanner subgraph.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{gen, GraphStream};
+/// use dsg_spanner::{oracle::DistanceOracle, twopass, SpannerParams};
+///
+/// let g = gen::erdos_renyi(60, 0.2, 1);
+/// let stream = GraphStream::with_churn(&g, 1.0, 2);
+/// let k = 2;
+/// let out = twopass::run_two_pass(&stream, SpannerParams::new(k, 3));
+/// let oracle = DistanceOracle::new(out.spanner, 1 << k);
+///
+/// let d_true = dsg_graph::bfs::bfs_distances(&g.adjacency(), 0);
+/// for v in 1..60u32 {
+///     if let Some(est) = oracle.estimate(0, v) {
+///         assert!(est as u64 >= d_true[v as usize] as u64);
+///         assert!(est as u64 <= oracle.stretch() * d_true[v as usize] as u64);
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceOracle {
+    spanner: Graph,
+    adjacency: Adjacency,
+    stretch: u64,
+}
+
+impl DistanceOracle {
+    /// Wraps a spanner with its stretch guarantee `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stretch == 0`.
+    pub fn new(spanner: Graph, stretch: u64) -> Self {
+        assert!(stretch >= 1, "stretch must be at least 1");
+        let adjacency = spanner.adjacency();
+        Self { spanner, adjacency, stretch }
+    }
+
+    /// The stretch guarantee `λ`.
+    pub fn stretch(&self) -> u64 {
+        self.stretch
+    }
+
+    /// The underlying spanner.
+    pub fn spanner(&self) -> &Graph {
+        &self.spanner
+    }
+
+    /// The distance estimate `d̂(u, v)`, or `None` if `u` and `v` are
+    /// disconnected in the spanner (hence in the graph, whp).
+    pub fn estimate(&self, u: Vertex, v: Vertex) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        let d = bfs_distances(&self.adjacency, u);
+        let dv = d[v as usize];
+        (dv != UNREACHABLE).then_some(dv)
+    }
+
+    /// Whether `d̂(u, v) > threshold` — the only query `ESTIMATE`
+    /// (Algorithm 4) needs, answered by a BFS truncated at
+    /// `threshold` (cheaper than a full BFS for small thresholds).
+    pub fn is_far(&self, u: Vertex, v: Vertex, threshold: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let d = bfs_distances_bounded(&self.adjacency, u, threshold);
+        d[v as usize] == UNREACHABLE
+    }
+
+    /// All estimates from a single source (one BFS).
+    pub fn estimates_from(&self, u: Vertex) -> Vec<Option<u32>> {
+        bfs_distances(&self.adjacency, u)
+            .into_iter()
+            .map(|d| (d != UNREACHABLE).then_some(d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{twopass, SpannerParams};
+    use dsg_graph::{gen, GraphStream};
+
+    fn oracle_for(n: usize, k: usize, seed: u64) -> (Graph, DistanceOracle) {
+        let g = gen::erdos_renyi(n, 0.15, seed);
+        let stream = GraphStream::with_churn(&g, 1.0, seed ^ 0x0C);
+        let out = twopass::run_two_pass(&stream, SpannerParams::new(k, seed));
+        (g, DistanceOracle::new(out.spanner, 1 << k))
+    }
+
+    #[test]
+    fn oracle_contract_sandwich() {
+        let (g, oracle) = oracle_for(60, 2, 1);
+        let adj = g.adjacency();
+        for src in [0u32, 10, 30] {
+            let d_true = dsg_graph::bfs::bfs_distances(&adj, src);
+            let d_est = oracle.estimates_from(src);
+            for v in 0..60usize {
+                match (d_true[v], d_est[v]) {
+                    (dsg_graph::bfs::UNREACHABLE, None) => {}
+                    (t, Some(e)) => {
+                        assert!(e >= t, "underestimate at {v}");
+                        assert!(e as u64 <= oracle.stretch() * t as u64, "overestimate at {v}");
+                    }
+                    (t, e) => panic!("reachability mismatch at {v}: {t} vs {e:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_far_consistent_with_estimate() {
+        let (_, oracle) = oracle_for(50, 2, 2);
+        for (u, v) in [(0u32, 1u32), (0, 25), (3, 44)] {
+            for threshold in [1u32, 2, 4, 8] {
+                let far = oracle.is_far(u, v, threshold);
+                match oracle.estimate(u, v) {
+                    Some(d) => assert_eq!(far, d > threshold, "u={u} v={v} t={threshold}"),
+                    None => assert!(far),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_zero() {
+        let (_, oracle) = oracle_for(20, 1, 3);
+        assert_eq!(oracle.estimate(5, 5), Some(0));
+        assert!(!oracle.is_far(5, 5, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_stretch_panics() {
+        DistanceOracle::new(Graph::empty(3), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Tunable parameters of the two-pass spanner.
+//!
+//! The paper's bounds hide constants inside `O(·)`; these are the explicit
+//! knobs, with defaults calibrated by the ablation experiments (E16/E17 in
+//! `DESIGN.md`). Every randomized choice flows from [`SpannerParams::seed`].
+
+/// Parameters of the two-pass `2^k`-spanner (Theorem 1).
+///
+/// # Examples
+///
+/// ```
+/// use dsg_spanner::SpannerParams;
+///
+/// let p = SpannerParams::new(3, 42).with_sketch_budget(6);
+/// assert_eq!(p.k, 3);
+/// assert_eq!(p.stretch(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpannerParams {
+    /// Hierarchy depth; the stretch is `2^k` and space `~O(n^{1+1/k})`.
+    pub k: usize,
+    /// Root seed for every sampler and sketch.
+    pub seed: u64,
+    /// Decode budget `B` of the pass-1 sketches `S^{r,j}(u)`
+    /// (`SKETCH_{O(log n)}` in the paper). `None` defaults to
+    /// `max(4, ceil(log2 n))` at construction time.
+    pub sketch_budget: Option<usize>,
+    /// Multiplier on the pass-2 hash-table capacity
+    /// `C · n^{(i+1)/k} · log2 n` (Claim 11's constant).
+    pub table_capacity_factor: f64,
+    /// Optional cap on the number of edge-sampling levels `E_j`
+    /// (`log2 n^2 + 1` by default); the E17 ablation sweeps this down.
+    pub max_edge_levels: Option<usize>,
+}
+
+impl SpannerParams {
+    /// Creates parameters with paper defaults for hierarchy depth `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self { k, seed, sketch_budget: None, table_capacity_factor: 1.0, max_edge_levels: None }
+    }
+
+    /// Overrides the pass-1 sketch decode budget.
+    pub fn with_sketch_budget(mut self, budget: usize) -> Self {
+        self.sketch_budget = Some(budget);
+        self
+    }
+
+    /// Overrides the pass-2 table capacity multiplier.
+    pub fn with_table_capacity_factor(mut self, factor: f64) -> Self {
+        self.table_capacity_factor = factor;
+        self
+    }
+
+    /// Caps the number of `E_j` levels (ablation use).
+    pub fn with_max_edge_levels(mut self, levels: usize) -> Self {
+        self.max_edge_levels = Some(levels);
+        self
+    }
+
+    /// The multiplicative stretch guarantee `2^k`.
+    pub fn stretch(&self) -> u64 {
+        1u64 << self.k
+    }
+
+    /// The resolved pass-1 sketch budget for an `n`-vertex graph.
+    pub fn resolved_sketch_budget(&self, n: usize) -> usize {
+        self.sketch_budget.unwrap_or_else(|| ((n.max(2) as f64).log2().ceil() as usize).max(4))
+    }
+
+    /// Number of edge-sampling levels `E_j` for an `n`-vertex graph:
+    /// `j ∈ [0, log2 n^2]`, possibly capped.
+    pub fn edge_levels(&self, n: usize) -> usize {
+        let full = 2.0 * (n.max(2) as f64).log2();
+        let levels = full.ceil() as usize + 1;
+        match self.max_edge_levels {
+            Some(cap) => levels.min(cap.max(1)),
+            None => levels,
+        }
+    }
+
+    /// Number of vertex-sampling levels `Y_j`: `j ∈ [0, log2 n]`.
+    pub fn vertex_levels(&self, n: usize) -> usize {
+        (n.max(2) as f64).log2().ceil() as usize + 1
+    }
+
+    /// The sampling rate of center set `C_i`: `n^{-i/k}`.
+    pub fn center_rate(&self, n: usize, i: usize) -> f64 {
+        (n.max(2) as f64).powf(-(i as f64) / self.k as f64)
+    }
+
+    /// Pass-2 hash-table key capacity for a terminal at level `i`:
+    /// `min(n, ceil(factor · n^{(i+1)/k} · log2 n))`.
+    pub fn table_capacity(&self, n: usize, i: usize) -> usize {
+        let nf = n.max(2) as f64;
+        let cap = self.table_capacity_factor * nf.powf((i + 1) as f64 / self.k as f64) * nf.log2();
+        (cap.ceil() as usize).clamp(4, n.max(4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stretch_is_power_of_two() {
+        assert_eq!(SpannerParams::new(1, 0).stretch(), 2);
+        assert_eq!(SpannerParams::new(4, 0).stretch(), 16);
+    }
+
+    #[test]
+    fn default_budget_scales_with_log_n() {
+        let p = SpannerParams::new(2, 0);
+        assert_eq!(p.resolved_sketch_budget(16), 4);
+        assert_eq!(p.resolved_sketch_budget(1024), 10);
+        assert_eq!(SpannerParams::new(2, 0).with_sketch_budget(7).resolved_sketch_budget(1024), 7);
+    }
+
+    #[test]
+    fn center_rates_decay_geometrically() {
+        let p = SpannerParams::new(2, 0);
+        let n = 100;
+        assert_eq!(p.center_rate(n, 0), 1.0);
+        assert!((p.center_rate(n, 1) - 0.1).abs() < 1e-12); // 100^{-1/2}
+    }
+
+    #[test]
+    fn levels_counts() {
+        let p = SpannerParams::new(2, 0);
+        assert_eq!(p.edge_levels(1024), 21); // 2*10 + 1
+        assert_eq!(p.vertex_levels(1024), 11);
+        assert_eq!(p.with_max_edge_levels(5).edge_levels(1024), 5);
+    }
+
+    #[test]
+    fn table_capacity_clamped_to_n() {
+        let p = SpannerParams::new(1, 0); // n^{(0+1)/1} = n: clamps to n
+        assert_eq!(p.table_capacity(50, 0), 50);
+        let p2 = SpannerParams::new(3, 0);
+        let cap = p2.table_capacity(512, 0); // 512^{1/3} = 8, log2 = 9 → 72
+        assert_eq!(cap, 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_panics() {
+        SpannerParams::new(0, 0);
+    }
+}

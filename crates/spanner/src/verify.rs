@@ -1,0 +1,175 @@
+//! Stretch and distortion verification.
+//!
+//! The quantities the paper's theorems bound:
+//!
+//! * multiplicative stretch (Definition 5 / Lemma 13):
+//!   `max_{u,v} d_H(u,v) / d_G(u,v) ≤ 2^k`;
+//! * additive distortion (Theorem 19):
+//!   `max_{u,v} d_H(u,v) - d_G(u,v) ≤ O(n/d)`;
+//! * weighted stretch (Remark 14) via Dijkstra distances.
+//!
+//! For large graphs, stretch is measured from a deterministic sample of BFS
+//! sources — the maximum over sampled sources lower-bounds the true maximum
+//! and converges quickly because stretch violations are not isolated.
+
+use dsg_graph::bfs::{bfs_distances, UNREACHABLE};
+use dsg_graph::dijkstra::{dijkstra_distances, WeightedAdjacency};
+use dsg_graph::{Graph, Vertex, WeightedGraph};
+
+/// Maximum multiplicative stretch of `h` w.r.t. `g` over all pairs with a
+/// sampled source set of size `min(sources, n)`.
+///
+/// Returns `f64::INFINITY` if `h` disconnects a pair that `g` connects;
+/// `1.0` for an edgeless `g`.
+///
+/// # Panics
+///
+/// Panics if the vertex counts differ.
+pub fn max_multiplicative_stretch(g: &Graph, h: &Graph, sources: usize) -> f64 {
+    assert_eq!(g.num_vertices(), h.num_vertices(), "vertex count mismatch");
+    let n = g.num_vertices();
+    let g_adj = g.adjacency();
+    let h_adj = h.adjacency();
+    let mut worst: f64 = 1.0;
+    for src in sample_sources(n, sources) {
+        let dg = bfs_distances(&g_adj, src);
+        let dh = bfs_distances(&h_adj, src);
+        for v in 0..n {
+            match (dg[v], dh[v]) {
+                (0, _) => {}
+                (UNREACHABLE, _) => {}
+                (_, UNREACHABLE) => return f64::INFINITY,
+                (a, b) => worst = worst.max(b as f64 / a as f64),
+            }
+        }
+    }
+    worst
+}
+
+/// Maximum additive distortion `d_H - d_G` over pairs from sampled sources.
+///
+/// Returns `u32::MAX` if `h` disconnects a pair `g` connects.
+///
+/// # Panics
+///
+/// Panics if the vertex counts differ.
+pub fn max_additive_distortion(g: &Graph, h: &Graph, sources: usize) -> u32 {
+    assert_eq!(g.num_vertices(), h.num_vertices(), "vertex count mismatch");
+    let n = g.num_vertices();
+    let g_adj = g.adjacency();
+    let h_adj = h.adjacency();
+    let mut worst = 0u32;
+    for src in sample_sources(n, sources) {
+        let dg = bfs_distances(&g_adj, src);
+        let dh = bfs_distances(&h_adj, src);
+        for v in 0..n {
+            match (dg[v], dh[v]) {
+                (UNREACHABLE, _) => {}
+                (_, UNREACHABLE) => return u32::MAX,
+                (a, b) => worst = worst.max(b.saturating_sub(a)),
+            }
+        }
+    }
+    worst
+}
+
+/// Maximum weighted multiplicative stretch over sampled sources.
+///
+/// # Panics
+///
+/// Panics if the vertex counts differ.
+pub fn max_weighted_stretch(g: &WeightedGraph, h: &WeightedGraph, sources: usize) -> f64 {
+    assert_eq!(g.num_vertices(), h.num_vertices(), "vertex count mismatch");
+    let n = g.num_vertices();
+    let g_adj = WeightedAdjacency::new(g);
+    let h_adj = WeightedAdjacency::new(h);
+    let mut worst: f64 = 1.0;
+    for src in sample_sources(n, sources) {
+        let dg = dijkstra_distances(&g_adj, src);
+        let dh = dijkstra_distances(&h_adj, src);
+        for v in 0..n {
+            if dg[v] > 0.0 && dg[v].is_finite() {
+                if !dh[v].is_finite() {
+                    return f64::INFINITY;
+                }
+                worst = worst.max(dh[v] / dg[v]);
+            }
+        }
+    }
+    worst
+}
+
+/// Checks `h ⊆ g` (every spanner edge is an input edge).
+pub fn is_subgraph(g: &Graph, h: &Graph) -> bool {
+    let edges = g.edge_set();
+    h.edges().iter().all(|e| edges.contains(e))
+}
+
+/// Deterministic, evenly spread source sample.
+fn sample_sources(n: usize, sources: usize) -> Vec<Vertex> {
+    let take = sources.clamp(1, n.max(1));
+    if take >= n {
+        return (0..n as Vertex).collect();
+    }
+    let stride = n as f64 / take as f64;
+    (0..take).map(|i| (i as f64 * stride) as Vertex).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::{gen, Edge};
+
+    #[test]
+    fn identical_graphs_have_unit_stretch() {
+        let g = gen::erdos_renyi(40, 0.2, 1);
+        assert_eq!(max_multiplicative_stretch(&g, &g, 40), 1.0);
+        assert_eq!(max_additive_distortion(&g, &g, 40), 0);
+    }
+
+    #[test]
+    fn cycle_minus_edge_stretch() {
+        let g = gen::cycle(10);
+        // Remove edge (0,9): distance 1 becomes 9.
+        let h = g.minus(&[Edge::new(0, 9)].into_iter().collect());
+        assert_eq!(max_multiplicative_stretch(&g, &h, 10), 9.0);
+        assert_eq!(max_additive_distortion(&g, &h, 10), 8);
+    }
+
+    #[test]
+    fn disconnection_is_infinite() {
+        let g = gen::path(5);
+        let h = g.minus(&[Edge::new(2, 3)].into_iter().collect());
+        assert_eq!(max_multiplicative_stretch(&g, &h, 5), f64::INFINITY);
+        assert_eq!(max_additive_distortion(&g, &h, 5), u32::MAX);
+    }
+
+    #[test]
+    fn weighted_stretch_detects_detour() {
+        let g = WeightedGraph::from_edges(
+            3,
+            [(Edge::new(0, 1), 1.0), (Edge::new(1, 2), 1.0), (Edge::new(0, 2), 1.0)],
+        );
+        let h = WeightedGraph::from_edges(
+            3,
+            [(Edge::new(0, 1), 1.0), (Edge::new(1, 2), 1.0)],
+        );
+        assert_eq!(max_weighted_stretch(&g, &h, 3), 2.0);
+    }
+
+    #[test]
+    fn subgraph_check() {
+        let g = gen::complete(5);
+        let h = gen::path(5);
+        assert!(is_subgraph(&g, &h));
+        assert!(!is_subgraph(&h, &g));
+    }
+
+    #[test]
+    fn sampled_sources_spread() {
+        let s = sample_sources(100, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(sample_sources(5, 100).len(), 5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Cut-value preservation checks.
+//!
+//! "Spectral sparsifiers approximately preserve the value of all cuts in a
+//! graph, by restricting `x` to binary vectors" (Section 1). These helpers
+//! measure the worst observed cut deviation — a weaker but more
+//! interpretable companion to the exact spectral epsilon.
+
+use crate::laplacian::Laplacian;
+use dsg_hash::SplitMix64;
+
+/// Maximum relative cut deviation `|cut_H(S)/cut_G(S) - 1|` over `samples`
+/// random bipartitions plus all singleton cuts.
+///
+/// Returns `f64::INFINITY` if `h` assigns zero weight to a cut that `g`
+/// crosses.
+///
+/// # Panics
+///
+/// Panics if vertex counts differ.
+pub fn max_cut_deviation(g: &Laplacian, h: &Laplacian, samples: usize, seed: u64) -> f64 {
+    let n = g.num_vertices();
+    assert_eq!(n, h.num_vertices(), "vertex count mismatch");
+    let mut rng = SplitMix64::new(seed);
+    let mut worst: f64 = 0.0;
+    let mut probe = |s: &[bool]| {
+        let cg = g.cut_value(s);
+        let ch = h.cut_value(s);
+        if cg > 1e-12 {
+            worst = worst.max((ch / cg - 1.0).abs());
+        } else if ch > 1e-9 {
+            worst = f64::INFINITY;
+        }
+    };
+    // Singleton cuts: degree preservation.
+    for v in 0..n {
+        let mut s = vec![false; n];
+        s[v] = true;
+        probe(&s);
+    }
+    // Random bipartitions.
+    for _ in 0..samples {
+        let s: Vec<bool> = (0..n).map(|_| rng.next_u64() & 1 == 1).collect();
+        probe(&s);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::{gen, WeightedGraph};
+
+    #[test]
+    fn identical_graphs_zero_deviation() {
+        let l = Laplacian::from_graph(&gen::erdos_renyi(20, 0.4, 1));
+        assert_eq!(max_cut_deviation(&l, &l, 100, 2), 0.0);
+    }
+
+    #[test]
+    fn scaled_graph_exact_deviation() {
+        let g = gen::complete(10);
+        let lg = Laplacian::from_graph(&g);
+        let scaled = WeightedGraph::from_edges(10, g.edges().iter().map(|&e| (e, 0.8)));
+        let lh = Laplacian::from_weighted(&scaled);
+        let dev = max_cut_deviation(&lg, &lh, 50, 3);
+        assert!((dev - 0.2).abs() < 1e-12, "dev={dev}");
+    }
+
+    #[test]
+    fn cut_deviation_bounded_by_spectral_eps() {
+        // Cuts are quadratic forms of indicators, so cut deviation ≤
+        // spectral epsilon.
+        use crate::spectral::spectral_epsilon;
+        let g = gen::erdos_renyi(14, 0.6, 4);
+        let lg = Laplacian::from_graph(&g);
+        let kill: std::collections::HashSet<dsg_graph::Edge> =
+            g.edges().iter().take(2).copied().collect();
+        let lh = Laplacian::from_graph(&g.minus(&kill));
+        let cut_dev = max_cut_deviation(&lg, &lh, 300, 5);
+        let eps = spectral_epsilon(&lg, &lh);
+        assert!(cut_dev <= eps + 1e-8, "cut {cut_dev} > spectral {eps}");
+    }
+
+    #[test]
+    fn dropped_cut_deviates_fully() {
+        // h assigns weight 0 to a cut g crosses: |0/1 - 1| = 1.
+        let g = gen::path(4);
+        let lg = Laplacian::from_graph(&g);
+        let h = g.minus(&[dsg_graph::Edge::new(1, 2)].into_iter().collect());
+        let lh = Laplacian::from_graph(&h);
+        assert_eq!(max_cut_deviation(&lg, &lh, 50, 6), 1.0);
+    }
+
+    #[test]
+    fn phantom_weight_is_infinite() {
+        // h has weight where g has none: the ratio is unbounded.
+        let g = gen::path(3); // edges (0,1), (1,2)
+        let lg = Laplacian::from_graph(&g);
+        let h = WeightedGraph::from_edges(
+            3,
+            [
+                (dsg_graph::Edge::new(0, 1), 1.0),
+                (dsg_graph::Edge::new(1, 2), 1.0),
+                (dsg_graph::Edge::new(0, 2), 1.0),
+            ],
+        );
+        // Compare against a graph that is g with vertex 2 isolated: the cut
+        // ({2}, rest) has value 0 in that graph but h crosses it.
+        let g_cut = g.minus(&[dsg_graph::Edge::new(1, 2)].into_iter().collect());
+        let lg_cut = Laplacian::from_graph(&g_cut);
+        let lh = Laplacian::from_weighted(&h);
+        assert_eq!(max_cut_deviation(&lg_cut, &lh, 50, 7), f64::INFINITY);
+        let _ = lg;
+    }
+}

@@ -1,0 +1,250 @@
+//! Dense symmetric eigensolver (cyclic Jacobi) and Cholesky factorization.
+//!
+//! Experiment-scale machinery: the *exact* spectral approximation constant
+//! between two Laplacians is a generalized eigenvalue problem, which
+//! [`crate::spectral::spectral_epsilon`] reduces to a symmetric standard
+//! problem via Cholesky. Pure Rust, `O(n^3)` — meant for `n` up to a few
+//! hundred, which is where the experiments verify exactness before scaling
+//! up with sampled lower bounds.
+
+/// Eigenvalues (ascending) and eigenvectors of a symmetric matrix, via
+/// cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` where `eigenvectors[k]` is the
+/// unit eigenvector for `eigenvalues[k]`.
+///
+/// # Panics
+///
+/// Panics if `m` is not square or not (approximately) symmetric.
+///
+/// # Examples
+///
+/// ```
+/// let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+/// let (vals, _) = dsg_sparsifier::eigen::symmetric_eigen(&m, 1e-12, 100);
+/// assert!((vals[0] - 1.0).abs() < 1e-9);
+/// assert!((vals[1] - 3.0).abs() < 1e-9);
+/// ```
+pub fn symmetric_eigen(
+    m: &[Vec<f64>],
+    tol: f64,
+    max_sweeps: usize,
+) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = m.len();
+    for row in m {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    for i in 0..n {
+        for j in 0..i {
+            assert!(
+                (m[i][j] - m[j][i]).abs() <= 1e-8 * (1.0 + m[i][j].abs()),
+                "matrix must be symmetric at ({i},{j})"
+            );
+        }
+    }
+    let mut a: Vec<Vec<f64>> = m.to_vec();
+    // v starts as identity; columns accumulate the rotations.
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() <= 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract and sort.
+    let mut pairs: Vec<(f64, Vec<f64>)> =
+        (0..n).map(|k| (a[k][k], (0..n).map(|i| v[i][k]).collect())).collect();
+    pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite eigenvalues"));
+    let vals = pairs.iter().map(|(l, _)| *l).collect();
+    let vecs = pairs.into_iter().map(|(_, v)| v).collect();
+    (vals, vecs)
+}
+
+/// Cholesky factorization `A = R^T R` of a symmetric positive-definite
+/// matrix (upper-triangular `R`).
+///
+/// # Errors
+///
+/// Returns `None` if the matrix is not positive definite.
+pub fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut r = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let mut sum = a[i][j];
+            for k in 0..i {
+                sum -= r[k][i] * r[k][j];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                r[i][i] = sum.sqrt();
+            } else {
+                r[i][j] = sum / r[i][i];
+            }
+        }
+    }
+    Some(r)
+}
+
+/// Solves `R^T y = b` then `R x = y` for upper-triangular `R` (i.e.
+/// `A x = b` with `A = R^T R`).
+pub fn cholesky_solve(r: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = r.len();
+    // Forward: R^T y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= r[k][i] * y[k];
+        }
+        y[i] = sum / r[i][i];
+    }
+    // Backward: R x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= r[i][k] * x[k];
+        }
+        x[i] = sum / r[i][i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let m = vec![vec![3.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 2.0]];
+        let (vals, _) = symmetric_eigen(&m, 1e-12, 50);
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 2.0).abs() < 1e-10);
+        assert!((vals[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let m = vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ];
+        let (vals, vecs) = symmetric_eigen(&m, 1e-13, 100);
+        for (l, v) in vals.iter().zip(&vecs) {
+            for i in 0..3 {
+                let mv: f64 = (0..3).map(|j| m[i][j] * v[j]).sum();
+                assert!((mv - l * v[i]).abs() < 1e-8, "λ={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_laplacian_spectrum() {
+        // Path on 3 vertices: eigenvalues 0, 1, 3.
+        let m = vec![
+            vec![1.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 1.0],
+        ];
+        let (vals, _) = symmetric_eigen(&m, 1e-13, 100);
+        assert!(vals[0].abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        assert!((vals[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let m = vec![
+            vec![5.0, 2.0, 1.0, 0.0],
+            vec![2.0, 4.0, 0.5, 0.3],
+            vec![1.0, 0.5, 3.0, 0.1],
+            vec![0.0, 0.3, 0.1, 2.0],
+        ];
+        let (vals, _) = symmetric_eigen(&m, 1e-13, 100);
+        let trace: f64 = (0..4).map(|i| m[i][i]).sum();
+        assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        let a = vec![
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ];
+        let r = cholesky(&a).expect("SPD");
+        // Check A = R^T R.
+        for i in 0..3 {
+            for j in 0..3 {
+                let v: f64 = (0..3).map(|k| r[k][i] * r[k][j]).sum();
+                assert!((v - a[i][j]).abs() < 1e-10);
+            }
+        }
+        // And solve.
+        let b = [1.0, -2.0, 0.5];
+        let x = cholesky_solve(&r, &b);
+        for i in 0..3 {
+            let ax: f64 = (0..3).map(|j| a[i][j] * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 1.0]]; // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_rejected() {
+        let m = vec![vec![1.0, 2.0], vec![0.0, 1.0]];
+        symmetric_eigen(&m, 1e-10, 10);
+    }
+}

@@ -1,0 +1,332 @@
+//! Robust-connectivity estimation — the paper's Algorithm 4 (`ESTIMATE`).
+//!
+//! For parameters `(ρ, λ)` the estimator maintains, for each of `J`
+//! repetitions, a *nested* chain of subsampled edge sets
+//! `E^j_1 = E ⊇ E^j_2 ⊇ … ⊇ E^j_T` (each level keeps every edge of the
+//! previous one with probability 1/2) and a stretch-`λ` distance oracle
+//! `O^j_t` over each — in this workspace, a `2^k`-spanner with `λ = 2^k`,
+//! exactly the substitution the paper makes for the Thorup–Zwick oracles of
+//! KP12.
+//!
+//! A query for edge `e = (u, v)` sets `β_j(t) = 1` when
+//! `O^j_t(u, v) > λ^2` *measured without `e` itself* (a stretch-`λ` oracle
+//! answering more than `λ^2` certifies true distance `> λ`), and returns
+//! `q̂_{ρ,λ}(e) = 2^{-t}` for the smallest `t` at which at least a
+//! `(1-δ)`-fraction of repetitions look far. Lemma 19 of KP12 (restated
+//! as equation (1) in the paper) gives `q̂(e) = Ω(R_e / λ^2)`, which
+//! experiment E15 verifies empirically.
+
+use dsg_graph::bfs::UNREACHABLE;
+use dsg_graph::{Edge, Graph, Vertex};
+use dsg_hash::{SeedTree, SubsetSampler};
+use std::collections::VecDeque;
+
+/// Parameters of `ESTIMATE`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateParams {
+    /// Number of independent repetitions `J` (`O(log n / δ^2)` in the
+    /// paper; the experiments sweep the constant).
+    pub j_reps: usize,
+    /// Number of nested subsampling levels `T` (`log2 n^2` so every
+    /// sampling rate used by Algorithm 5 has a matching estimate).
+    pub t_levels: usize,
+    /// The oracle stretch `λ` (here `2^k`).
+    pub lambda: u64,
+    /// The agreement fraction `1 - δ`.
+    pub delta: f64,
+}
+
+impl EstimateParams {
+    /// Paper-shaped defaults for an `n`-vertex graph and stretch `λ`.
+    pub fn for_graph(n: usize, lambda: u64) -> Self {
+        let logn = (n.max(2) as f64).log2();
+        Self {
+            j_reps: (logn.ceil() as usize).max(3),
+            t_levels: (2.0 * logn).ceil() as usize,
+            lambda,
+            delta: 0.25,
+        }
+    }
+
+    /// The far-threshold `λ^2` used on oracle answers.
+    pub fn distance_threshold(&self) -> u64 {
+        self.lambda * self.lambda
+    }
+}
+
+/// Membership oracle for the nested sets `E^j_t`.
+///
+/// `e ∈ E^j_{t+1}` iff `e ∈ E^j_t` and an independent per-`(j, t)` coin
+/// keeps it — evaluated lazily from hashes, never materialized.
+#[derive(Debug, Clone)]
+pub struct NestedSamplers {
+    /// `coins[j][t]`: the rate-1/2 sampler deciding survival from level
+    /// `t+1` to `t+2`.
+    coins: Vec<Vec<SubsetSampler>>,
+}
+
+impl NestedSamplers {
+    /// Creates samplers for `j_reps` repetitions and `t_levels` levels.
+    pub fn new(j_reps: usize, t_levels: usize, seed: u64) -> Self {
+        let tree = SeedTree::new(seed ^ 0x4E45_5354_5341_4D50); // "NESTSAMP"
+        let coins = (0..j_reps)
+            .map(|j| {
+                (0..t_levels.saturating_sub(1))
+                    .map(|t| {
+                        SubsetSampler::at_rate_pow2(
+                            tree.child(j as u64).child(t as u64).seed(),
+                            1,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { coins }
+    }
+
+    /// Whether edge coordinate `coord` belongs to `E^j_t` (`t` is
+    /// 1-indexed as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` or indices exceed the construction sizes.
+    pub fn contains(&self, j: usize, t: usize, coord: u64) -> bool {
+        assert!(t >= 1, "levels are 1-indexed");
+        self.coins[j][..t - 1].iter().all(|c| c.contains(coord))
+    }
+}
+
+/// The assembled estimator: one distance-oracle graph per `(j, t)`.
+#[derive(Debug, Clone)]
+pub struct ConnectivityEstimator {
+    params: EstimateParams,
+    /// `oracles[j][t-1]`: the stretch-λ oracle graph for `E^j_t`.
+    oracles: Vec<Vec<OracleGraph>>,
+}
+
+/// Adjacency of one oracle (spanner) graph.
+#[derive(Debug, Clone)]
+struct OracleGraph {
+    adj: Vec<Vec<Vertex>>,
+}
+
+impl OracleGraph {
+    fn new(n: usize, g: &Graph) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for e in g.edges() {
+            adj[e.u() as usize].push(e.v());
+            adj[e.v() as usize].push(e.u());
+        }
+        Self { adj }
+    }
+
+    /// Bounded BFS distance from `u` to `v`, ignoring the direct edge
+    /// `{u, v}`; `UNREACHABLE` beyond `radius`.
+    fn distance_without_edge(&self, u: Vertex, v: Vertex, radius: u32) -> u32 {
+        if u == v {
+            return 0;
+        }
+        let mut dist = vec![UNREACHABLE; self.adj.len()];
+        let mut queue = VecDeque::new();
+        dist[u as usize] = 0;
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[x as usize];
+            if dx >= radius {
+                continue;
+            }
+            for &y in &self.adj[x as usize] {
+                if (x == u && y == v) || (x == v && y == u) {
+                    continue; // exclude the queried edge itself
+                }
+                if dist[y as usize] == UNREACHABLE {
+                    dist[y as usize] = dx + 1;
+                    if y == v {
+                        return dist[y as usize];
+                    }
+                    queue.push_back(y);
+                }
+            }
+        }
+        dist[v as usize]
+    }
+}
+
+impl ConnectivityEstimator {
+    /// Builds the estimator from pre-constructed oracle graphs
+    /// (`graphs[j][t-1]` = spanner of `E^j_t`), as the streaming pipeline
+    /// does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid shape does not match `params`.
+    pub fn from_oracle_graphs(
+        n: usize,
+        params: EstimateParams,
+        graphs: &[Vec<Graph>],
+    ) -> Self {
+        assert_eq!(graphs.len(), params.j_reps, "J mismatch");
+        for row in graphs {
+            assert_eq!(row.len(), params.t_levels, "T mismatch");
+        }
+        let oracles = graphs
+            .iter()
+            .map(|row| row.iter().map(|g| OracleGraph::new(n, g)).collect())
+            .collect();
+        Self { params, oracles }
+    }
+
+    /// Builds the estimator offline: subsample `g` with `samplers` and use
+    /// the offline spanner construction as the oracle (for tests and
+    /// experiments that isolate `ESTIMATE` from the streaming machinery).
+    pub fn from_graph_offline(
+        g: &Graph,
+        params: EstimateParams,
+        samplers: &NestedSamplers,
+        spanner_k: usize,
+        seed: u64,
+    ) -> Self {
+        let n = g.num_vertices();
+        let tree = SeedTree::new(seed ^ 0x4553_5449_4F52_4143); // "ESTIORAC"
+        let graphs: Vec<Vec<Graph>> = (0..params.j_reps)
+            .map(|j| {
+                (1..=params.t_levels)
+                    .map(|t| {
+                        let sub = Graph::from_edges(
+                            n,
+                            g.edges()
+                                .iter()
+                                .filter(|e| samplers.contains(j, t, e.index(n)))
+                                .copied(),
+                        );
+                        let sp = dsg_spanner::offline::build_spanner(
+                            &sub,
+                            dsg_spanner::SpannerParams::new(
+                                spanner_k,
+                                tree.child(j as u64).child(t as u64).seed(),
+                            ),
+                        );
+                        sp.spanner
+                    })
+                    .collect()
+            })
+            .collect();
+        Self::from_oracle_graphs(n, params, &graphs)
+    }
+
+    /// The estimate `q̂_{ρ,λ}(e) = 2^{-t}`.
+    pub fn query(&self, e: Edge) -> f64 {
+        2.0f64.powi(-(self.query_level(e) as i32))
+    }
+
+    /// The level `t` with `q̂(e) = 2^{-t}` (1-indexed).
+    pub fn query_level(&self, e: Edge) -> usize {
+        let threshold = self.params.distance_threshold() as u32;
+        let need = ((1.0 - self.params.delta) * self.params.j_reps as f64).ceil() as usize;
+        for t in 1..=self.params.t_levels {
+            let mut far = 0usize;
+            for j in 0..self.params.j_reps {
+                let d = self.oracles[j][t - 1].distance_without_edge(e.u(), e.v(), threshold + 1);
+                if d == UNREACHABLE || d > threshold {
+                    far += 1;
+                }
+            }
+            if far >= need {
+                return t;
+            }
+        }
+        self.params.t_levels
+    }
+
+    /// The parameters this estimator was built with.
+    pub fn params(&self) -> &EstimateParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::gen;
+
+    fn estimator(g: &Graph, lambda_k: usize, seed: u64) -> ConnectivityEstimator {
+        let params = EstimateParams::for_graph(g.num_vertices(), 1 << lambda_k);
+        let samplers = NestedSamplers::new(params.j_reps, params.t_levels, seed);
+        ConnectivityEstimator::from_graph_offline(g, params, &samplers, lambda_k, seed ^ 1)
+    }
+
+    #[test]
+    fn nested_samplers_are_nested() {
+        let s = NestedSamplers::new(3, 10, 1);
+        for j in 0..3 {
+            for coord in 0..2000u64 {
+                for t in 2..=10 {
+                    if s.contains(j, t, coord) {
+                        assert!(s.contains(j, t - 1, coord), "nesting violated at t={t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_samplers_halve() {
+        let s = NestedSamplers::new(1, 12, 2);
+        let mut prev = 40_000usize;
+        for t in 2..=6 {
+            let count = (0..40_000u64).filter(|&c| s.contains(0, t, c)).count();
+            let expect = prev / 2;
+            assert!(
+                (count as f64 - expect as f64).abs() < 6.0 * (expect as f64).sqrt() + 8.0,
+                "t={t}: {count} vs {expect}"
+            );
+            prev = count;
+        }
+    }
+
+    #[test]
+    fn bridge_gets_large_q() {
+        // The barbell bridge has R_e = 1: its endpoints separate under any
+        // subsampling, so q̂ must be large (small t).
+        let g = gen::barbell(8, 1);
+        let est = estimator(&g, 2, 3);
+        let bridge = Edge::new(7, 8);
+        let level = est.query_level(bridge);
+        assert!(level <= 2, "bridge level {level} (q̂ = 2^-{level}) too small");
+    }
+
+    #[test]
+    fn clique_edges_get_small_q() {
+        // Inside K_20, R_e = 2/20 = 0.1: endpoints stay λ-close under heavy
+        // subsampling, so q̂ should be far below the bridge's.
+        let g = gen::complete(20);
+        let est = estimator(&g, 2, 4);
+        let e = Edge::new(0, 1);
+        let level = est.query_level(e);
+        assert!(level >= 3, "clique edge level {level} too large");
+    }
+
+    #[test]
+    fn q_tracks_resistance_ordering() {
+        // Pairs ordered by effective resistance should be ordered by q̂
+        // (equation (1) of the paper): bridge >> clique-internal.
+        let g = gen::barbell(10, 1);
+        let est = estimator(&g, 2, 5);
+        let q_bridge = est.query(Edge::new(9, 10));
+        let q_inner = est.query(Edge::new(0, 1));
+        assert!(
+            q_bridge > q_inner,
+            "q(bridge)={q_bridge} should exceed q(inner)={q_inner}"
+        );
+    }
+
+    #[test]
+    fn oracle_excludes_queried_edge() {
+        // A path's only connection is the edge itself: with it excluded,
+        // endpoints are far at every level.
+        let g = gen::path(10);
+        let est = estimator(&g, 2, 6);
+        let level = est.query_level(Edge::new(4, 5));
+        assert_eq!(level, 1, "cut edge must be classified at t=1");
+    }
+}

@@ -1,0 +1,350 @@
+//! The end-to-end two-pass streaming spectral sparsifier (Corollary 2).
+//!
+//! Everything runs over the *same two passes* of the dynamic stream:
+//!
+//! * `J × T` two-pass spanners on the nested subsample filters `E^j_t`
+//!   become the distance oracles of `ESTIMATE` (Algorithm 4);
+//! * `Z × H` two-pass *augmented* spanners on the independent rate-`2^{-j}`
+//!   filters `E_{s,j}` implement `SAMPLE-AUGMENTED-SPANNER` (Algorithm 5);
+//! * after pass two, each augmented spanner's observed edge set `Ω(R)` is
+//!   weighted by the `ESTIMATE` answers (`2^{j}` when `q̂(e) = 2^{-j}`, else
+//!   0) and the `Z` rounds are averaged (Algorithm 6).
+//!
+//! The sampler filters are evaluated from hashes (Section 6.3's
+//! derandomization note: a Nisan-style generator or `O(log n)`-wise
+//! independence replaces the `Ω(n^2)` perfect random bits; see
+//! `dsg_hash::nisan`).
+
+use crate::estimate::{ConnectivityEstimator, NestedSamplers};
+use crate::kp12::SparsifierParams;
+use dsg_graph::stream::StreamUpdate;
+use dsg_graph::{Graph, GraphStream, StreamAlgorithm, WeightedGraph};
+use dsg_hash::{SeedTree, SubsetSampler};
+use dsg_spanner::{SpannerParams, TwoPassSpanner};
+use dsg_util::SpaceUsage;
+use std::collections::HashMap;
+
+/// Execution statistics of the streaming sparsifier.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Total measured sketch bytes across all spanner instances (peak of
+    /// the two passes).
+    pub sketch_bytes: usize,
+    /// Number of estimator spanner instances (`J × T`).
+    pub estimate_instances: usize,
+    /// Number of sampling spanner instances (`Z × H`).
+    pub sample_instances: usize,
+    /// Candidate edges observed across sampling rounds.
+    pub observed_candidates: usize,
+}
+
+/// Output of the pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The weighted sparsifier.
+    pub sparsifier: WeightedGraph,
+    /// Statistics.
+    pub stats: PipelineStats,
+}
+
+/// The two-pass streaming sparsifier (implements [`StreamAlgorithm`]).
+#[derive(Debug)]
+pub struct TwoPassSparsifier {
+    n: usize,
+    params: SparsifierParams,
+    nested: NestedSamplers,
+    /// `estimate_spanners[j][t-1]` over filter `E^j_t`.
+    estimate_spanners: Vec<Vec<TwoPassSpanner>>,
+    /// `sample_filters[s][jlev-1]` at rate `2^{-jlev}`.
+    sample_filters: Vec<Vec<SubsetSampler>>,
+    /// `sample_spanners[s][jlev-1]` over the corresponding filter.
+    sample_spanners: Vec<Vec<TwoPassSpanner>>,
+    stats: PipelineStats,
+    finished: bool,
+}
+
+impl TwoPassSparsifier {
+    /// Creates the pipeline for unweighted graphs on `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, params: SparsifierParams) -> Self {
+        assert!(n >= 2, "need at least two vertices");
+        let tree = SeedTree::new(params.seed ^ 0x5350_4152_5349_4659); // "SPARSIFY"
+        let est = params.estimate_params(n);
+        let nested = NestedSamplers::new(est.j_reps, est.t_levels, tree.child(0).seed());
+        let estimate_spanners: Vec<Vec<TwoPassSpanner>> = (0..est.j_reps)
+            .map(|j| {
+                (1..=est.t_levels)
+                    .map(|t| {
+                        TwoPassSpanner::new(
+                            n,
+                            SpannerParams::new(
+                                params.k,
+                                tree.child(1).child(j as u64).child(t as u64).seed(),
+                            ),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let z = params.z_rounds(n);
+        let h = params.h_levels(n);
+        let sample_filters: Vec<Vec<SubsetSampler>> = (0..z)
+            .map(|s| {
+                (1..=h)
+                    .map(|j| {
+                        SubsetSampler::at_rate_pow2(
+                            tree.child(2).child(s as u64).child(j as u64).seed(),
+                            j as u32,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let sample_spanners: Vec<Vec<TwoPassSpanner>> = (0..z)
+            .map(|s| {
+                (1..=h)
+                    .map(|j| {
+                        TwoPassSpanner::new(
+                            n,
+                            SpannerParams::new(
+                                params.k,
+                                tree.child(3).child(s as u64).child(j as u64).seed(),
+                            ),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let stats = PipelineStats {
+            estimate_instances: est.j_reps * est.t_levels,
+            sample_instances: z * h,
+            ..Default::default()
+        };
+        Self {
+            n,
+            params,
+            nested,
+            estimate_spanners,
+            sample_filters,
+            sample_spanners,
+            stats,
+            finished: false,
+        }
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> &SparsifierParams {
+        &self.params
+    }
+
+    /// Assembles the sparsifier after both passes.
+    ///
+    /// Consumes the pipeline; returns `None` if the passes did not run.
+    pub fn into_output(mut self) -> Option<PipelineOutput> {
+        if !self.finished {
+            return None;
+        }
+        let est_params = self.params.estimate_params(self.n);
+        // Collect the estimator oracle graphs.
+        let mut oracle_graphs: Vec<Vec<Graph>> = Vec::with_capacity(est_params.j_reps);
+        for row in self.estimate_spanners.drain(..) {
+            let mut graphs = Vec::with_capacity(est_params.t_levels);
+            for alg in row {
+                graphs.push(alg.into_output()?.spanner);
+            }
+            oracle_graphs.push(graphs);
+        }
+        let estimator =
+            ConnectivityEstimator::from_oracle_graphs(self.n, est_params, &oracle_graphs);
+        // Algorithm 5 + 6: weight observed edges by matching q̂ levels.
+        let z = self.sample_spanners.len();
+        let mut weights: HashMap<dsg_graph::Edge, f64> = HashMap::new();
+        let mut level_cache: HashMap<dsg_graph::Edge, usize> = HashMap::new();
+        let mut observed_candidates = 0usize;
+        for row in self.sample_spanners.drain(..) {
+            for (jlev, alg) in row.into_iter().enumerate() {
+                let jlev = jlev + 1;
+                let out = alg.into_output()?;
+                for e in out.observed_edges {
+                    observed_candidates += 1;
+                    let level =
+                        *level_cache.entry(e).or_insert_with(|| estimator.query_level(e));
+                    if level == jlev {
+                        *weights.entry(e).or_insert(0.0) +=
+                            (1u64 << jlev) as f64 / z as f64;
+                    }
+                }
+            }
+        }
+        self.stats.observed_candidates = observed_candidates;
+        let sparsifier = WeightedGraph::from_edges(
+            self.n,
+            weights.into_iter().filter(|&(_, w)| w > 0.0),
+        );
+        Some(PipelineOutput { sparsifier, stats: self.stats })
+    }
+}
+
+impl StreamAlgorithm for TwoPassSparsifier {
+    fn num_passes(&self) -> usize {
+        2
+    }
+
+    fn begin_pass(&mut self, pass: usize) {
+        for row in &mut self.estimate_spanners {
+            for alg in row {
+                alg.begin_pass(pass);
+            }
+        }
+        for row in &mut self.sample_spanners {
+            for alg in row {
+                alg.begin_pass(pass);
+            }
+        }
+    }
+
+    fn process(&mut self, update: &StreamUpdate) {
+        let coord = update.edge.index(self.n);
+        for (j, row) in self.estimate_spanners.iter_mut().enumerate() {
+            for (t0, alg) in row.iter_mut().enumerate() {
+                if self.nested.contains(j, t0 + 1, coord) {
+                    alg.process(update);
+                }
+            }
+        }
+        for (s, row) in self.sample_spanners.iter_mut().enumerate() {
+            for (j0, alg) in row.iter_mut().enumerate() {
+                if self.sample_filters[s][j0].contains(coord) {
+                    alg.process(update);
+                }
+            }
+        }
+    }
+
+    fn end_pass(&mut self, pass: usize) {
+        for row in &mut self.estimate_spanners {
+            for alg in row {
+                alg.end_pass(pass);
+            }
+        }
+        for row in &mut self.sample_spanners {
+            for alg in row {
+                alg.end_pass(pass);
+            }
+        }
+        self.stats.sketch_bytes = self.stats.sketch_bytes.max(self.space_bytes());
+        if pass == 1 {
+            self.finished = true;
+        }
+    }
+}
+
+impl SpaceUsage for TwoPassSparsifier {
+    fn space_bytes(&self) -> usize {
+        let est: usize = self
+            .estimate_spanners
+            .iter()
+            .map(|row| row.iter().map(SpaceUsage::space_bytes).sum::<usize>())
+            .sum();
+        let smp: usize = self
+            .sample_spanners
+            .iter()
+            .map(|row| row.iter().map(SpaceUsage::space_bytes).sum::<usize>())
+            .sum();
+        est + smp
+    }
+}
+
+/// Convenience: runs the streaming sparsifier over a stream.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dsg_graph::{gen, GraphStream};
+/// use dsg_sparsifier::{pipeline, SparsifierParams};
+///
+/// let g = gen::erdos_renyi(48, 0.3, 1);
+/// let stream = GraphStream::with_churn(&g, 0.5, 2);
+/// let out = pipeline::run_sparsifier(&stream, SparsifierParams::new(2, 0.5, 3));
+/// println!("{} edges", out.sparsifier.num_edges());
+/// ```
+pub fn run_sparsifier(stream: &GraphStream, params: SparsifierParams) -> PipelineOutput {
+    let mut alg = TwoPassSparsifier::new(stream.num_vertices(), params);
+    dsg_graph::pass::run(&mut alg, stream);
+    alg.into_output().expect("both passes completed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kp12::measure_quality;
+    use dsg_graph::gen;
+
+    fn small_params(seed: u64) -> SparsifierParams {
+        let mut p = SparsifierParams::new(2, 0.5, seed);
+        p.z_factor = 0.05;
+        p.j_factor = 0.4;
+        p
+    }
+
+    #[test]
+    fn produces_connected_sparsifier_of_clique() {
+        let g = gen::complete(24);
+        let stream = GraphStream::insert_only(&g, 1);
+        let out = run_sparsifier(&stream, small_params(2));
+        assert!(out.sparsifier.num_edges() > 0, "empty sparsifier");
+        assert_eq!(
+            dsg_graph::components::num_components(&out.sparsifier.skeleton()),
+            1,
+            "sparsifier disconnected"
+        );
+    }
+
+    #[test]
+    fn sparsifier_edges_are_graph_edges() {
+        let g = gen::erdos_renyi(30, 0.4, 3);
+        let stream = GraphStream::with_churn(&g, 0.5, 4);
+        let out = run_sparsifier(&stream, small_params(5));
+        for (e, _) in out.sparsifier.edges() {
+            assert!(g.has_edge(e.u(), e.v()), "non-edge {e} in sparsifier");
+        }
+    }
+
+    #[test]
+    fn spectral_quality_is_bounded() {
+        // With laptop constants we don't hit the paper's eps, but the
+        // sparsifier must be in the right spectral ballpark (E8 sweeps the
+        // constants; this is a smoke bound).
+        let g = gen::complete(24);
+        let stream = GraphStream::insert_only(&g, 5);
+        let out = run_sparsifier(&stream, small_params(6));
+        let q = measure_quality(&g, &out.sparsifier);
+        assert!(q.epsilon < 1.0, "eps={} (disconnection-level error)", q.epsilon);
+    }
+
+    #[test]
+    fn compresses_dense_graphs() {
+        let g = gen::complete(32);
+        let stream = GraphStream::insert_only(&g, 7);
+        let out = run_sparsifier(&stream, small_params(8));
+        assert!(
+            out.sparsifier.num_edges() < g.num_edges(),
+            "{} vs {}",
+            out.sparsifier.num_edges(),
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn stats_populated() {
+        let g = gen::erdos_renyi(20, 0.4, 9);
+        let stream = GraphStream::insert_only(&g, 10);
+        let out = run_sparsifier(&stream, small_params(11));
+        assert!(out.stats.sketch_bytes > 0);
+        assert!(out.stats.estimate_instances > 0);
+        assert!(out.stats.sample_instances > 0);
+    }
+}

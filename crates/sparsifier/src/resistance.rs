@@ -1,0 +1,243 @@
+//! Effective resistances.
+//!
+//! `R_e` is "the potential difference induced across `e` when a unit of
+//! current is injected at one end and extracted at the other" (Section 2).
+//! Theorem 7 (Spielman–Srivastava) samples edges with probability
+//! `∝ w_e R_e log n / eps^2`; Lemma 22 relates the paper's robust
+//! connectivity estimates to `R_e`. This module computes resistances
+//! exactly with the CG solver.
+
+use crate::laplacian::Laplacian;
+use crate::solver;
+use dsg_graph::{Edge, Vertex};
+
+/// The effective resistance between `u` and `v`.
+///
+/// Requires `u` and `v` to be in the same connected component.
+///
+/// # Panics
+///
+/// Panics if `u == v` or either vertex is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::gen;
+/// use dsg_sparsifier::{laplacian::Laplacian, resistance};
+///
+/// let l = Laplacian::from_graph(&gen::path(5));
+/// // Series resistors: R(0,4) = 4.
+/// let r = resistance::effective_resistance(&l, 0, 4);
+/// assert!((r - 4.0).abs() < 1e-7);
+/// ```
+pub fn effective_resistance(l: &Laplacian, u: Vertex, v: Vertex) -> f64 {
+    assert_ne!(u, v, "resistance requires distinct vertices");
+    let n = l.num_vertices();
+    assert!((u as usize) < n && (v as usize) < n, "vertex out of range");
+    let mut b = vec![0.0; n];
+    b[u as usize] = 1.0;
+    b[v as usize] = -1.0;
+    let r = solver::solve(l, &b, 1e-11, 20 * n + 200);
+    r.x[u as usize] - r.x[v as usize]
+}
+
+/// Effective resistances of all edges of the graph.
+///
+/// Runs one CG solve per edge — `O(m)` solves, intended for experiment
+/// scales. Returns `(edge, weight, resistance)` triples.
+pub fn all_edge_resistances(l: &Laplacian) -> Vec<(Edge, f64, f64)> {
+    l.edge_triples()
+        .iter()
+        .map(|&(u, v, w)| (Edge::new(u, v), w, effective_resistance(l, u, v)))
+        .collect()
+}
+
+/// The sum `Σ_e w_e R_e`, which equals `n - (number of components)` —
+/// Foster's theorem; a strong internal consistency check used by tests and
+/// the experiment harness.
+pub fn foster_sum(l: &Laplacian) -> f64 {
+    all_edge_resistances(l).iter().map(|(_, w, r)| w * r).sum()
+}
+
+/// Approximate effective resistances via Johnson–Lindenstrauss projection —
+/// the trick that makes Spielman–Srivastava sampling near-linear time.
+///
+/// `R(u,v) = ‖W^{1/2} B L^+ (χ_u − χ_v)‖²` where `B` is the signed
+/// incidence matrix; projecting the `m`-dimensional embedding onto
+/// `q = O(log n / eps²)` random `±1/√q` directions preserves all pairwise
+/// norms within `(1±eps)` whp. Construction cost: `q` Laplacian solves.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::gen;
+/// use dsg_sparsifier::{laplacian::Laplacian, resistance};
+///
+/// let l = Laplacian::from_graph(&gen::complete(20));
+/// let est = resistance::ResistanceEstimator::new(&l, 60, 42);
+/// let approx = est.estimate(0, 1);
+/// let exact = resistance::effective_resistance(&l, 0, 1);
+/// assert!((approx / exact - 1.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResistanceEstimator {
+    /// `z[r]` = row `r` of `Z = Q W^{1/2} B L^+` (one vector per
+    /// projection direction).
+    z: Vec<Vec<f64>>,
+}
+
+impl ResistanceEstimator {
+    /// Builds the estimator with `q` projection rows (`O(log n / eps^2)`
+    /// for `(1±eps)` accuracy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(l: &Laplacian, q: usize, seed: u64) -> Self {
+        assert!(q > 0, "need at least one projection row");
+        let n = l.num_vertices();
+        let mut rng = dsg_hash::SplitMix64::new(seed ^ 0x4A4C_5245_5349_5354); // "JLRESIST"
+        let scale = 1.0 / (q as f64).sqrt();
+        let z = (0..q)
+            .map(|_| {
+                // y = B^T W^{1/2} q_row: accumulate ±sqrt(w)/sqrt(q) per edge.
+                let mut y = vec![0.0; n];
+                for &(u, v, w) in l.edge_triples() {
+                    let coin = if rng.next_u64() & 1 == 1 { scale } else { -scale };
+                    let c = coin * w.sqrt();
+                    y[u as usize] += c;
+                    y[v as usize] -= c;
+                }
+                // Row of Z: L^+ y (y ⊥ 1 by construction).
+                crate::solver::solve(l, &y, 1e-9, 20 * n + 200).x
+            })
+            .collect();
+        Self { z }
+    }
+
+    /// Number of projection rows.
+    pub fn num_rows(&self) -> usize {
+        self.z.len()
+    }
+
+    /// The resistance estimate `‖Z(χ_u − χ_v)‖²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`.
+    pub fn estimate(&self, u: Vertex, v: Vertex) -> f64 {
+        assert_ne!(u, v, "resistance requires distinct vertices");
+        self.z
+            .iter()
+            .map(|row| {
+                let d = row[u as usize] - row[v as usize];
+                d * d
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::{gen, Edge, WeightedGraph};
+
+    #[test]
+    fn complete_graph_resistance() {
+        // K_n: R(u,v) = 2/n for every pair.
+        let l = Laplacian::from_graph(&gen::complete(10));
+        for v in 1..5 {
+            let r = effective_resistance(&l, 0, v);
+            assert!((r - 0.2).abs() < 1e-7, "R(0,{v})={r}");
+        }
+    }
+
+    #[test]
+    fn cycle_resistance() {
+        // C_n: R between vertices at hop distance d is d(n-d)/n.
+        let n = 12;
+        let l = Laplacian::from_graph(&gen::cycle(n));
+        for d in 1..6u32 {
+            let expect = (d * (n as u32 - d)) as f64 / n as f64;
+            let r = effective_resistance(&l, 0, d);
+            assert!((r - expect).abs() < 1e-6, "d={d}: {r} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn parallel_resistors() {
+        // Two parallel unit edges are modeled as one edge of weight 2
+        // (conductances add): R = 1/2.
+        let g = WeightedGraph::from_edges(2, [(Edge::new(0, 1), 2.0)]);
+        let l = Laplacian::from_weighted(&g);
+        assert!((effective_resistance(&l, 0, 1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foster_theorem() {
+        let g = gen::erdos_renyi(25, 0.3, 7);
+        let comps = dsg_graph::components::num_components(&g);
+        let l = Laplacian::from_graph(&g);
+        let sum = foster_sum(&l);
+        assert!(
+            (sum - (25 - comps) as f64).abs() < 1e-4,
+            "Foster sum {sum} vs {}",
+            25 - comps
+        );
+    }
+
+    #[test]
+    fn bridge_has_unit_resistance() {
+        // The barbell bridge edges are cut edges: R = 1 exactly.
+        let g = gen::barbell(6, 3);
+        let l = Laplacian::from_graph(&g);
+        // Bridge path vertices: 5 -> 6 -> 7 -> 8 (right clique starts at 8).
+        let r = effective_resistance(&l, 6, 7);
+        assert!((r - 1.0).abs() < 1e-6, "bridge R={r}");
+    }
+
+    #[test]
+    fn jl_estimator_tracks_exact_values() {
+        let g = gen::erdos_renyi(30, 0.3, 9);
+        let l = Laplacian::from_graph(&g);
+        let est = ResistanceEstimator::new(&l, 100, 10);
+        let mut worst: f64 = 0.0;
+        for (e, _, exact) in all_edge_resistances(&l) {
+            let approx = est.estimate(e.u(), e.v());
+            worst = worst.max((approx / exact - 1.0).abs());
+        }
+        assert!(worst < 0.6, "worst JL error {worst}");
+    }
+
+    #[test]
+    fn jl_accuracy_improves_with_rows() {
+        let g = gen::complete(16);
+        let l = Laplacian::from_graph(&g);
+        let err = |q: usize, seed: u64| -> f64 {
+            let est = ResistanceEstimator::new(&l, q, seed);
+            let mut sum = 0.0;
+            let mut count = 0;
+            for (e, _, exact) in all_edge_resistances(&l) {
+                sum += (est.estimate(e.u(), e.v()) / exact - 1.0).abs();
+                count += 1;
+            }
+            sum / count as f64
+        };
+        // Average over a few seeds to avoid flaky comparisons.
+        let coarse: f64 = (0..3).map(|s| err(8, s)).sum::<f64>() / 3.0;
+        let fine: f64 = (0..3).map(|s| err(128, s)).sum::<f64>() / 3.0;
+        assert!(fine < coarse, "JL error did not improve: {fine} vs {coarse}");
+    }
+
+    #[test]
+    fn resistance_bounded_by_distance() {
+        // R(u,v) ≤ d(u,v) in unweighted graphs.
+        let g = gen::grid(4, 4);
+        let l = Laplacian::from_graph(&g);
+        let d = dsg_graph::bfs::bfs_distances(&g.adjacency(), 0);
+        for v in 1..16u32 {
+            let r = effective_resistance(&l, 0, v);
+            assert!(r <= d[v as usize] as f64 + 1e-6, "R(0,{v})={r} > d={}", d[v as usize]);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Conjugate-gradient solves of Laplacian systems.
+//!
+//! Spectral sparsifiers were "instrumental in obtaining the first
+//! near-linear time algorithm for solving SDD linear systems" (the paper's
+//! framing); this solver closes the loop — the `laplacian_solver` example
+//! solves on the sparsifier and checks the answer against the full graph.
+//!
+//! Laplacians are singular (constants are in the null space), so the solver
+//! works in the subspace orthogonal to the all-ones vector and requires the
+//! right-hand side to sum to zero. Graphs must be connected for a unique
+//! (mean-zero) solution.
+
+use crate::laplacian::Laplacian;
+
+/// Result of a CG solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The mean-zero solution `x` with `Lx ≈ b`.
+    pub x: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `‖Lx - b‖₂`.
+    pub residual: f64,
+}
+
+/// Solves `Lx = b` by conjugate gradients in the space orthogonal to 1.
+///
+/// # Panics
+///
+/// Panics if `b` does not (approximately) sum to zero or dimensions
+/// mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::gen;
+/// use dsg_sparsifier::{laplacian::Laplacian, solver};
+///
+/// let l = Laplacian::from_graph(&gen::path(3));
+/// // Inject one unit of current at vertex 0, extract at vertex 2.
+/// let r = solver::solve(&l, &[1.0, 0.0, -1.0], 1e-10, 1000);
+/// // Potential difference across the path = resistance = 2.
+/// assert!((r.x[0] - r.x[2] - 2.0).abs() < 1e-8);
+/// ```
+pub fn solve(l: &Laplacian, b: &[f64], tol: f64, max_iter: usize) -> SolveResult {
+    let n = l.num_vertices();
+    assert_eq!(b.len(), n, "dimension mismatch");
+    let bsum: f64 = b.iter().sum();
+    assert!(
+        bsum.abs() < 1e-6 * (1.0 + norm(b)),
+        "right-hand side must be orthogonal to the all-ones vector (sum = {bsum})"
+    );
+    let b = project(b);
+    let mut x = vec![0.0; n];
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut rs = dot(&r, &r);
+    let bnorm = norm(&b).max(1e-300);
+    let mut iterations = 0;
+    for _ in 0..max_iter {
+        if rs.sqrt() <= tol * bnorm {
+            break;
+        }
+        let lp = project(&l.matvec(&p));
+        let plp = dot(&p, &lp);
+        if plp <= 0.0 {
+            break; // numerically exhausted
+        }
+        let alpha = rs / plp;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * lp[i];
+        }
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs = rs_new;
+        iterations += 1;
+    }
+    let x = project(&x);
+    let residual = {
+        let lx = l.matvec(&x);
+        let diff: Vec<f64> = lx.iter().zip(&b).map(|(a, c)| a - c).collect();
+        norm(&diff)
+    };
+    SolveResult { x, iterations, residual }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Projects onto the subspace orthogonal to the all-ones vector.
+fn project(v: &[f64]) -> Vec<f64> {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    v.iter().map(|x| x - mean).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::gen;
+
+    #[test]
+    fn solves_path_potentials() {
+        let l = Laplacian::from_graph(&gen::path(5));
+        let mut b = vec![0.0; 5];
+        b[0] = 1.0;
+        b[4] = -1.0;
+        let r = solve(&l, &b, 1e-12, 1000);
+        // Unit resistors in series: successive potential drops of 1.
+        for i in 0..4 {
+            assert!((r.x[i] - r.x[i + 1] - 1.0).abs() < 1e-8, "drop {i}");
+        }
+        assert!(r.residual < 1e-8);
+    }
+
+    #[test]
+    fn solution_is_mean_zero() {
+        let l = Laplacian::from_graph(&gen::erdos_renyi(30, 0.3, 1));
+        let mut b = vec![0.0; 30];
+        b[3] = 1.0;
+        b[17] = -1.0;
+        let r = solve(&l, &b, 1e-10, 2000);
+        assert!(r.x.iter().sum::<f64>().abs() < 1e-8);
+        assert!(r.residual < 1e-6);
+    }
+
+    #[test]
+    fn converges_fast_on_expander() {
+        let l = Laplacian::from_graph(&gen::complete(40));
+        let mut b = vec![0.0; 40];
+        b[0] = 1.0;
+        b[39] = -1.0;
+        let r = solve(&l, &b, 1e-10, 1000);
+        assert!(r.iterations < 20, "iterations={}", r.iterations);
+        // K_n effective resistance = 2/n.
+        assert!((r.x[0] - r.x[39] - 2.0 / 40.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn weighted_resistors() {
+        use dsg_graph::{Edge, WeightedGraph};
+        // Two resistors in series: conductances 2 and 0.5 → resistances
+        // 0.5 and 2 → total 2.5.
+        let g = WeightedGraph::from_edges(
+            3,
+            [(Edge::new(0, 1), 2.0), (Edge::new(1, 2), 0.5)],
+        );
+        let l = Laplacian::from_weighted(&g);
+        let r = solve(&l, &[1.0, 0.0, -1.0], 1e-12, 100);
+        assert!((r.x[0] - r.x[2] - 2.5).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "orthogonal")]
+    fn unbalanced_rhs_panics() {
+        let l = Laplacian::from_graph(&gen::path(3));
+        solve(&l, &[1.0, 0.0, 0.0], 1e-10, 10);
+    }
+}

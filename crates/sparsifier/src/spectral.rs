@@ -1,0 +1,248 @@
+//! Measuring spectral similarity between graphs.
+//!
+//! The object the paper's Corollary 2 promises: `H` with
+//! `(1-eps) G ⪯ H ⪯ (1+eps) G` (Definition 6's ordering). This module
+//! measures the smallest such `eps`:
+//!
+//! * [`spectral_epsilon`] — **exact**, by reducing the generalized
+//!   eigenproblem `L_H v = λ L_G v` (restricted to the space where `L_G` is
+//!   positive definite) to a symmetric standard problem via Cholesky;
+//!   `O(n^3)`, for experiment-scale graphs;
+//! * [`sampled_epsilon_lower_bound`] — a quadratic-form probe over random
+//!   and structured test vectors; cheap, never exceeds the true `eps`.
+
+use crate::eigen::{cholesky, symmetric_eigen};
+use crate::laplacian::Laplacian;
+use dsg_hash::SplitMix64;
+
+/// The exact spectral approximation constant: the smallest `eps` with
+/// `(1-eps) x^T L_G x ≤ x^T L_H x ≤ (1+eps) x^T L_G x` for all `x`.
+///
+/// Requires `g` to be **connected** (so `L_G` is positive definite on the
+/// complement of the all-ones vector). Returns `f64::INFINITY` if `H` has
+/// mass where `G` has none (or vice versa, e.g. `H` disconnects a component
+/// of `G` — then `λ_min = 0` and `eps = 1`... values above 1 mean `H`
+/// overshoots by more than 2x).
+///
+/// # Panics
+///
+/// Panics if the vertex counts differ or `g` is disconnected.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::gen;
+/// use dsg_sparsifier::{laplacian::Laplacian, spectral};
+///
+/// let g = Laplacian::from_graph(&gen::complete(10));
+/// let eps = spectral::spectral_epsilon(&g, &g);
+/// assert!(eps < 1e-9); // identical graphs: eps = 0
+/// ```
+pub fn spectral_epsilon(g: &Laplacian, h: &Laplacian) -> f64 {
+    let n = g.num_vertices();
+    assert_eq!(n, h.num_vertices(), "vertex count mismatch");
+    assert!(n >= 2, "need at least two vertices");
+    // Orthonormal basis Q of the complement of span(1): n-1 columns.
+    // Use the Helmert-style basis: column k (1-indexed) has 1/sqrt(k(k+1))
+    // in the first k coordinates and -k/sqrt(k(k+1)) at coordinate k.
+    let basis: Vec<Vec<f64>> = (1..n)
+        .map(|k| {
+            let norm = 1.0 / ((k * (k + 1)) as f64).sqrt();
+            let mut col = vec![0.0; n];
+            for item in col.iter_mut().take(k) {
+                *item = norm;
+            }
+            col[k] = -(k as f64) * norm;
+            col
+        })
+        .collect();
+    // Project both Laplacians: A = Q^T L_G Q, B = Q^T L_H Q.
+    let project = |l: &Laplacian| -> Vec<Vec<f64>> {
+        // L Q computed column by column.
+        let lq: Vec<Vec<f64>> = basis.iter().map(|col| l.matvec(col)).collect();
+        (0..n - 1)
+            .map(|i| (0..n - 1).map(|j| dot(&basis[i], &lq[j])).collect())
+            .collect()
+    };
+    let a = project(g);
+    let b = project(h);
+    let r = cholesky(&a).expect("input graph must be connected (L_G positive definite on 1^⊥)");
+    // M = R^{-T} B R^{-1}; eigenvalues of M are generalized eigenvalues of
+    // (B, A). Form M column by column: M e_i = R^{-T} B R^{-1} e_i.
+    let m_cols: Vec<Vec<f64>> = (0..n - 1)
+        .map(|i| {
+            let mut e = vec![0.0; n - 1];
+            e[i] = 1.0;
+            // x = R^{-1} e  ⟺  R x = e (back substitution).
+            let x = solve_upper(&r, &e);
+            // y = B x.
+            let y: Vec<f64> =
+                (0..n - 1).map(|row| dot(&b[row], &x)).collect();
+            // z = R^{-T} y  ⟺  R^T z = y (forward substitution).
+            solve_lower_transpose(&r, &y)
+        })
+        .collect();
+    let m: Vec<Vec<f64>> = (0..n - 1)
+        .map(|i| (0..n - 1).map(|j| (m_cols[j][i] + m_cols[i][j]) / 2.0).collect())
+        .collect();
+    let (vals, _) = symmetric_eigen(&m, 1e-11, 200);
+    let lo = vals.first().copied().unwrap_or(1.0);
+    let hi = vals.last().copied().unwrap_or(1.0);
+    (1.0 - lo).max(hi - 1.0).max(0.0)
+}
+
+/// Solves `R x = b` for upper-triangular `R`.
+fn solve_upper(r: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = r.len();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for k in (i + 1)..n {
+            sum -= r[i][k] * x[k];
+        }
+        x[i] = sum / r[i][i];
+    }
+    x
+}
+
+/// Solves `R^T z = y` for upper-triangular `R`.
+fn solve_lower_transpose(r: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    let n = r.len();
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = y[i];
+        for k in 0..i {
+            sum -= r[k][i] * z[k];
+        }
+        z[i] = sum / r[i][i];
+    }
+    z
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// A sampled lower bound on the spectral epsilon: the worst quadratic-form
+/// ratio deviation over random Gaussian-ish vectors, random cut indicators,
+/// and coordinate differences.
+///
+/// # Panics
+///
+/// Panics if the vertex counts differ.
+pub fn sampled_epsilon_lower_bound(
+    g: &Laplacian,
+    h: &Laplacian,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let n = g.num_vertices();
+    assert_eq!(n, h.num_vertices(), "vertex count mismatch");
+    let mut rng = SplitMix64::new(seed);
+    let mut worst: f64 = 0.0;
+    let mut probe = |x: &[f64]| {
+        let qg = g.quadratic_form(x);
+        let qh = h.quadratic_form(x);
+        if qg > 1e-12 {
+            worst = worst.max((qh / qg - 1.0).abs());
+        } else if qh > 1e-9 {
+            worst = f64::INFINITY;
+        }
+    };
+    for s in 0..samples {
+        match s % 3 {
+            0 => {
+                // Random centred vector.
+                let x: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+                probe(&x);
+            }
+            1 => {
+                // Random cut indicator.
+                let x: Vec<f64> =
+                    (0..n).map(|_| if rng.next_u64() & 1 == 1 { 1.0 } else { 0.0 }).collect();
+                probe(&x);
+            }
+            _ => {
+                // Single-coordinate indicator (degree probe).
+                let mut x = vec![0.0; n];
+                x[rng.next_below(n as u64) as usize] = 1.0;
+                probe(&x);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::{gen, Edge, WeightedGraph};
+
+    #[test]
+    fn identical_graphs_zero_eps() {
+        let l = Laplacian::from_graph(&gen::erdos_renyi(20, 0.4, 1));
+        assert!(spectral_epsilon(&l, &l) < 1e-8);
+    }
+
+    #[test]
+    fn uniform_scaling_gives_exact_eps() {
+        let g = gen::complete(12);
+        let lg = Laplacian::from_graph(&g);
+        let scaled = WeightedGraph::from_edges(
+            12,
+            g.edges().iter().map(|&e| (e, 1.3)),
+        );
+        let lh = Laplacian::from_weighted(&scaled);
+        let eps = spectral_epsilon(&lg, &lh);
+        assert!((eps - 0.3).abs() < 1e-8, "eps={eps}");
+    }
+
+    #[test]
+    fn dropping_an_edge_of_a_cycle() {
+        // Cycle C_n minus one edge: the quadratic form on the "linear" test
+        // vector shrinks; eps is 1 - λ_min which is substantial.
+        let g = gen::cycle(8);
+        let lg = Laplacian::from_graph(&g);
+        let h = g.minus(&[Edge::new(0, 7)].into_iter().collect());
+        let lh = Laplacian::from_graph(&h);
+        let eps = spectral_epsilon(&lg, &lh);
+        assert!(eps > 0.5, "eps={eps}");
+        assert!(eps <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn sampled_bound_never_exceeds_exact() {
+        let g = gen::erdos_renyi(16, 0.5, 2);
+        let lg = Laplacian::from_graph(&g);
+        // Perturb: drop a few edges.
+        let kill: std::collections::HashSet<Edge> =
+            g.edges().iter().take(3).copied().collect();
+        let lh = Laplacian::from_graph(&g.minus(&kill));
+        let exact = spectral_epsilon(&lg, &lh);
+        let sampled = sampled_epsilon_lower_bound(&lg, &lh, 300, 3);
+        assert!(
+            sampled <= exact + 1e-8,
+            "sampled {sampled} exceeds exact {exact}"
+        );
+        assert!(sampled > 0.0);
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        let g = gen::path(6);
+        let lg = Laplacian::from_graph(&g);
+        let h = g.minus(&[Edge::new(2, 3)].into_iter().collect());
+        let lh = Laplacian::from_graph(&h);
+        // λ_min = 0: eps = 1.
+        let eps = spectral_epsilon(&lg, &lh);
+        assert!((eps - 1.0).abs() < 1e-8, "eps={eps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_base_graph_panics() {
+        let g = dsg_graph::Graph::from_edges(4, [Edge::new(0, 1)]);
+        let l = Laplacian::from_graph(&g);
+        spectral_epsilon(&l, &l);
+    }
+}

@@ -1,0 +1,121 @@
+//! The Spielman–Srivastava sampling baseline (Theorem 7).
+//!
+//! "Let `H` be obtained by sampling edges of `G` independently with
+//! probability `p_e = Θ(w_e R_e log n / eps^2)` ... and giving each sampled
+//! edge weight `1/p_e`. Then whp `(1-eps) G ⪯ H ⪯ (1+eps) G`."
+//!
+//! This is the offline gold standard the experiments compare the streaming
+//! sparsifier against (experiment E9).
+
+use crate::laplacian::Laplacian;
+use crate::resistance;
+use dsg_graph::WeightedGraph;
+use dsg_hash::SplitMix64;
+
+/// Samples a spectral sparsifier by effective resistances.
+///
+/// `oversample` is the constant in `p_e = min(1, oversample · w_e R_e
+/// log2(n) / eps^2)`.
+///
+/// # Panics
+///
+/// Panics if `eps` or `oversample` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::gen;
+/// use dsg_sparsifier::ss08;
+///
+/// let g = gen::with_random_weights(&gen::complete(20), 1.0, 1.0, 1);
+/// let h = ss08::sparsify(&g, 0.5, 0.5, 42);
+/// assert!(h.num_edges() <= g.num_edges());
+/// ```
+pub fn sparsify(g: &WeightedGraph, eps: f64, oversample: f64, seed: u64) -> WeightedGraph {
+    assert!(eps > 0.0, "eps must be positive");
+    assert!(oversample > 0.0, "oversample must be positive");
+    let n = g.num_vertices();
+    let l = Laplacian::from_weighted(g);
+    let mut rng = SplitMix64::new(seed);
+    let logn = (n.max(2) as f64).log2();
+    let mut edges = Vec::new();
+    for (e, w, r) in resistance::all_edge_resistances(&l) {
+        let p = (oversample * w * r * logn / (eps * eps)).min(1.0);
+        if p > 0.0 && rng.next_f64() < p {
+            edges.push((e, w / p));
+        }
+    }
+    WeightedGraph::from_edges(n, edges)
+}
+
+/// The expected sparsifier size `Σ_e min(1, oversample · w_e R_e log n /
+/// eps^2)` — for experiment tables (by Foster's theorem this is
+/// `O(n log n / eps^2)`).
+pub fn expected_size(g: &WeightedGraph, eps: f64, oversample: f64) -> f64 {
+    let n = g.num_vertices();
+    let l = Laplacian::from_weighted(g);
+    let logn = (n.max(2) as f64).log2();
+    resistance::all_edge_resistances(&l)
+        .iter()
+        .map(|(_, w, r)| (oversample * w * r * logn / (eps * eps)).min(1.0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectral;
+    use dsg_graph::gen;
+
+    #[test]
+    fn preserves_spectrum_on_dense_graph() {
+        // K_40: w_e R_e = 2/40, so p_e = 0.5·0.05·log2(40)/0.25 ≈ 0.53 —
+        // a genuine compression that must stay spectrally close.
+        let g = gen::with_random_weights(&gen::complete(40), 1.0, 1.0, 1);
+        let h = sparsify(&g, 0.5, 0.5, 2);
+        let eps = spectral::spectral_epsilon(
+            &Laplacian::from_weighted(&g),
+            &Laplacian::from_weighted(&h),
+        );
+        assert!(eps < 0.9, "eps={eps}");
+        assert!(h.num_edges() < g.num_edges(), "{} vs {}", h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn bridges_always_kept() {
+        // A bridge has w_e R_e = 1: p_e = 1 (for reasonable constants), so
+        // it must survive.
+        let g = gen::with_random_weights(&gen::barbell(8, 4), 1.0, 1.0, 3);
+        let h = sparsify(&g, 0.5, 1.0, 4);
+        for bridge in [(7u32, 8u32), (8, 9), (9, 10), (10, 11)] {
+            assert!(
+                h.weight(bridge.0, bridge.1).is_some(),
+                "bridge {bridge:?} dropped"
+            );
+        }
+    }
+
+    #[test]
+    fn total_weight_approximately_preserved() {
+        let g = gen::with_random_weights(&gen::complete(30), 1.0, 1.0, 5);
+        let h = sparsify(&g, 0.3, 2.0, 6);
+        let ratio = h.total_weight() / g.total_weight();
+        assert!((0.6..1.4).contains(&ratio), "weight ratio {ratio}");
+    }
+
+    #[test]
+    fn expected_size_is_near_n_log_n() {
+        let g = gen::with_random_weights(&gen::complete(50), 1.0, 1.0, 7);
+        let size = expected_size(&g, 0.5, 1.0);
+        // Foster: Σ w R = n-1 = 49, so expected ≈ 49·log2(50)/0.25 ≈ 1100,
+        // but min(1,·) caps per-edge mass.
+        assert!(size < g.num_edges() as f64);
+        assert!(size > 50.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = gen::with_random_weights(&gen::complete(15), 1.0, 1.0, 8);
+        assert_eq!(sparsify(&g, 0.5, 1.0, 9), sparsify(&g, 0.5, 1.0, 9));
+    }
+}

@@ -1,0 +1,213 @@
+//! Weighted spectral sparsification via weight classes.
+//!
+//! Corollary 2 charges "an extra factor of `γ^{-1} log(w_max/w_min)`" for
+//! weighted graphs: "we round all edge weights to the nearest power of
+//! `(1+γ)` ... Thus, it is sufficient to construct sparsifiers of
+//! unweighted graphs" (Section 6). This module is that reduction: one
+//! unweighted [`TwoPassSparsifier`] per geometric weight class, each run
+//! over the class-filtered stream across the same two passes; the outputs
+//! are scaled by their class weight and unioned.
+//!
+//! Spectrally: if `H_c` is a `(1±eps)`-sparsifier of the class-`c`
+//! subgraph and weights are rounded within `(1+γ)`, the union is a
+//! `(1 ± eps)(1 + γ)`-approximation of `G` — rescaling absorbs the
+//! constant, as the paper notes.
+
+use crate::kp12::SparsifierParams;
+use crate::pipeline::{PipelineStats, TwoPassSparsifier};
+use dsg_graph::stream::StreamUpdate;
+use dsg_graph::{StreamAlgorithm, WeightedGraph};
+use dsg_util::SpaceUsage;
+use std::collections::HashMap;
+
+/// Output of the weighted sparsifier.
+#[derive(Debug, Clone)]
+pub struct WeightedPipelineOutput {
+    /// The weighted sparsifier (class-scaled union).
+    pub sparsifier: WeightedGraph,
+    /// Per-class statistics `(class, stats)`.
+    pub per_class: Vec<(i32, PipelineStats)>,
+}
+
+/// The weighted two-pass streaming sparsifier.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dsg_graph::{gen, pass, GraphStream};
+/// use dsg_sparsifier::{weighted::WeightedTwoPassSparsifier, SparsifierParams};
+///
+/// let g = gen::with_random_weights(&gen::complete(20), 1.0, 4.0, 1);
+/// let stream = GraphStream::weighted_with_churn(&g, 0.5, 2);
+/// let mut alg = WeightedTwoPassSparsifier::new(20, 0.5, SparsifierParams::new(2, 0.5, 3));
+/// pass::run(&mut alg, &stream);
+/// let out = alg.into_output().unwrap();
+/// println!("{} edges", out.sparsifier.num_edges());
+/// ```
+#[derive(Debug)]
+pub struct WeightedTwoPassSparsifier {
+    n: usize,
+    gamma: f64,
+    params: SparsifierParams,
+    classes: HashMap<i32, TwoPassSparsifier>,
+    current_pass: usize,
+    finished: bool,
+}
+
+impl WeightedTwoPassSparsifier {
+    /// Creates the algorithm with rounding parameter `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma <= 0` or `n < 2`.
+    pub fn new(n: usize, gamma: f64, params: SparsifierParams) -> Self {
+        assert!(gamma > 0.0, "gamma must be positive");
+        assert!(n >= 2, "need at least two vertices");
+        Self { n, gamma, params, classes: HashMap::new(), current_pass: 0, finished: false }
+    }
+
+    /// The weight class of `w`: `floor(log_{1+γ} w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not positive and finite.
+    pub fn weight_class(&self, w: f64) -> i32 {
+        assert!(w.is_finite() && w > 0.0, "invalid weight {w}");
+        (w.ln() / (1.0 + self.gamma).ln()).floor() as i32
+    }
+
+    /// The representative (upper) weight of class `c`.
+    pub fn class_weight(&self, c: i32) -> f64 {
+        (1.0 + self.gamma).powi(c + 1)
+    }
+
+    /// Consumes the algorithm, returning the output after both passes.
+    pub fn into_output(mut self) -> Option<WeightedPipelineOutput> {
+        if !self.finished {
+            return None;
+        }
+        let mut classes: Vec<(i32, TwoPassSparsifier)> = self.classes.drain().collect();
+        classes.sort_by_key(|(c, _)| *c);
+        let mut edges: HashMap<dsg_graph::Edge, f64> = HashMap::new();
+        let mut per_class = Vec::new();
+        for (c, alg) in classes {
+            let out = alg.into_output()?;
+            let scale = self.class_weight(c);
+            for (e, w) in out.sparsifier.edges() {
+                *edges.entry(*e).or_insert(0.0) += w * scale;
+            }
+            per_class.push((c, out.stats));
+        }
+        Some(WeightedPipelineOutput {
+            sparsifier: WeightedGraph::from_edges(
+                self.n,
+                edges.into_iter().filter(|&(_, w)| w > 0.0),
+            ),
+            per_class,
+        })
+    }
+}
+
+impl StreamAlgorithm for WeightedTwoPassSparsifier {
+    fn num_passes(&self) -> usize {
+        2
+    }
+
+    fn begin_pass(&mut self, pass: usize) {
+        self.current_pass = pass;
+        for alg in self.classes.values_mut() {
+            alg.begin_pass(pass);
+        }
+    }
+
+    fn process(&mut self, update: &StreamUpdate) {
+        let class = self.weight_class(update.weight);
+        if self.current_pass == 0 {
+            if !self.classes.contains_key(&class) {
+                let mut params = self.params;
+                params.seed =
+                    params.seed.wrapping_add(0x517C_C1B7u64.wrapping_mul(class as i64 as u64));
+                let mut alg = TwoPassSparsifier::new(self.n, params);
+                alg.begin_pass(0);
+                self.classes.insert(class, alg);
+            }
+        } else if !self.classes.contains_key(&class) {
+            panic!("weight class {class} first appeared in pass {}", self.current_pass);
+        }
+        let unweighted = StreamUpdate { edge: update.edge, delta: update.delta, weight: 1.0 };
+        self.classes.get_mut(&class).expect("class exists").process(&unweighted);
+    }
+
+    fn end_pass(&mut self, pass: usize) {
+        for alg in self.classes.values_mut() {
+            alg.end_pass(pass);
+        }
+        if pass == 1 {
+            self.finished = true;
+        }
+    }
+}
+
+impl SpaceUsage for WeightedTwoPassSparsifier {
+    fn space_bytes(&self) -> usize {
+        self.classes.values().map(SpaceUsage::space_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::Laplacian;
+    use crate::spectral;
+    use dsg_graph::{gen, GraphStream};
+
+    fn small_params(seed: u64) -> SparsifierParams {
+        let mut p = SparsifierParams::new(2, 0.5, seed);
+        p.z_factor = 0.05;
+        p.j_factor = 0.4;
+        p
+    }
+
+    fn run(g: &WeightedGraph, gamma: f64, seed: u64) -> WeightedPipelineOutput {
+        let stream = GraphStream::weighted_with_churn(g, 0.5, seed ^ 0x33);
+        let mut alg = WeightedTwoPassSparsifier::new(g.num_vertices(), gamma, small_params(seed));
+        dsg_graph::pass::run(&mut alg, &stream);
+        alg.into_output().expect("finished")
+    }
+
+    #[test]
+    fn produces_spectrally_bounded_output() {
+        let g = gen::with_random_weights(&gen::complete(18), 1.0, 4.0, 1);
+        let out = run(&g, 0.5, 2);
+        assert!(out.sparsifier.num_edges() > 0);
+        let eps = spectral::spectral_epsilon(
+            &Laplacian::from_weighted(&g),
+            &Laplacian::from_weighted(&out.sparsifier),
+        );
+        assert!(eps < 1.0, "eps={eps} at disconnection level");
+    }
+
+    #[test]
+    fn classes_partition_the_stream() {
+        let g = gen::with_random_weights(&gen::erdos_renyi(16, 0.5, 3), 1.0, 64.0, 4);
+        let out = run(&g, 0.5, 5);
+        assert!(out.per_class.len() >= 2, "expected multiple classes");
+        // Edges only come from the input graph.
+        for (e, _) in out.sparsifier.edges() {
+            assert!(g.weight(e.u(), e.v()).is_some(), "phantom edge {e}");
+        }
+    }
+
+    #[test]
+    fn single_class_for_uniform_weights() {
+        let g = gen::with_random_weights(&gen::complete(12), 2.0, 2.0, 6);
+        let out = run(&g, 0.5, 7);
+        assert_eq!(out.per_class.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn zero_gamma_panics() {
+        WeightedTwoPassSparsifier::new(4, 0.0, SparsifierParams::new(2, 0.5, 1));
+    }
+}

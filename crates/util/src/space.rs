@@ -1,0 +1,163 @@
+//! Measured space accounting for sketches and streaming-algorithm state.
+//!
+//! The dynamic-stream model charges an algorithm for every bit of state it
+//! keeps between stream updates. [`SpaceUsage::space_bytes`] reports the
+//! *payload* size of a value: the bytes that would have to be persisted to
+//! reconstruct the sketch state, excluding allocator bookkeeping. For flat
+//! collections this equals `len * size_of::<Item>()`; nested structures
+//! recurse.
+//!
+//! Random seeds are counted by the structures that store them; shared
+//! pseudorandomness that would be communicated once (e.g. the seed of a
+//! k-wise independent hash family, which the paper's distributed servers
+//! "agree upon") is a handful of machine words and is included wherever a
+//! sketch owns it.
+
+/// Types that can report the number of bytes of sketch state they hold.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_util::SpaceUsage;
+///
+/// assert_eq!(7u64.space_bytes(), 8);
+/// assert_eq!(vec![0u32; 10].space_bytes(), 40);
+/// assert_eq!(Some(3i64).space_bytes(), 8);
+/// ```
+pub trait SpaceUsage {
+    /// Payload bytes held by `self`.
+    fn space_bytes(&self) -> usize;
+
+    /// Payload bits held by `self` (`8 * space_bytes`).
+    fn space_bits(&self) -> usize {
+        self.space_bytes() * 8
+    }
+}
+
+macro_rules! impl_space_primitive {
+    ($($t:ty),* $(,)?) => {
+        $(impl SpaceUsage for $t {
+            fn space_bytes(&self) -> usize {
+                core::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_space_primitive!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+
+impl<T: SpaceUsage> SpaceUsage for Vec<T> {
+    fn space_bytes(&self) -> usize {
+        self.iter().map(SpaceUsage::space_bytes).sum()
+    }
+}
+
+impl<T: SpaceUsage> SpaceUsage for [T] {
+    fn space_bytes(&self) -> usize {
+        self.iter().map(SpaceUsage::space_bytes).sum()
+    }
+}
+
+impl<T: SpaceUsage> SpaceUsage for Option<T> {
+    fn space_bytes(&self) -> usize {
+        self.as_ref().map_or(0, SpaceUsage::space_bytes)
+    }
+}
+
+impl<T: SpaceUsage + ?Sized> SpaceUsage for &T {
+    fn space_bytes(&self) -> usize {
+        (**self).space_bytes()
+    }
+}
+
+impl<T: SpaceUsage + ?Sized> SpaceUsage for Box<T> {
+    fn space_bytes(&self) -> usize {
+        (**self).space_bytes()
+    }
+}
+
+impl<A: SpaceUsage, B: SpaceUsage> SpaceUsage for (A, B) {
+    fn space_bytes(&self) -> usize {
+        self.0.space_bytes() + self.1.space_bytes()
+    }
+}
+
+impl<A: SpaceUsage, B: SpaceUsage, C: SpaceUsage> SpaceUsage for (A, B, C) {
+    fn space_bytes(&self) -> usize {
+        self.0.space_bytes() + self.1.space_bytes() + self.2.space_bytes()
+    }
+}
+
+/// Renders a byte count as a short human-readable string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dsg_util::space::human_bytes(512), "512 B");
+/// assert_eq!(dsg_util::space::human_bytes(2048), "2.00 KiB");
+/// assert_eq!(dsg_util::space::human_bytes(3 * 1024 * 1024), "3.00 MiB");
+/// ```
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_report_native_size() {
+        assert_eq!(1u8.space_bytes(), 1);
+        assert_eq!(1u16.space_bytes(), 2);
+        assert_eq!(1u32.space_bytes(), 4);
+        assert_eq!(1u64.space_bytes(), 8);
+        assert_eq!(1u128.space_bytes(), 16);
+        assert_eq!(1.0f64.space_bytes(), 8);
+        assert_eq!(true.space_bytes(), 1);
+    }
+
+    #[test]
+    fn vec_sums_elements() {
+        let v = vec![0u64; 5];
+        assert_eq!(v.space_bytes(), 40);
+        assert_eq!(v.space_bits(), 320);
+    }
+
+    #[test]
+    fn nested_vec_recurses() {
+        let v = vec![vec![0u32; 2], vec![0u32; 3]];
+        assert_eq!(v.space_bytes(), 20);
+    }
+
+    #[test]
+    fn option_counts_payload_only() {
+        let none: Option<u64> = None;
+        assert_eq!(none.space_bytes(), 0);
+        assert_eq!(Some(1u64).space_bytes(), 8);
+    }
+
+    #[test]
+    fn tuples_sum_components() {
+        assert_eq!((1u8, 2u64).space_bytes(), 9);
+        assert_eq!((1u8, 2u64, 3u32).space_bytes(), 13);
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(1023), "1023 B");
+        assert_eq!(human_bytes(1024), "1.00 KiB");
+        assert_eq!(human_bytes(1536), "1.50 KiB");
+    }
+}

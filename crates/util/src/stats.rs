@@ -1,0 +1,241 @@
+//! Summary statistics over repeated randomized trials.
+//!
+//! Every algorithm in this workspace is randomized, so experiments repeat
+//! measurements over independent seeds and report aggregates. [`Summary`]
+//! collects `f64` observations and exposes the usual descriptive statistics.
+
+/// Accumulates a set of `f64` observations and reports summary statistics.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_util::Summary;
+///
+/// let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// assert_eq!(s.median(), 2.5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN; NaN observations indicate a broken
+    /// measurement and must not be silently aggregated.
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN observation pushed into Summary");
+        self.values.push(value);
+    }
+
+    /// Number of observations collected so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean. Returns 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation. Returns 0 for fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Smallest observation. Returns 0 for an empty summary.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min).min_finite()
+    }
+
+    /// Largest observation. Returns 0 for an empty summary.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max_finite()
+    }
+
+    /// Median (average of the two middle elements for even counts).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Empirical quantile by linear interpolation between order statistics.
+    ///
+    /// `q` is clamped to `[0, 1]`. Returns 0 for an empty summary.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in Summary"));
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// All collected observations, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+/// Extension that maps the +/- infinity sentinels from empty folds to 0.
+trait FiniteOrZero {
+    fn min_finite(self) -> f64;
+    fn max_finite(self) -> f64;
+}
+
+impl FiniteOrZero for f64 {
+    fn min_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+    fn max_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Fraction of observations satisfying a predicate.
+///
+/// # Examples
+///
+/// ```
+/// let rate = dsg_util::stats::success_rate([true, true, false, true]);
+/// assert_eq!(rate, 0.75);
+/// ```
+pub fn success_rate<I: IntoIterator<Item = bool>>(outcomes: I) -> f64 {
+    let mut total = 0usize;
+    let mut ok = 0usize;
+    for o in outcomes {
+        total += 1;
+        if o {
+            ok += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        ok as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.median(), 0.0);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let odd: Summary = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(odd.median(), 2.0);
+        let even: Summary = [4.0, 1.0, 3.0, 2.0].into_iter().collect();
+        assert_eq!(even.median(), 2.5);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s: Summary = [0.0, 10.0].into_iter().collect();
+        assert_eq!(s.quantile(0.25), 2.5);
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+        assert_eq!(s.quantile(2.0), 10.0); // clamped
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let mut s = Summary::new();
+        s.push(f64::NAN);
+    }
+
+    #[test]
+    fn success_rate_counts() {
+        assert_eq!(success_rate([]), 0.0);
+        assert_eq!(success_rate([true]), 1.0);
+        assert_eq!(success_rate([false, true]), 0.5);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s: Summary = [1.0].into_iter().collect();
+        s.extend([2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: sketch a dynamic graph stream, build a spanner in two
+//! passes, and answer distance queries from the compressed representation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dsg_core::prelude::*;
+
+fn main() {
+    // A graph we will only ever see as a stream of insertions/deletions.
+    let n = 200;
+    let graph = gen::erdos_renyi(n, 0.06, 42);
+    println!("ground truth: {} vertices, {} edges", n, graph.num_edges());
+
+    // The dynamic stream inserts 2x extra decoy edges and deletes them
+    // again — a sketch that mishandles deletions would keep ghosts.
+    let stream = GraphStream::with_churn(&graph, 2.0, 7);
+    println!(
+        "stream: {} updates ({} deletions)",
+        stream.len(),
+        stream.num_deletions()
+    );
+
+    // Two passes, ~O(n^{1+1/k}) space, stretch 2^k (Theorem 1).
+    let k = 2;
+    let out = SpannerBuilder::new(n).stretch_exponent(k).seed(1).build_from_stream(&stream);
+    println!(
+        "spanner: {} edges (kept {:.1}% of the graph), {} terminals",
+        out.spanner.num_edges(),
+        100.0 * out.spanner.num_edges() as f64 / graph.num_edges() as f64,
+        out.stats.num_terminals,
+    );
+    println!(
+        "sketch space: pass 1 = {}, pass 2 = {}",
+        dsg_util::space::human_bytes(out.stats.pass1_bytes),
+        dsg_util::space::human_bytes(out.stats.pass2_bytes),
+    );
+
+    // Distance queries on the spanner approximate the true metric within
+    // the 2^k guarantee.
+    let stretch = verify::max_multiplicative_stretch(&graph, &out.spanner, n);
+    println!("measured worst stretch: {stretch:.2} (guarantee: {})", 1 << k);
+    assert!(stretch <= (1u64 << k) as f64);
+
+    // Example query: distance 0 -> n-1 in graph vs spanner.
+    let dg = dsg_graph::bfs::bfs_distances(&graph.adjacency(), 0);
+    let dh = dsg_graph::bfs::bfs_distances(&out.spanner.adjacency(), 0);
+    println!(
+        "d(0, {}) = {} in G, {} in spanner",
+        n - 1,
+        dg[n - 1],
+        dh[n - 1]
+    );
+}

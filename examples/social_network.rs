@@ -1,0 +1,65 @@
+//! Social-network scenario: a power-law friendship graph receives a churn
+//! of follows/unfollows; a single-pass additive spanner answers degrees of
+//! separation with small additive error (Theorem 3), and an AGM sketch
+//! tracks the community (component) structure — the kind of "queries on
+//! large-scale graphs without storing the graph" workload the paper's
+//! introduction motivates.
+//!
+//! Run with: `cargo run --release --example social_network`
+
+use dsg_agm::AgmSketch;
+use dsg_core::prelude::*;
+use dsg_graph::components::num_components;
+
+fn main() {
+    // A heavy-tailed "social" graph: few hubs, many leaves.
+    let n = 300;
+    let graph = gen::power_law(n, 2.3, 10.0, 99);
+    let adj = graph.adjacency();
+    let max_deg = (0..n as Vertex).map(|u| adj.degree(u)).max().unwrap();
+    println!(
+        "social graph: {} users, {} friendships, max degree {}",
+        n,
+        graph.num_edges(),
+        max_deg
+    );
+
+    // Follows and unfollows arrive as a dynamic stream.
+    let stream = GraphStream::with_churn(&graph, 1.5, 3);
+    println!("{} events ({} unfollows)", stream.len(), stream.num_deletions());
+
+    // One pass: additive spanner with degree parameter d.
+    let d = 12;
+    let out = AdditiveSpannerBuilder::new(n)
+        .degree_parameter(d)
+        .seed(5)
+        .build_from_stream(&stream);
+    println!(
+        "spanner: {} edges ({} low-degree users kept verbatim, {} hub users clustered)",
+        out.spanner.num_edges(),
+        out.stats.num_low_degree,
+        out.stats.num_attached,
+    );
+
+    // Degrees of separation, approximately.
+    let distortion = verify::max_additive_distortion(&graph, &out.spanner, 60);
+    println!(
+        "worst additive error over sampled pairs: +{distortion} hops (bound shape: O(n/d) = {})",
+        n / d
+    );
+
+    // Community structure via an AGM connectivity sketch on the same
+    // stream — independent of the spanner machinery.
+    let mut agm = AgmSketch::new(n, 8);
+    for up in stream.updates() {
+        agm.update(up.edge, up.delta as i128);
+    }
+    let forest = agm.spanning_forest();
+    let components_sketch = n - forest.edges.len();
+    println!(
+        "AGM sketch sees {} communities (ground truth: {})",
+        components_sketch,
+        num_components(&graph)
+    );
+    assert_eq!(components_sketch, num_components(&graph));
+}

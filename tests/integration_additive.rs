@@ -1,0 +1,103 @@
+//! End-to-end integration tests for the single-pass additive spanner
+//! (Theorem 3 / Algorithm 3).
+
+use dsg_core::prelude::*;
+
+fn build(g: &Graph, d: usize, seed: u64, churn: f64) -> dsg_spanner::additive::AdditiveOutput {
+    let stream = GraphStream::with_churn(g, churn, seed ^ 0xADD);
+    AdditiveSpannerBuilder::new(g.num_vertices())
+        .degree_parameter(d)
+        .seed(seed)
+        .build_from_stream(&stream)
+}
+
+#[test]
+fn distortion_bound_across_topologies() {
+    let cases: Vec<(&str, Graph)> = vec![
+        ("erdos_renyi", gen::erdos_renyi(90, 0.15, 1)),
+        ("power_law", gen::power_law(90, 2.5, 8.0, 2)),
+        ("complete", gen::complete(60)),
+    ];
+    for (name, g) in cases {
+        let n = g.num_vertices();
+        let d = 8;
+        let out = build(&g, d, 3, 0.5);
+        let distortion = verify::max_additive_distortion(&g, &out.spanner, n);
+        let bound = (8 * n / d) as u32;
+        assert!(
+            distortion <= bound,
+            "{name}: distortion {distortion} > {bound} (stats {:?})",
+            out.stats
+        );
+    }
+}
+
+#[test]
+fn distortion_improves_with_d() {
+    let g = gen::complete(80);
+    let coarse = build(&g, 2, 4, 0.0);
+    let fine = build(&g, 40, 5, 0.0);
+    let dist_coarse = verify::max_additive_distortion(&g, &coarse.spanner, 80);
+    let dist_fine = verify::max_additive_distortion(&g, &fine.spanner, 80);
+    assert!(
+        dist_fine <= dist_coarse,
+        "distortion should not grow with d: {dist_fine} vs {dist_coarse}"
+    );
+    assert!(fine.spanner.num_edges() >= coarse.spanner.num_edges());
+}
+
+#[test]
+fn single_pass_only() {
+    use dsg_graph::StreamAlgorithm;
+    let alg = dsg_spanner::AdditiveSpanner::new(10, AdditiveParams::new(4, 1));
+    assert_eq!(alg.num_passes(), 1);
+}
+
+#[test]
+fn survives_heavy_churn() {
+    let g = gen::erdos_renyi(60, 0.15, 6);
+    let out = build(&g, 6, 7, 4.0);
+    assert!(verify::is_subgraph(&g, &out.spanner));
+    assert_eq!(
+        dsg_graph::components::num_components(&g),
+        dsg_graph::components::num_components(&out.spanner)
+    );
+}
+
+#[test]
+fn low_degree_regime_is_lossless() {
+    // When every vertex is under the threshold, E_low = E.
+    let g = gen::grid(8, 8);
+    let out = build(&g, 8, 8, 1.0);
+    assert_eq!(out.spanner.num_edges(), g.num_edges());
+    assert_eq!(verify::max_additive_distortion(&g, &out.spanner, 64), 0);
+}
+
+#[test]
+fn dense_regime_compresses_substantially() {
+    let g = gen::complete(90);
+    let out = build(&g, 3, 9, 0.0);
+    assert!(
+        (out.spanner.num_edges() as f64) < 0.4 * g.num_edges() as f64,
+        "kept {} of {}",
+        out.spanner.num_edges(),
+        g.num_edges()
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let g = gen::erdos_renyi(50, 0.2, 10);
+    let a = build(&g, 6, 11, 1.0);
+    let b = build(&g, 6, 11, 1.0);
+    assert_eq!(a.spanner.edges(), b.spanner.edges());
+}
+
+#[test]
+fn space_reservation_scales_with_nd() {
+    let alg_small = dsg_spanner::AdditiveSpanner::new(100, AdditiveParams::new(2, 1));
+    let alg_large = dsg_spanner::AdditiveSpanner::new(100, AdditiveParams::new(16, 1));
+    assert!(
+        alg_large.nominal_neighborhood_bytes() > 4 * alg_small.nominal_neighborhood_bytes()
+    );
+}

@@ -1,0 +1,133 @@
+//! End-to-end integration tests for the two-pass multiplicative spanner
+//! (Theorem 1): streaming construction against ground-truth graphs across
+//! topologies, churn levels and hierarchy depths.
+
+use dsg_core::prelude::*;
+use dsg_graph::components::num_components;
+
+fn build(g: &Graph, k: usize, seed: u64, churn: f64) -> dsg_spanner::TwoPassOutput {
+    let stream = GraphStream::with_churn(g, churn, seed ^ 0x5EED);
+    SpannerBuilder::new(g.num_vertices())
+        .stretch_exponent(k)
+        .seed(seed)
+        .build_from_stream(&stream)
+}
+
+#[test]
+fn stretch_guarantee_across_topologies() {
+    let cases: Vec<(&str, Graph)> = vec![
+        ("erdos_renyi", gen::erdos_renyi(80, 0.12, 1)),
+        ("grid", gen::grid(9, 9)),
+        ("power_law", gen::power_law(80, 2.5, 6.0, 2)),
+        ("barbell", gen::barbell(20, 6)),
+        ("cycle", gen::cycle(80)),
+    ];
+    for (name, g) in cases {
+        let n = g.num_vertices();
+        let out = build(&g, 2, 7, 1.0);
+        assert!(verify::is_subgraph(&g, &out.spanner), "{name}: non-subgraph");
+        let stretch = verify::max_multiplicative_stretch(&g, &out.spanner, n);
+        assert!(stretch <= 4.0, "{name}: stretch {stretch} > 4 ({:?})", out.stats);
+    }
+}
+
+#[test]
+fn stretch_guarantee_across_k() {
+    let g = gen::erdos_renyi(70, 0.15, 3);
+    for k in 1..=4usize {
+        let out = build(&g, k, k as u64 * 13, 1.0);
+        let stretch = verify::max_multiplicative_stretch(&g, &out.spanner, 70);
+        assert!(stretch <= (1u64 << k) as f64, "k={k}: stretch {stretch}");
+    }
+}
+
+#[test]
+fn heavy_churn_does_not_corrupt() {
+    // 5x churn: 5 decoy insert+delete pairs per surviving edge.
+    let g = gen::erdos_renyi(50, 0.1, 4);
+    let out = build(&g, 2, 5, 5.0);
+    assert!(verify::is_subgraph(&g, &out.spanner));
+    assert_eq!(num_components(&g), num_components(&out.spanner));
+}
+
+#[test]
+fn spanner_size_scales_with_lemma12() {
+    // Size must track O(k n^{1+1/k} log n), not m: densify and watch the
+    // spanner grow far slower than the edge count.
+    let k = 2;
+    let n = 90;
+    let sparse = gen::erdos_renyi(n, 0.1, 6);
+    let dense = gen::erdos_renyi(n, 0.6, 7);
+    let out_sparse = build(&sparse, k, 8, 0.5);
+    let out_dense = build(&dense, k, 9, 0.5);
+    let edge_ratio = dense.num_edges() as f64 / sparse.num_edges() as f64;
+    let spanner_ratio = out_dense.spanner.num_edges() as f64
+        / (out_sparse.spanner.num_edges() as f64).max(1.0);
+    assert!(
+        spanner_ratio < edge_ratio / 1.5,
+        "spanner grew {spanner_ratio}x for {edge_ratio}x edges"
+    );
+}
+
+#[test]
+fn two_pass_space_accounting_reported() {
+    let g = gen::erdos_renyi(60, 0.3, 10);
+    let out = build(&g, 2, 11, 1.0);
+    assert!(out.stats.pass1_bytes > 0);
+    assert!(out.stats.pass2_bytes > 0);
+    let bound = dsg_spanner::twopass::theorem1_space_bound_bytes(60, 2);
+    assert!((out.stats.pass1_bytes as f64) < bound);
+}
+
+#[test]
+fn weighted_streams_respect_remark14() {
+    let g = gen::with_random_weights(&gen::erdos_renyi(50, 0.2, 12), 1.0, 32.0, 13);
+    let stream = GraphStream::weighted_with_churn(&g, 1.0, 14);
+    let gamma = 0.5;
+    let out = SpannerBuilder::new(50)
+        .stretch_exponent(2)
+        .seed(15)
+        .build_weighted_from_stream(&stream, gamma);
+    let stretch = verify::max_weighted_stretch(&g, &out.spanner, 50);
+    assert!(
+        stretch <= 4.0 * (1.0 + gamma),
+        "weighted stretch {stretch} exceeds 2^k (1+gamma)"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let g = gen::erdos_renyi(40, 0.2, 16);
+    let a = build(&g, 2, 17, 1.0);
+    let b = build(&g, 2, 17, 1.0);
+    assert_eq!(a.spanner.edges(), b.spanner.edges());
+    assert_eq!(a.observed_edges, b.observed_edges);
+}
+
+#[test]
+fn observed_edges_cover_spanner_and_stay_real() {
+    let g = gen::erdos_renyi(45, 0.25, 18);
+    let out = build(&g, 2, 19, 1.0);
+    let observed: std::collections::HashSet<Edge> =
+        out.observed_edges.iter().copied().collect();
+    for e in out.spanner.edges() {
+        assert!(observed.contains(e));
+    }
+    for e in &out.observed_edges {
+        assert!(g.has_edge(e.u(), e.v()), "phantom observed edge {e}");
+    }
+}
+
+#[test]
+fn offline_and_streaming_agree_on_quality() {
+    let g = gen::erdos_renyi(60, 0.2, 20);
+    let params = SpannerParams::new(2, 21);
+    let offline = dsg_spanner::offline::build_spanner(&g, params);
+    let streaming = build(&g, 2, 21, 1.0);
+    let s_off = verify::max_multiplicative_stretch(&g, &offline.spanner, 60);
+    let s_str = verify::max_multiplicative_stretch(&g, &streaming.spanner, 60);
+    assert!(s_off <= 4.0 && s_str <= 4.0, "offline {s_off}, streaming {s_str}");
+    // Sizes in the same ballpark (same centers, same bound).
+    let ratio = streaming.spanner.num_edges() as f64 / offline.spanner.num_edges() as f64;
+    assert!((0.3..3.0).contains(&ratio), "size ratio {ratio}");
+}

@@ -1,0 +1,112 @@
+//! End-to-end integration tests for the two-pass streaming spectral
+//! sparsifier (Corollary 2) and its verification machinery.
+
+use dsg_core::prelude::*;
+use dsg_sparsifier::kp12::{measure_quality, unit_weighted};
+use dsg_sparsifier::{cut, resistance, spectral, ss08};
+
+fn small_params(seed: u64) -> SparsifierParams {
+    let mut p = SparsifierParams::new(2, 0.5, seed);
+    p.z_factor = 0.05;
+    p.j_factor = 0.4;
+    p
+}
+
+#[test]
+fn sparsifier_of_clique_is_spectrally_close() {
+    let g = gen::complete(28);
+    let stream = GraphStream::insert_only(&g, 1);
+    let out = SparsifierBuilder::new(28)
+        .params(small_params(2))
+        .build_from_stream(&stream);
+    let quality = measure_quality(&g, &out.sparsifier);
+    assert!(
+        quality.epsilon < 1.0,
+        "eps {} at disconnection level",
+        quality.epsilon
+    );
+    assert!(quality.edges > 0);
+}
+
+#[test]
+fn sparsifier_respects_deletions() {
+    let g = gen::erdos_renyi(26, 0.5, 3);
+    let stream = GraphStream::with_churn(&g, 1.0, 4);
+    let out = SparsifierBuilder::new(26)
+        .params(small_params(5))
+        .build_from_stream(&stream);
+    for (e, _) in out.sparsifier.edges() {
+        assert!(g.has_edge(e.u(), e.v()), "deleted/phantom edge {e} kept");
+    }
+}
+
+#[test]
+fn streaming_beats_naive_uniform_sampling_on_barbell() {
+    // The barbell's bridge is the classic case where uniform sampling
+    // fails and resistance-aware sampling (which the q̂ estimates emulate)
+    // succeeds: the bridge must be in the sparsifier.
+    let g = gen::barbell(10, 1); // bridge edge (9, 10)
+    let stream = GraphStream::insert_only(&g, 6);
+    let out = SparsifierBuilder::new(g.num_vertices())
+        .params(small_params(7))
+        .build_from_stream(&stream);
+    assert!(
+        out.sparsifier.weight(9, 10).is_some(),
+        "bridge missing from sparsifier"
+    );
+}
+
+#[test]
+fn ss08_baseline_tracks_resistances() {
+    let g = gen::with_random_weights(&gen::complete(30), 1.0, 1.0, 8);
+    let h = ss08::sparsify(&g, 0.5, 0.5, 9);
+    let eps = spectral::spectral_epsilon(
+        &Laplacian::from_weighted(&g),
+        &Laplacian::from_weighted(&h),
+    );
+    assert!(eps < 0.9, "SS08 eps {eps}");
+    // Cut deviation is bounded by the spectral epsilon.
+    let cut_dev = cut::max_cut_deviation(
+        &Laplacian::from_weighted(&g),
+        &Laplacian::from_weighted(&h),
+        200,
+        10,
+    );
+    assert!(cut_dev <= eps + 1e-9);
+}
+
+#[test]
+fn resistance_and_spectral_machinery_agree() {
+    // Foster's theorem as a cross-module invariant.
+    let g = gen::erdos_renyi(20, 0.4, 11);
+    let l = Laplacian::from_graph(&g);
+    let comps = dsg_graph::components::num_components(&g);
+    assert!((resistance::foster_sum(&l) - (20 - comps) as f64).abs() < 1e-4);
+    // And the unit-weighted view is spectrally identical to the graph.
+    let wg = unit_weighted(&g);
+    let eps = spectral::spectral_epsilon(&l, &Laplacian::from_weighted(&wg));
+    assert!(eps < 1e-9);
+}
+
+#[test]
+fn pipeline_space_is_subquadratic() {
+    let n = 30;
+    let g = gen::erdos_renyi(n, 0.5, 12);
+    let stream = GraphStream::insert_only(&g, 13);
+    let out = SparsifierBuilder::new(n)
+        .params(small_params(14))
+        .build_from_stream(&stream);
+    // Sanity ceiling: far below the n^2 trivial storage times instances.
+    let instances = out.stats.estimate_instances + out.stats.sample_instances;
+    assert!(instances > 10, "too few spanner instances ({instances})");
+    assert!(out.stats.sketch_bytes > 0);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let g = gen::erdos_renyi(22, 0.4, 15);
+    let stream = GraphStream::insert_only(&g, 16);
+    let a = SparsifierBuilder::new(22).params(small_params(17)).build_from_stream(&stream);
+    let b = SparsifierBuilder::new(22).params(small_params(17)).build_from_stream(&stream);
+    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+}

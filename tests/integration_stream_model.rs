@@ -1,0 +1,124 @@
+//! Integration tests for the dynamic-stream model itself: linearity of the
+//! whole sketch stack under insert/delete churn, multi-pass discipline, and
+//! the distributed-servers story from the paper's introduction.
+
+use dsg_core::prelude::*;
+use dsg_sketch::{DistinctEstimator, L0Sampler, SparseRecovery};
+
+#[test]
+fn sketches_cannot_tell_orderings_apart() {
+    // Linear sketches are order-oblivious: two different interleavings of
+    // the same multiset of updates give bit-identical state.
+    let g = gen::erdos_renyi(30, 0.3, 1);
+    let s1 = GraphStream::with_churn(&g, 1.0, 2);
+    let s2 = GraphStream::with_churn(&g, 1.0, 3); // different order/decoys…
+    // …so compare through the *final graph* sketch: stream the two final
+    // graphs' indicator updates into sketches.
+    let mut a = SparseRecovery::new(64, 9);
+    let mut b = SparseRecovery::new(64, 9);
+    for e in s1.final_graph().edges() {
+        a.update(e.index(30), 1);
+    }
+    for e in s2.final_graph().edges() {
+        b.update(e.index(30), 1);
+    }
+    assert_eq!(a.decode().unwrap(), b.decode().unwrap());
+}
+
+#[test]
+fn full_stack_linearity_under_churn() {
+    // Stream with churn == sketch of the final graph, across three sketch
+    // types.
+    let n = 40;
+    let g = gen::erdos_renyi(n, 0.2, 4);
+    let stream = GraphStream::with_churn(&g, 2.0, 5);
+
+    let mut l0_stream = L0Sampler::new(20, 6);
+    let mut l0_final = L0Sampler::new(20, 6);
+    let mut de_stream = DistinctEstimator::new(20, 0.5, 5, 7);
+    let mut de_final = DistinctEstimator::new(20, 0.5, 5, 7);
+
+    for up in stream.updates() {
+        let coord = up.edge.index(n);
+        l0_stream.update(coord, up.delta as i128);
+        de_stream.update(coord, up.delta as i128);
+    }
+    for e in g.edges() {
+        let coord = e.index(n);
+        l0_final.update(coord, 1);
+        de_final.update(coord, 1);
+    }
+    assert_eq!(de_stream.estimate().unwrap(), de_final.estimate().unwrap());
+    assert_eq!(l0_stream.sample().unwrap(), l0_final.sample().unwrap());
+}
+
+#[test]
+fn distributed_servers_compose() {
+    // The paper's motivation: s servers hold update shards; communicating
+    // sketches (not edges) suffices. Check the merged sketch decodes the
+    // union exactly.
+    let n = 25;
+    let g = gen::erdos_renyi(n, 0.25, 8);
+    let stream = GraphStream::with_churn(&g, 1.0, 9);
+    let servers = 5;
+    let mut shards: Vec<SparseRecovery> =
+        (0..servers).map(|_| SparseRecovery::new(256, 10)).collect();
+    for (i, up) in stream.updates().iter().enumerate() {
+        shards[i % servers].update(up.edge.index(n), up.delta as i128);
+    }
+    let mut merged = shards.remove(0);
+    for s in &shards {
+        merged.merge(s);
+    }
+    let decoded: Vec<Edge> = merged
+        .decode()
+        .unwrap()
+        .into_iter()
+        .map(|(coord, mult)| {
+            assert_eq!(mult, 1, "multiplicity corrupted");
+            let (u, v) = dsg_graph::index_to_pair(coord, n);
+            Edge::new(u, v)
+        })
+        .collect();
+    assert_eq!(decoded, g.edges());
+}
+
+#[test]
+fn pass_driver_enforces_declared_passes() {
+    struct TwoPhase {
+        seen: Vec<(usize, usize)>, // (pass, updates)
+    }
+    impl StreamAlgorithm for TwoPhase {
+        fn num_passes(&self) -> usize {
+            2
+        }
+        fn begin_pass(&mut self, pass: usize) {
+            self.seen.push((pass, 0));
+        }
+        fn process(&mut self, _up: &StreamUpdate) {
+            self.seen.last_mut().unwrap().1 += 1;
+        }
+        fn end_pass(&mut self, _pass: usize) {}
+    }
+    let g = gen::cycle(12);
+    let stream = GraphStream::with_churn(&g, 1.0, 11);
+    let mut alg = TwoPhase { seen: vec![] };
+    dsg_graph::pass::run(&mut alg, &stream);
+    assert_eq!(alg.seen.len(), 2);
+    assert_eq!(alg.seen[0].1, stream.len());
+    assert_eq!(alg.seen[0].1, alg.seen[1].1, "passes saw different streams");
+}
+
+#[test]
+fn weighted_model_forbids_weight_drift() {
+    // The model: deletion removes the edge with its known weight. The
+    // stream generator must never emit two weights for one edge.
+    let g = gen::with_random_weights(&gen::erdos_renyi(20, 0.3, 12), 1.0, 8.0, 13);
+    let stream = GraphStream::weighted_with_churn(&g, 2.0, 14);
+    let mut seen: std::collections::HashMap<Edge, f64> = std::collections::HashMap::new();
+    for up in stream.updates() {
+        let w = seen.entry(up.edge).or_insert(up.weight);
+        assert_eq!(*w, up.weight, "weight drift on {}", up.edge);
+    }
+    assert_eq!(stream.final_weighted_graph(), g);
+}
