@@ -44,7 +44,9 @@ impl KConnectivitySketch {
         assert!(k > 0, "need at least one layer");
         let tree = dsg_hash::SeedTree::new(seed ^ 0x4B43_4F4E_4E31); // "KCONN1"
         Self {
-            layers: (0..k).map(|i| AgmSketch::new(n, tree.child(i as u64).seed())).collect(),
+            layers: (0..k)
+                .map(|i| AgmSketch::new(n, tree.child(i as u64).seed()))
+                .collect(),
         }
     }
 
@@ -66,11 +68,11 @@ impl KConnectivitySketch {
     pub fn certificate(&self) -> Vec<Edge> {
         let mut peeled: Vec<Edge> = Vec::new();
         let mut layers = self.layers.clone();
-        for i in 0..layers.len() {
+        for layer in &mut layers {
             // Subtract everything already taken from this layer, then
             // extract its forest.
-            layers[i].subtract_edges(peeled.iter());
-            let forest = layers[i].spanning_forest();
+            layer.subtract_edges(peeled.iter());
+            let forest = layer.spanning_forest();
             peeled.extend(forest.edges);
         }
         peeled.sort_unstable();
@@ -130,9 +132,16 @@ mod tests {
         let cert = sk.certificate();
         assert!(is_connected(16, &cert));
         for skip in 0..cert.len() {
-            let reduced: Vec<Edge> =
-                cert.iter().enumerate().filter(|&(i, _)| i != skip).map(|(_, e)| *e).collect();
-            assert!(is_connected(16, &reduced), "removing edge {skip} disconnected certificate");
+            let reduced: Vec<Edge> = cert
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, e)| *e)
+                .collect();
+            assert!(
+                is_connected(16, &reduced),
+                "removing edge {skip} disconnected certificate"
+            );
         }
     }
 
@@ -145,7 +154,11 @@ mod tests {
             sk.update(*e, 1);
         }
         let cert = sk.certificate();
-        assert!(cert.len() <= k * 11, "certificate too large: {}", cert.len());
+        assert!(
+            cert.len() <= k * 11,
+            "certificate too large: {}",
+            cert.len()
+        );
         assert!(is_connected(12, &cert));
     }
 
@@ -162,6 +175,10 @@ mod tests {
         }
         let cert = sk.certificate();
         let h = Graph::from_edges(8, cert.clone());
-        assert_eq!(h.adjacency().degree(0), 0, "deleted edges reappeared: {cert:?}");
+        assert_eq!(
+            h.adjacency().degree(0),
+            0,
+            "deleted edges reappeared: {cert:?}"
+        );
     }
 }

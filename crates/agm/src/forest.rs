@@ -91,9 +91,15 @@ impl AgmSketch {
         let families: Vec<L0Family> = (0..rounds)
             .map(|r| L0Family::new(universe_bits, tree.child(r as u64).seed()))
             .collect();
-        let states =
-            families.iter().map(|f| (0..n).map(|_| f.new_state()).collect()).collect();
-        Self { n, families, states }
+        let states = families
+            .iter()
+            .map(|f| (0..n).map(|_| f.new_state()).collect())
+            .collect();
+        Self {
+            n,
+            families,
+            states,
+        }
     }
 
     /// Number of vertices.
@@ -141,7 +147,11 @@ impl AgmSketch {
     /// Panics if the sketches are incompatible.
     pub fn merge(&mut self, other: &AgmSketch) {
         assert_eq!(self.n, other.n, "vertex count mismatch");
-        assert_eq!(self.num_rounds(), other.num_rounds(), "round count mismatch");
+        assert_eq!(
+            self.num_rounds(),
+            other.num_rounds(),
+            "round count mismatch"
+        );
         for (mine, theirs) in self.states.iter_mut().zip(&other.states) {
             for (a, b) in mine.iter_mut().zip(theirs) {
                 a.merge(b);
@@ -264,7 +274,11 @@ mod tests {
         let g = gen::erdos_renyi(50, 0.15, 1);
         let sk = sketch_graph(&g, 2);
         let f = sk.spanning_forest();
-        assert!(is_spanning_forest(&g, &f.edges), "failures={}", f.decode_failures);
+        assert!(
+            is_spanning_forest(&g, &f.edges),
+            "failures={}",
+            f.decode_failures
+        );
     }
 
     #[test]
@@ -327,7 +341,7 @@ mod tests {
         let g = gen::complete(6);
         let sk = sketch_graph(&g, 8);
         // One big part: no crossing edges at all.
-        let f = sk.spanning_forest_with_partition(&vec![0; 6]);
+        let f = sk.spanning_forest_with_partition(&[0; 6]);
         assert!(f.edges.is_empty());
     }
 

@@ -55,9 +55,15 @@ impl MsfSketch {
         assert!(w_min > 0.0 && w_max >= w_min, "invalid weight range");
         let classes = ((w_max / w_min).ln() / (1.0 + gamma).ln()).floor() as usize + 1;
         let tree = dsg_hash::SeedTree::new(seed ^ 0x4D53_4653_4B45_5431); // "MSFSKET1"
-        let layers =
-            (0..classes).map(|i| AgmSketch::new(n, tree.child(i as u64).seed())).collect();
-        Self { n, gamma, w_min, layers }
+        let layers = (0..classes)
+            .map(|i| AgmSketch::new(n, tree.child(i as u64).seed()))
+            .collect();
+        Self {
+            n,
+            gamma,
+            w_min,
+            layers,
+        }
     }
 
     /// Number of weight classes (sketch layers).
@@ -84,7 +90,10 @@ impl MsfSketch {
     ///
     /// Panics if the weight is not positive and finite.
     pub fn update(&mut self, edge: Edge, weight: f64, delta: i128) {
-        assert!(weight.is_finite() && weight > 0.0, "invalid weight {weight}");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "invalid weight {weight}"
+        );
         let class = self.class_of(weight);
         for layer in &mut self.layers[class..] {
             layer.update(edge, delta);

@@ -52,7 +52,10 @@ pub fn additive(scale: Scale) {
         t2.add_row(&[
             d.to_string(),
             out.spanner.num_edges().to_string(),
-            format!("{:.1}%", 100.0 * out.spanner.num_edges() as f64 / g2.num_edges() as f64),
+            format!(
+                "{:.1}%",
+                100.0 * out.spanner.num_edges() as f64 / g2.num_edges() as f64
+            ),
             distortion.to_string(),
             (8 * kn / d).to_string(),
         ]);

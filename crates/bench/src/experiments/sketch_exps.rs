@@ -12,7 +12,12 @@ pub fn sparse_recovery(scale: Scale) {
     println!("\n## E10 — SKETCH_B decode success vs support (budget B = 16)\n");
     let budget = 16;
     let trials = scale.pick(300u64, 100);
-    let mut t = Table::new(&["support", "success rate", "false decodes", "bytes (nominal)"]);
+    let mut t = Table::new(&[
+        "support",
+        "success rate",
+        "false decodes",
+        "bytes (nominal)",
+    ]);
     for support in [4usize, 8, 16, 24, 32, 48, 64, 96, 128] {
         let mut outcomes = Vec::new();
         let mut false_decodes = 0usize;

@@ -31,8 +31,7 @@ pub fn spanner_size(scale: Scale) {
         for k in [1usize, 2, 3] {
             let g = dense_input(n, 7 + n as u64);
             let out = run_spanner(&g, k, 100 + k as u64);
-            let bound =
-                k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64) * (n as f64).log2();
+            let bound = k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64) * (n as f64).log2();
             t.add_row(&[
                 n.to_string(),
                 k.to_string(),
@@ -121,7 +120,12 @@ pub fn cluster_expansion(scale: Scale) {
     let g = gen::erdos_renyi(n, 3.0 / n as f64, 13);
     let out = run_spanner(&g, k, 400);
     let adj = g.adjacency();
-    let mut t = Table::new(&["level i", "terminals", "max |N(T_u)|", "bound log2(n)*n^((i+1)/k)"]);
+    let mut t = Table::new(&[
+        "level i",
+        "terminals",
+        "max |N(T_u)|",
+        "bound log2(n)*n^((i+1)/k)",
+    ]);
     for i in 0..k {
         let mut max_nbhd = 0usize;
         let mut count = 0usize;
@@ -159,7 +163,13 @@ pub fn cluster_diameter(scale: Scale) {
     let k = 3;
     let g = dense_input(n, 17);
     let out = run_spanner(&g, k, 500);
-    let mut t = Table::new(&["level i", "clusters", "max diameter", "bound 2^(i+1)-2", "violations"]);
+    let mut t = Table::new(&[
+        "level i",
+        "clusters",
+        "max diameter",
+        "bound 2^(i+1)-2",
+        "violations",
+    ]);
     for i in 0..k {
         let mut max_d = 0u32;
         let mut count = 0usize;
@@ -228,7 +238,14 @@ pub fn baseline_compare(scale: Scale) {
     println!("\n## E14 — two-pass 2^k vs Baswana–Sen (2k-1) vs offline basic algorithm\n");
     let n = scale.pick(256, 96);
     let g = dense_input(n, 31);
-    let mut t = Table::new(&["algorithm", "model", "passes", "stretch bound", "measured", "edges"]);
+    let mut t = Table::new(&[
+        "algorithm",
+        "model",
+        "passes",
+        "stretch bound",
+        "measured",
+        "edges",
+    ]);
     for k in [2usize, 3] {
         let stream_out = run_spanner(&g, k, 700 + k as u64);
         let s1 = verify::max_multiplicative_stretch(&g, &stream_out.spanner, n.min(80));

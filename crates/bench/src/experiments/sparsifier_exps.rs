@@ -15,7 +15,10 @@ pub fn sparsifier(scale: Scale) {
     println!("\n## E8 — two-pass streaming sparsifier: eps vs sampling rounds\n");
     let n = scale.pick(32, 24);
     let g = gen::complete(n);
-    println!("input: K_{n} ({} edges), streamed with churn\n", g.num_edges());
+    println!(
+        "input: K_{n} ({} edges), streamed with churn\n",
+        g.num_edges()
+    );
     let mut t = Table::new(&[
         "z_factor",
         "rounds Z",
@@ -69,7 +72,10 @@ pub fn ss08(scale: Scale) {
             format!("{eps:.1}"),
             format!("{oversample:.1}"),
             h.num_edges().to_string(),
-            format!("{:.1}%", 100.0 * h.num_edges() as f64 / g.num_edges() as f64),
+            format!(
+                "{:.1}%",
+                100.0 * h.num_edges() as f64 / g.num_edges() as f64
+            ),
             format!("{measured:.3}"),
         ]);
     }
@@ -94,11 +100,20 @@ pub fn connectivity_estimates(scale: Scale) {
         .map(|(e, _, r)| (r, est.query(e)))
         .collect();
     rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-    let mut t = Table::new(&["R_e bucket", "edges", "mean q-hat", "min q-hat", "max q-hat"]);
+    let mut t = Table::new(&[
+        "R_e bucket",
+        "edges",
+        "mean q-hat",
+        "min q-hat",
+        "max q-hat",
+    ]);
     let buckets = [(0.0, 0.25), (0.25, 0.75), (0.75, 1.01)];
     for (lo, hi) in buckets {
-        let sel: Vec<f64> =
-            rows.iter().filter(|(r, _)| *r >= lo && *r < hi).map(|(_, q)| *q).collect();
+        let sel: Vec<f64> = rows
+            .iter()
+            .filter(|(r, _)| *r >= lo && *r < hi)
+            .map(|(_, q)| *q)
+            .collect();
         if sel.is_empty() {
             continue;
         }

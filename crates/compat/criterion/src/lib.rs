@@ -1,0 +1,280 @@
+//! A minimal, dependency-free shim for the subset of the
+//! [`criterion`](https://docs.rs/criterion) API used by this workspace's
+//! benchmarks. The build environment has no crates.io access, so the
+//! workspace vendors this stand-in as a path dependency.
+//!
+//! Unlike a pure compile-only stub, this shim actually measures: each
+//! benchmark is warmed up, then timed over `sample_size` samples with
+//! auto-calibrated iteration counts, and the median / min / max
+//! per-iteration times are printed in a criterion-like format:
+//!
+//! ```text
+//! sparse_recovery/update/8  time: [41 ns 43 ns 55 ns]  (20 samples × 1165536 iters)
+//! ```
+//!
+//! `cargo bench` also honours a trailing filter argument, so
+//! `cargo bench -p dsg-bench --bench sketch_ops -- decode` runs only the
+//! matching benchmark ids, and `--test`/`--list` (passed by `cargo test`,
+//! which runs bench targets once) are handled.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, as `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut list_only = false;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--list" => list_only = true,
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--exact" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            list_only,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, 20, &mut f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.list_only {
+            println!("{id}: benchmark");
+            return;
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{id}: bench ok");
+            return;
+        }
+        b.report(id);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&id, sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f(bencher, input)` under `self.name/id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        let sample_size = self.sample_size;
+        self.criterion
+            .run_one(&id, sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, as `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Function-plus-parameter id, rendered `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure, as
+/// `criterion::Bencher`.
+pub struct Bencher {
+    /// (iterations, elapsed) per sample; filled by [`iter`](Bencher::iter).
+    samples: Vec<(u64, Duration)>,
+    /// How many timed samples to collect (the group's `sample_size`).
+    sample_size: usize,
+    test_mode: bool,
+}
+
+/// Target wall time per sample; with warmup and the default 20 samples this
+/// keeps one benchmark around a quarter second.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+impl Bencher {
+    /// Measures `f`, storing samples for the caller's report. In test mode
+    /// (`cargo test` runs bench targets with `--test`) runs `f` once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Calibrate: grow the per-sample iteration count until a sample
+        // takes long enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= SAMPLE_TARGET / 2 || iters >= 1 << 30 {
+                break;
+            }
+            iters = if dt.is_zero() {
+                iters * 16
+            } else {
+                // Aim straight for the target, with headroom.
+                let scale = SAMPLE_TARGET.as_nanos() as f64 / dt.as_nanos().max(1) as f64;
+                (iters as f64 * scale * 1.2).ceil() as u64
+            };
+        }
+        // Warmup already happened during calibration; now sample.
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push((iters, t0.elapsed()));
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id}: no samples (b.iter never called)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(iters, dt)| dt.as_nanos() as f64 / *iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        let median = per_iter[per_iter.len() / 2];
+        let iters = self.samples[0].0;
+        println!(
+            "{id}  time: [{} {} {}]  ({} samples × {iters} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max),
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, as `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

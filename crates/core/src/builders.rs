@@ -36,7 +36,10 @@ impl SpannerBuilder {
     /// Starts a builder for graphs on `n` vertices (defaults: `k = 2`,
     /// seed 0).
     pub fn new(n: usize) -> Self {
-        Self { n, params: SpannerParams::new(2, 0) }
+        Self {
+            n,
+            params: SpannerParams::new(2, 0),
+        }
     }
 
     /// Sets the hierarchy depth `k` (stretch `2^k`).
@@ -76,11 +79,7 @@ impl SpannerBuilder {
 
     /// Runs the weighted variant (Remark 14) with rounding parameter
     /// `gamma` over a weighted stream.
-    pub fn build_weighted_from_stream(
-        &self,
-        stream: &GraphStream,
-        gamma: f64,
-    ) -> WeightedOutput {
+    pub fn build_weighted_from_stream(&self, stream: &GraphStream, gamma: f64) -> WeightedOutput {
         assert_eq!(stream.num_vertices(), self.n, "vertex count mismatch");
         let mut alg = WeightedTwoPassSpanner::new(self.n, gamma, self.params);
         pass::run(&mut alg, stream);
@@ -110,7 +109,10 @@ impl AdditiveSpannerBuilder {
     /// Starts a builder for graphs on `n` vertices (defaults: `d = 8`,
     /// seed 0).
     pub fn new(n: usize) -> Self {
-        Self { n, params: AdditiveParams::new(8, 0) }
+        Self {
+            n,
+            params: AdditiveParams::new(8, 0),
+        }
     }
 
     /// Sets the degree parameter `d` (space `~O(nd)`, distortion
@@ -172,7 +174,10 @@ impl SparsifierBuilder {
     /// Starts a builder for graphs on `n` vertices (defaults: `k = 2`,
     /// `eps = 0.5`, seed 0).
     pub fn new(n: usize) -> Self {
-        Self { n, params: SparsifierParams::new(2, 0.5, 0) }
+        Self {
+            n,
+            params: SparsifierParams::new(2, 0.5, 0),
+        }
     }
 
     /// Sets the target precision.
@@ -241,7 +246,9 @@ mod tests {
     fn additive_builder_defaults() {
         let g = gen::erdos_renyi(40, 0.2, 4);
         let stream = GraphStream::insert_only(&g, 5);
-        let out = AdditiveSpannerBuilder::new(40).seed(6).build_from_stream(&stream);
+        let out = AdditiveSpannerBuilder::new(40)
+            .seed(6)
+            .build_from_stream(&stream);
         assert!(out.spanner.num_edges() > 0);
     }
 
@@ -257,7 +264,9 @@ mod tests {
     fn weighted_build_runs() {
         let g = gen::with_random_weights(&gen::cycle(20), 1.0, 4.0, 7);
         let stream = GraphStream::weighted_with_churn(&g, 0.5, 8);
-        let out = SpannerBuilder::new(20).seed(9).build_weighted_from_stream(&stream, 0.5);
+        let out = SpannerBuilder::new(20)
+            .seed(9)
+            .build_weighted_from_stream(&stream, 0.5);
         assert!(out.spanner.num_edges() > 0);
     }
 }

@@ -54,12 +54,14 @@ pub use dsg_util as util;
 
 pub mod builders;
 
-pub use builders::{AdditiveSpannerBuilder, SparsifierBuilder, SpannerBuilder};
+pub use builders::{AdditiveSpannerBuilder, SpannerBuilder, SparsifierBuilder};
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
-    pub use crate::builders::{AdditiveSpannerBuilder, SparsifierBuilder, SpannerBuilder};
-    pub use dsg_graph::{gen, Edge, Graph, GraphStream, StreamAlgorithm, StreamUpdate, Vertex, WeightedGraph};
+    pub use crate::builders::{AdditiveSpannerBuilder, SpannerBuilder, SparsifierBuilder};
+    pub use dsg_graph::{
+        gen, Edge, Graph, GraphStream, StreamAlgorithm, StreamUpdate, Vertex, WeightedGraph,
+    };
     pub use dsg_spanner::{verify, AdditiveParams, SpannerParams};
     pub use dsg_sparsifier::{Laplacian, SparsifierParams};
     pub use dsg_util::{SpaceUsage, Summary, Table};

@@ -66,13 +66,19 @@ pub fn bfs_distances_bounded(adj: &Adjacency, src: Vertex, radius: u32) -> Vec<u
 /// All-pairs shortest paths by repeated BFS. Quadratic memory — intended
 /// for verification at experiment scales.
 pub fn apsp(adj: &Adjacency) -> Vec<Vec<u32>> {
-    (0..adj.num_vertices() as Vertex).map(|s| bfs_distances(adj, s)).collect()
+    (0..adj.num_vertices() as Vertex)
+        .map(|s| bfs_distances(adj, s))
+        .collect()
 }
 
 /// The eccentricity-based diameter of the component containing `src`
 /// (maximum finite distance from `src`).
 pub fn eccentricity(adj: &Adjacency, src: Vertex) -> u32 {
-    bfs_distances(adj, src).into_iter().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+    bfs_distances(adj, src)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -118,9 +124,9 @@ mod tests {
     fn apsp_symmetric() {
         let g = gen::grid(4, 4);
         let all = apsp(&g.adjacency());
-        for u in 0..16 {
-            for v in 0..16 {
-                assert_eq!(all[u][v], all[v][u]);
+        for (u, row) in all.iter().enumerate() {
+            for (v, &d) in row.iter().enumerate() {
+                assert_eq!(d, all[v][u]);
             }
         }
         assert_eq!(all[0][15], 6); // manhattan distance corner-to-corner

@@ -30,7 +30,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
     }
 
     /// The representative of `x`'s set.

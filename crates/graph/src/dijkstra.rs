@@ -41,7 +41,11 @@ impl WeightedAdjacency {
             weights[cursor[v as usize]] = *w;
             cursor[v as usize] += 1;
         }
-        Self { offsets, targets, weights }
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Number of vertices.
@@ -51,7 +55,9 @@ impl WeightedAdjacency {
 
     fn edges_of(&self, u: Vertex) -> impl Iterator<Item = (Vertex, f64)> + '_ {
         let range = self.offsets[u as usize]..self.offsets[u as usize + 1];
-        range.clone().map(move |i| (self.targets[i], self.weights[i]))
+        range
+            .clone()
+            .map(move |i| (self.targets[i], self.weights[i]))
     }
 }
 
@@ -66,7 +72,10 @@ impl Eq for HeapItem {}
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on distance; distances are finite non-NaN by invariant.
-        other.dist.partial_cmp(&self.dist).expect("no NaN distances")
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("no NaN distances")
     }
 }
 
@@ -93,8 +102,15 @@ pub fn dijkstra_distances(adj: &WeightedAdjacency, src: Vertex) -> Vec<f64> {
     let mut dist = vec![f64::INFINITY; n];
     let mut heap = BinaryHeap::new();
     dist[src as usize] = 0.0;
-    heap.push(HeapItem { dist: 0.0, vertex: src });
-    while let Some(HeapItem { dist: du, vertex: u }) = heap.pop() {
+    heap.push(HeapItem {
+        dist: 0.0,
+        vertex: src,
+    });
+    while let Some(HeapItem {
+        dist: du,
+        vertex: u,
+    }) = heap.pop()
+    {
         if du > dist[u as usize] {
             continue; // stale entry
         }
@@ -102,7 +118,10 @@ pub fn dijkstra_distances(adj: &WeightedAdjacency, src: Vertex) -> Vec<f64> {
             let cand = du + len;
             if cand < dist[w as usize] {
                 dist[w as usize] = cand;
-                heap.push(HeapItem { dist: cand, vertex: w });
+                heap.push(HeapItem {
+                    dist: cand,
+                    vertex: w,
+                });
             }
         }
     }
@@ -134,7 +153,11 @@ mod tests {
         // 0-2 direct costs 10; 0-1-2 costs 3.
         let g = WeightedGraph::from_edges(
             3,
-            [(Edge::new(0, 2), 10.0), (Edge::new(0, 1), 1.0), (Edge::new(1, 2), 2.0)],
+            [
+                (Edge::new(0, 2), 10.0),
+                (Edge::new(0, 1), 1.0),
+                (Edge::new(1, 2), 2.0),
+            ],
         );
         let d = dijkstra_distances(&WeightedAdjacency::new(&g), 0);
         assert_eq!(d[2], 3.0);

@@ -46,15 +46,21 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
         let idx = rng.next_below(num_pairs(n));
         set.insert(idx);
     }
-    Graph::from_edges(n, set.into_iter().map(|i| {
-        let (u, v) = index_to_pair(i, n);
-        Edge::new(u, v)
-    }))
+    Graph::from_edges(
+        n,
+        set.into_iter().map(|i| {
+            let (u, v) = index_to_pair(i, n);
+            Edge::new(u, v)
+        }),
+    )
 }
 
 /// Path `0 - 1 - … - (n-1)`.
 pub fn path(n: usize) -> Graph {
-    Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| Edge::new(i as Vertex, i as Vertex + 1)))
+    Graph::from_edges(
+        n,
+        (0..n.saturating_sub(1)).map(|i| Edge::new(i as Vertex, i as Vertex + 1)),
+    )
 }
 
 /// Cycle on `n >= 3` vertices.
@@ -64,8 +70,9 @@ pub fn path(n: usize) -> Graph {
 /// Panics if `n < 3`.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "a cycle needs at least 3 vertices");
-    let mut edges: Vec<Edge> =
-        (0..n - 1).map(|i| Edge::new(i as Vertex, i as Vertex + 1)).collect();
+    let mut edges: Vec<Edge> = (0..n - 1)
+        .map(|i| Edge::new(i as Vertex, i as Vertex + 1))
+        .collect();
     edges.push(Edge::new(0, (n - 1) as Vertex));
     Graph::from_edges(n, edges)
 }
@@ -212,12 +219,17 @@ pub fn lower_bound_instance(blocks: usize, d: usize, seed: u64) -> (Graph, Vec<(
 ///
 /// Panics if the range is invalid or non-positive.
 pub fn with_random_weights(g: &Graph, w_min: f64, w_max: f64, seed: u64) -> WeightedGraph {
-    assert!(w_min > 0.0 && w_max >= w_min, "invalid weight range [{w_min}, {w_max}]");
+    assert!(
+        w_min > 0.0 && w_max >= w_min,
+        "invalid weight range [{w_min}, {w_max}]"
+    );
     let mut rng = SplitMix64::new(seed);
     let (lo, hi) = (w_min.ln(), w_max.ln());
     WeightedGraph::from_edges(
         g.num_vertices(),
-        g.edges().iter().map(|&e| (e, (lo + rng.next_f64() * (hi - lo)).exp())),
+        g.edges()
+            .iter()
+            .map(|&e| (e, (lo + rng.next_f64() * (hi - lo)).exp())),
     )
 }
 
@@ -272,7 +284,10 @@ mod tests {
     fn barbell_connected_with_long_distance() {
         let g = barbell(10, 5);
         let labels = connected_components(&g);
-        assert!(labels.iter().all(|&c| c == labels[0]), "barbell must be connected");
+        assert!(
+            labels.iter().all(|&c| c == labels[0]),
+            "barbell must be connected"
+        );
         let dist = crate::bfs::bfs_distances(&g.adjacency(), 0);
         let far = *dist.iter().max().unwrap();
         assert!(far >= 6, "far={far}");

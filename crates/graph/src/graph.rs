@@ -30,7 +30,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Builds a graph from an edge collection, deduplicating.
@@ -85,7 +88,12 @@ impl Graph {
     pub fn minus(&self, other: &HashSet<Edge>) -> Graph {
         Graph {
             n: self.n,
-            edges: self.edges.iter().filter(|e| !other.contains(e)).copied().collect(),
+            edges: self
+                .edges
+                .iter()
+                .filter(|e| !other.contains(e))
+                .copied()
+                .collect(),
         }
     }
 }
@@ -158,7 +166,10 @@ pub struct WeightedGraph {
 impl WeightedGraph {
     /// Creates an empty weighted graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Builds a weighted graph from `(edge, weight)` pairs.
@@ -175,7 +186,10 @@ impl WeightedGraph {
         }
         for (e, w) in &list {
             assert!((e.v() as usize) < n, "edge {e} out of range for n={n}");
-            assert!(w.is_finite() && *w > 0.0, "weight {w} for {e} must be positive");
+            assert!(
+                w.is_finite() && *w > 0.0,
+                "weight {w} for {e} must be positive"
+            );
         }
         Self { n, edges: list }
     }
@@ -225,7 +239,10 @@ impl WeightedGraph {
             return None;
         }
         let e = Edge::new(u, v);
-        self.edges.binary_search_by_key(&e, |(e, _)| *e).ok().map(|i| self.edges[i].1)
+        self.edges
+            .binary_search_by_key(&e, |(e, _)| *e)
+            .ok()
+            .map(|i| self.edges[i].1)
     }
 }
 

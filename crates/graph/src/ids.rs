@@ -143,7 +143,7 @@ pub fn index_to_pair(index: u64, n: usize) -> (Vertex, Vertex) {
     let offset = |u: u64| u * (nu - 1) - u * (u.saturating_sub(1)) / 2;
     let (mut lo, mut hi) = (0u64, nu - 1);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if offset(mid) <= index {
             lo = mid;
         } else {
@@ -199,7 +199,13 @@ mod tests {
     #[test]
     fn pair_index_large_n() {
         let n = 1_000_000usize;
-        let cases = [(0, 1), (0, 999_999), (1, 2), (499_999, 500_000), (999_998, 999_999)];
+        let cases = [
+            (0, 1),
+            (0, 999_999),
+            (1, 2),
+            (499_999, 500_000),
+            (999_998, 999_999),
+        ];
         for (u, v) in cases {
             let idx = pair_to_index(u, v, n);
             assert_eq!(index_to_pair(idx, n), (u, v));

@@ -53,10 +53,7 @@ mod tests {
 
     #[test]
     fn forest_of_disconnected_graph() {
-        let g = WeightedGraph::from_edges(
-            5,
-            [(Edge::new(0, 1), 1.0), (Edge::new(3, 4), 2.0)],
-        );
+        let g = WeightedGraph::from_edges(5, [(Edge::new(0, 1), 1.0), (Edge::new(3, 4), 2.0)]);
         let (edges, weight) = minimum_spanning_forest(&g);
         assert_eq!(edges.len(), 2);
         assert_eq!(weight, 3.0);
@@ -66,7 +63,11 @@ mod tests {
     fn picks_cheapest_cycle_break() {
         let g = WeightedGraph::from_edges(
             3,
-            [(Edge::new(0, 1), 5.0), (Edge::new(1, 2), 1.0), (Edge::new(0, 2), 2.0)],
+            [
+                (Edge::new(0, 1), 5.0),
+                (Edge::new(1, 2), 1.0),
+                (Edge::new(0, 2), 2.0),
+            ],
         );
         let (edges, weight) = minimum_spanning_forest(&g);
         assert_eq!(weight, 3.0);

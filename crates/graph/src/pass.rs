@@ -87,7 +87,11 @@ mod tests {
     fn driver_runs_declared_passes_in_order() {
         let g = gen::path(6);
         let stream = GraphStream::with_churn(&g, 1.0, 3);
-        let mut alg = Recorder { begins: vec![], ends: vec![], per_pass_updates: vec![] };
+        let mut alg = Recorder {
+            begins: vec![],
+            ends: vec![],
+            per_pass_updates: vec![],
+        };
         run(&mut alg, &stream);
         assert_eq!(alg.begins, vec![0, 1, 2]);
         assert_eq!(alg.ends, vec![0, 1, 2]);

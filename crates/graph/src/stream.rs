@@ -30,12 +30,20 @@ pub struct StreamUpdate {
 impl StreamUpdate {
     /// An unweighted insertion.
     pub fn insert(u: Vertex, v: Vertex) -> Self {
-        Self { edge: Edge::new(u, v), delta: 1, weight: 1.0 }
+        Self {
+            edge: Edge::new(u, v),
+            delta: 1,
+            weight: 1.0,
+        }
     }
 
     /// An unweighted deletion.
     pub fn delete(u: Vertex, v: Vertex) -> Self {
-        Self { edge: Edge::new(u, v), delta: -1, weight: 1.0 }
+        Self {
+            edge: Edge::new(u, v),
+            delta: -1,
+            weight: 1.0,
+        }
     }
 }
 
@@ -81,10 +89,17 @@ impl GraphStream {
         let mut updates: Vec<StreamUpdate> = g
             .edges()
             .iter()
-            .map(|e| StreamUpdate { edge: *e, delta: 1, weight: 1.0 })
+            .map(|e| StreamUpdate {
+                edge: *e,
+                delta: 1,
+                weight: 1.0,
+            })
             .collect();
         shuffle(&mut updates, seed);
-        Self { n: g.num_vertices(), updates }
+        Self {
+            n: g.num_vertices(),
+            updates,
+        }
     }
 
     /// A stream with deletions: inserts all of `g` plus `churn` × |E(g)|
@@ -119,13 +134,27 @@ impl GraphStream {
         let mut phase1: Vec<StreamUpdate> = g
             .edges()
             .iter()
-            .map(|e| StreamUpdate { edge: *e, delta: 1, weight: 1.0 })
-            .chain(decoys.iter().map(|e| StreamUpdate { edge: *e, delta: 1, weight: 1.0 }))
+            .map(|e| StreamUpdate {
+                edge: *e,
+                delta: 1,
+                weight: 1.0,
+            })
+            .chain(decoys.iter().map(|e| StreamUpdate {
+                edge: *e,
+                delta: 1,
+                weight: 1.0,
+            }))
             .collect();
         shuffle(&mut phase1, rng.next_u64());
         // Phase 2: decoy deletes, shuffled.
-        let mut phase2: Vec<StreamUpdate> =
-            decoys.iter().map(|e| StreamUpdate { edge: *e, delta: -1, weight: 1.0 }).collect();
+        let mut phase2: Vec<StreamUpdate> = decoys
+            .iter()
+            .map(|e| StreamUpdate {
+                edge: *e,
+                delta: -1,
+                weight: 1.0,
+            })
+            .collect();
         shuffle(&mut phase2, rng.next_u64());
         // Interleave: phase-2 updates are spliced into the second half, so
         // deletions race with late insertions without going negative.
@@ -183,9 +212,9 @@ impl GraphStream {
                 } else {
                     // Decoy edge: a stable random weight within range, shared
                     // by its insertion and deletion.
-                    let w = *decoy_weights.entry(up.edge).or_insert_with(|| {
-                        w_lo + rng.next_f64() * (w_hi - w_lo)
-                    });
+                    let w = *decoy_weights
+                        .entry(up.edge)
+                        .or_insert_with(|| w_lo + rng.next_f64() * (w_hi - w_lo));
                     up.weight = w;
                 }
                 up
@@ -236,7 +265,9 @@ impl GraphStream {
         }
         WeightedGraph::from_edges(
             self.n,
-            mult.into_iter().filter(|&(_, (m, _))| m > 0).map(|(e, (_, w))| (e, w)),
+            mult.into_iter()
+                .filter(|&(_, (m, _))| m > 0)
+                .map(|(e, (_, w))| (e, w)),
         )
     }
 
@@ -327,7 +358,12 @@ mod tests {
         for up in s.updates() {
             match seen.entry(up.edge) {
                 std::collections::hash_map::Entry::Occupied(o) => {
-                    assert_eq!(*o.get(), up.weight, "weight changed mid-stream for {}", up.edge);
+                    assert_eq!(
+                        *o.get(),
+                        up.weight,
+                        "weight changed mid-stream for {}",
+                        up.edge
+                    );
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert(up.weight);

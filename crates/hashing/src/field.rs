@@ -23,7 +23,7 @@ pub const P: u64 = (1 << 61) - 1;
 pub fn reduce(x: u128) -> u64 {
     // Fold the high bits twice: x = hi * 2^61 + lo ≡ hi + lo (mod p).
     let lo = (x & (P as u128)) as u64;
-    let hi = (x >> 61) as u128;
+    let hi = x >> 61;
     let folded = lo as u128 + hi;
     let lo2 = (folded & (P as u128)) as u64;
     let hi2 = (folded >> 61) as u64;
@@ -130,7 +130,12 @@ mod tests {
 
     #[test]
     fn mul_matches_u128_mod() {
-        let cases = [(2u64, 3u64), (P - 1, P - 1), (1 << 60, 1 << 60), (12345, 67890)];
+        let cases = [
+            (2u64, 3u64),
+            (P - 1, P - 1),
+            (1 << 60, 1 << 60),
+            (12345, 67890),
+        ];
         for (a, b) in cases {
             let expect = ((a as u128 * b as u128) % P as u128) as u64;
             assert_eq!(mul(a, b), expect, "mul({a},{b})");

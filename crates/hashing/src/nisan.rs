@@ -58,7 +58,9 @@ impl NisanPrg {
         assert!(levels <= 62, "levels {levels} too large");
         let mut rng = SplitMix64::new(seed);
         let x0 = rng.next_below(field::P);
-        let hashes = (0..levels).map(|l| KWiseHash::new(2, seed ^ (l as u64 + 1).wrapping_mul(0x9E37_79B9))).collect();
+        let hashes = (0..levels)
+            .map(|l| KWiseHash::new(2, seed ^ (l as u64 + 1).wrapping_mul(0x9E37_79B9)))
+            .collect();
         Self { hashes, x0, levels }
     }
 
@@ -76,7 +78,10 @@ impl NisanPrg {
     ///
     /// Panics if `index >= self.num_blocks()`.
     pub fn block(&self, index: u64) -> u64 {
-        assert!(index < self.num_blocks(), "block index {index} out of range");
+        assert!(
+            index < self.num_blocks(),
+            "block index {index} out of range"
+        );
         let mut x = self.x0;
         // hashes[l] is h_{l+1}; the recursion applies the highest level first.
         for l in (0..self.levels).rev() {
@@ -106,7 +111,11 @@ impl NisanPrg {
 
 impl SpaceUsage for NisanPrg {
     fn space_bytes(&self) -> usize {
-        self.hashes.iter().map(SpaceUsage::space_bytes).sum::<usize>() + self.x0.space_bytes()
+        self.hashes
+            .iter()
+            .map(SpaceUsage::space_bytes)
+            .sum::<usize>()
+            + self.x0.space_bytes()
     }
 }
 
@@ -133,7 +142,7 @@ mod tests {
     #[test]
     fn seed_is_logarithmic_in_output() {
         let g = NisanPrg::new(20, 1); // 2^20 blocks = 2^26 bits of output
-        // Seed: 20 pairwise hashes (2 coeffs each) + x0 = 41 words.
+                                      // Seed: 20 pairwise hashes (2 coeffs each) + x0 = 41 words.
         assert_eq!(g.space_bytes(), (20 * 2 + 1) * 8);
         assert!(g.seed_bits() < 4096);
     }

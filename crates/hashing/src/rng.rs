@@ -78,7 +78,10 @@ fn mix(mut z: u64) -> u64 {
 pub fn derive_seed(root: u64, path: &[u64]) -> u64 {
     let mut acc = mix(root ^ 0xA076_1D64_78BD_642F);
     for (depth, &label) in path.iter().enumerate() {
-        acc = mix(acc ^ mix(label.wrapping_add(0x2545_F491_4F6C_DD1D).wrapping_mul(depth as u64 + 1)));
+        acc = mix(acc
+            ^ mix(label
+                .wrapping_add(0x2545_F491_4F6C_DD1D)
+                .wrapping_mul(depth as u64 + 1)));
     }
     acc
 }
@@ -108,7 +111,9 @@ pub struct SeedTree {
 impl SeedTree {
     /// Creates the root of a seed tree.
     pub fn new(seed: u64) -> Self {
-        Self { seed: mix(seed ^ 0x9E6C_63D0_876A_68EE) }
+        Self {
+            seed: mix(seed ^ 0x9E6C_63D0_876A_68EE),
+        }
     }
 
     /// The seed at this node.
@@ -118,7 +123,9 @@ impl SeedTree {
 
     /// The child node with the given tag.
     pub fn child(&self, tag: u64) -> SeedTree {
-        SeedTree { seed: derive_seed(self.seed, &[tag]) }
+        SeedTree {
+            seed: derive_seed(self.seed, &[tag]),
+        }
     }
 
     /// Descends along a path of tags.
@@ -187,7 +194,10 @@ mod tests {
         let root = SeedTree::new(99);
         let mut seen = std::collections::HashSet::new();
         for tag in 0..1000u64 {
-            assert!(seen.insert(root.child(tag).seed()), "collision at tag {tag}");
+            assert!(
+                seen.insert(root.child(tag).seed()),
+                "collision at tag {tag}"
+            );
         }
     }
 
@@ -195,7 +205,10 @@ mod tests {
     fn seed_tree_path_matches_chained_children() {
         let root = SeedTree::new(4);
         assert_eq!(root.path(&[]).seed(), root.seed());
-        assert_eq!(root.path(&[9, 9, 9]).seed(), root.child(9).child(9).child(9).seed());
+        assert_eq!(
+            root.path(&[9, 9, 9]).seed(),
+            root.child(9).child(9).child(9).seed()
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl SubsetSampler {
     pub fn with_independence(seed: u64, rate: f64, independence: usize) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
         let threshold = (rate * field::P as f64).round() as u64;
-        Self { hash: KWiseHash::new(independence, seed), threshold: threshold.min(field::P) }
+        Self {
+            hash: KWiseHash::new(independence, seed),
+            threshold: threshold.min(field::P),
+        }
     }
 
     /// Creates a sampler at rate `2^{-level}` (the paper's `E_j`, `Y_j`,
@@ -62,7 +65,10 @@ impl SubsetSampler {
     /// Levels of 61 or more produce the empty set (rate below `1/p`).
     pub fn at_rate_pow2(seed: u64, level: u32) -> Self {
         let threshold = if level >= 61 { 0 } else { field::P >> level };
-        Self { hash: KWiseHash::new(DEFAULT_INDEPENDENCE, seed), threshold }
+        Self {
+            hash: KWiseHash::new(DEFAULT_INDEPENDENCE, seed),
+            threshold,
+        }
     }
 
     /// Membership predicate.
@@ -171,7 +177,10 @@ mod tests {
             let hits = (0..n).filter(|&x| s.contains(x)).count() as f64;
             let expect = rate * n as f64;
             let slack = 5.0 * expect.sqrt() + 5.0;
-            assert!((hits - expect).abs() < slack, "rate {rate}: hits {hits} expect {expect}");
+            assert!(
+                (hits - expect).abs() < slack,
+                "rate {rate}: hits {hits} expect {expect}"
+            );
         }
     }
 
@@ -203,8 +212,13 @@ mod tests {
         let a = SubsetSampler::new(1, 0.5);
         let b = SubsetSampler::new(2, 0.5);
         let universe = 1000u64;
-        let same = (0..universe).filter(|&x| a.contains(x) == b.contains(x)).count();
-        assert!(same < 650, "sets nearly identical across seeds: {same}/1000 agree");
+        let same = (0..universe)
+            .filter(|&x| a.contains(x) == b.contains(x))
+            .count();
+        assert!(
+            same < 650,
+            "sets nearly identical across seeds: {same}/1000 agree"
+        );
     }
 
     #[test]
@@ -218,8 +232,7 @@ mod tests {
         let g = GeometricSamplers::new(11, 8);
         assert_eq!(g.len(), 9);
         // Levels are not nested: find a key in level 3 but not level 1.
-        let found = (0..100_000u64)
-            .any(|x| g.level(3).contains(x) && !g.level(1).contains(x));
+        let found = (0..100_000u64).any(|x| g.level(3).contains(x) && !g.level(1).contains(x));
         assert!(found, "levels appear nested — they must be independent");
     }
 

@@ -105,7 +105,10 @@ fn kwise_hash_bucket_chi_square() {
         counts[h.hash_below(x, buckets) as usize] += 1.0;
     }
     let expected = samples as f64 / buckets as f64;
-    let chi2: f64 = counts.iter().map(|c| (c - expected).powi(2) / expected).sum();
+    let chi2: f64 = counts
+        .iter()
+        .map(|c| (c - expected).powi(2) / expected)
+        .sum();
     // 63 degrees of freedom: mean 63, sd ~11.2; allow 6 sigma.
     assert!(chi2 < 63.0 + 6.0 * 11.2, "chi2={chi2}");
 }
@@ -124,9 +127,6 @@ fn kwise_hash_pairwise_bits() {
     }
     for (i, &c) in cells.iter().enumerate() {
         let expect = trials as usize / 4;
-        assert!(
-            c.abs_diff(expect) < expect / 4,
-            "cell {i}: {c} vs {expect}"
-        );
+        assert!(c.abs_diff(expect) < expect / 4, "cell {i}: {c} vs {expect}");
     }
 }

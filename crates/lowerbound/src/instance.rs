@@ -55,7 +55,13 @@ impl HardInstance {
         let bob_edges = (0..blocks.saturating_sub(1))
             .map(|b| Edge::new(pairs[b].1, pairs[b + 1].0))
             .collect();
-        Self { blocks, d, alice_edges, pairs, bob_edges }
+        Self {
+            blocks,
+            d,
+            alice_edges,
+            pairs,
+            bob_edges,
+        }
     }
 
     /// Total number of vertices `s · d`.
@@ -110,7 +116,10 @@ mod tests {
         let inst = HardInstance::sample(8, 12, 3);
         let expect = inst.index_bits() as f64 / 2.0;
         let got = inst.alice_edges.len() as f64;
-        assert!((got - expect).abs() < 4.0 * expect.sqrt(), "{got} vs {expect}");
+        assert!(
+            (got - expect).abs() < 4.0 * expect.sqrt(),
+            "{got} vs {expect}"
+        );
     }
 
     #[test]

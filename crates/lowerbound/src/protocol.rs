@@ -69,7 +69,11 @@ pub fn play(instance: &HardInstance, params: AdditiveParams) -> GameResult {
     alg.begin_pass(0);
     // Alice's half of the stream.
     for e in &instance.alice_edges {
-        alg.process(&StreamUpdate { edge: *e, delta: 1, weight: 1.0 });
+        alg.process(&StreamUpdate {
+            edge: *e,
+            delta: 1,
+            weight: 1.0,
+        });
     }
     // The one-way message: everything Bob needs to continue.
     let message_bytes = alg.nominal_bytes();
@@ -77,7 +81,11 @@ pub fn play(instance: &HardInstance, params: AdditiveParams) -> GameResult {
     let touched_bytes = alg.space_bytes();
     // Bob's half.
     for e in &instance.bob_edges {
-        alg.process(&StreamUpdate { edge: *e, delta: 1, weight: 1.0 });
+        alg.process(&StreamUpdate {
+            edge: *e,
+            delta: 1,
+            weight: 1.0,
+        });
     }
     alg.end_pass(0);
     let spanner = alg.into_output().expect("pass completed").spanner;
@@ -90,11 +98,20 @@ pub fn play(instance: &HardInstance, params: AdditiveParams) -> GameResult {
     // Distortion of the returned spanner on the full chained instance.
     let full = dsg_graph::Graph::from_edges(
         n,
-        instance.alice_edges.iter().chain(&instance.bob_edges).copied(),
+        instance
+            .alice_edges
+            .iter()
+            .chain(&instance.bob_edges)
+            .copied(),
     );
-    let distortion =
-        dsg_spanner::verify::max_additive_distortion(&full, &spanner, n.min(64));
-    GameResult { message_bytes, message_nd_bytes, touched_bytes, distortion, verdicts }
+    let distortion = dsg_spanner::verify::max_additive_distortion(&full, &spanner, n.min(64));
+    GameResult {
+        message_bytes,
+        message_nd_bytes,
+        touched_bytes,
+        distortion,
+        verdicts,
+    }
 }
 
 /// Aggregate of repeated games: mean success and message size.
@@ -130,7 +147,10 @@ pub fn sweep_point(
     let mut dist = 0.0;
     for t in 0..trials {
         let inst = HardInstance::sample(blocks, instance_d, seed.wrapping_add(t as u64 * 7919));
-        let res = play(&inst, AdditiveParams::new(algo_d, seed.wrapping_add(t as u64)));
+        let res = play(
+            &inst,
+            AdditiveParams::new(algo_d, seed.wrapping_add(t as u64)),
+        );
         msg += res.message_bytes as f64;
         nd += res.message_nd_bytes as f64;
         succ += res.success_rate();
@@ -200,7 +220,11 @@ mod tests {
         // essentially 1.
         let inst = HardInstance::sample(8, 10, 5);
         let res = play(&inst, AdditiveParams::new(10, 6));
-        assert!(res.edge_retention_rate() >= 0.9, "retention {}", res.edge_retention_rate());
+        assert!(
+            res.edge_retention_rate() >= 0.9,
+            "retention {}",
+            res.edge_retention_rate()
+        );
     }
 
     #[test]

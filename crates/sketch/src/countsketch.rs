@@ -50,11 +50,20 @@ impl CountSketch {
         assert!(rows > 0, "rows must be positive");
         assert!(buckets > 0, "buckets must be positive");
         let tree = SeedTree::new(seed ^ 0x434F_554E_5453_4B31); // "COUNTSK1"
-        let bucket_hashes =
-            (0..rows).map(|r| KWiseHash::new(2, tree.child(r as u64).child(0).seed())).collect();
-        let sign_hashes =
-            (0..rows).map(|r| KWiseHash::new(4, tree.child(r as u64).child(1).seed())).collect();
-        Self { rows, buckets, seed, bucket_hashes, sign_hashes, counters: vec![0; rows * buckets] }
+        let bucket_hashes = (0..rows)
+            .map(|r| KWiseHash::new(2, tree.child(r as u64).child(0).seed()))
+            .collect();
+        let sign_hashes = (0..rows)
+            .map(|r| KWiseHash::new(4, tree.child(r as u64).child(1).seed()))
+            .collect();
+        Self {
+            rows,
+            buckets,
+            seed,
+            bucket_hashes,
+            sign_hashes,
+            counters: vec![0; rows * buckets],
+        }
     }
 
     /// Applies `x[key] += delta`.
@@ -129,8 +138,16 @@ impl CountSketch {
 impl SpaceUsage for CountSketch {
     fn space_bytes(&self) -> usize {
         self.counters.space_bytes()
-            + self.bucket_hashes.iter().map(SpaceUsage::space_bytes).sum::<usize>()
-            + self.sign_hashes.iter().map(SpaceUsage::space_bytes).sum::<usize>()
+            + self
+                .bucket_hashes
+                .iter()
+                .map(SpaceUsage::space_bytes)
+                .sum::<usize>()
+            + self
+                .sign_hashes
+                .iter()
+                .map(SpaceUsage::space_bytes)
+                .sum::<usize>()
     }
 }
 

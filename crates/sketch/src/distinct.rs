@@ -84,7 +84,12 @@ impl DistinctFamily {
             })
             .collect();
         let family_id = tree.child(0x1D).seed();
-        Self { reps, budget, seed, family_id }
+        Self {
+            reps,
+            budget,
+            seed,
+            family_id,
+        }
     }
 
     /// The creation seed.
@@ -115,7 +120,10 @@ impl DistinctFamily {
     ///
     /// Panics if `state` belongs to a different family.
     pub fn update(&self, state: &mut DistinctState, key: u64, delta: i128) {
-        assert_eq!(state.family_id, self.family_id, "state from a different family");
+        assert_eq!(
+            state.family_id, self.family_id,
+            "state from a different family"
+        );
         if delta == 0 {
             return;
         }
@@ -133,7 +141,12 @@ impl DistinctFamily {
     pub fn nominal_state_bytes(&self) -> usize {
         self.reps
             .iter()
-            .map(|levels| levels.iter().map(|(_, f)| f.nominal_state_bytes()).sum::<usize>())
+            .map(|levels| {
+                levels
+                    .iter()
+                    .map(|(_, f)| f.nominal_state_bytes())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -148,7 +161,10 @@ impl DistinctFamily {
     ///
     /// Panics if `state` belongs to a different family.
     pub fn estimate(&self, state: &DistinctState) -> Result<u64, DecodeError> {
-        assert_eq!(state.family_id, self.family_id, "state from a different family");
+        assert_eq!(
+            state.family_id, self.family_id,
+            "state from a different family"
+        );
         let mut per_rep: Vec<u64> = Vec::with_capacity(self.reps.len());
         for (levels, states) in self.reps.iter().zip(&state.reps) {
             per_rep.push(self.estimate_rep(levels, states)?);
@@ -182,7 +198,10 @@ impl SpaceUsage for DistinctFamily {
         self.reps
             .iter()
             .map(|levels| {
-                levels.iter().map(|(s, f)| s.space_bytes() + f.space_bytes()).sum::<usize>()
+                levels
+                    .iter()
+                    .map(|(s, f)| s.space_bytes() + f.space_bytes())
+                    .sum::<usize>()
             })
             .sum()
     }
@@ -195,7 +214,10 @@ impl DistinctState {
     ///
     /// Panics if the states belong to different families.
     pub fn merge(&mut self, other: &DistinctState) {
-        assert_eq!(self.family_id, other.family_id, "merging states of different families");
+        assert_eq!(
+            self.family_id, other.family_id,
+            "merging states of different families"
+        );
         for (mine, theirs) in self.reps.iter_mut().zip(&other.reps) {
             for (a, b) in mine.iter_mut().zip(theirs) {
                 a.merge(b);

@@ -37,8 +37,13 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(DecodeError::Overloaded.to_string(), "sketch support exceeds decoding budget");
-        assert!(DecodeError::Inconsistent.to_string().contains("consistency"));
+        assert_eq!(
+            DecodeError::Overloaded.to_string(),
+            "sketch support exceeds decoding budget"
+        );
+        assert!(DecodeError::Inconsistent
+            .to_string()
+            .contains("consistency"));
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub struct VectorFingerprint {
 impl VectorFingerprint {
     /// Creates a zero fingerprint with randomness from `seed`.
     pub fn new(seed: u64) -> Self {
-        Self { hash: KWiseHash::new(3, seed ^ 0x4650_5249_4E54_5631), value: 0 }
+        Self {
+            hash: KWiseHash::new(3, seed ^ 0x4650_5249_4E54_5631),
+            value: 0,
+        }
     }
 
     /// Applies `x[key] += delta`.

@@ -53,7 +53,12 @@ struct Bucket {
 
 impl Bucket {
     fn zero(width: usize) -> Self {
-        Self { payload: vec![0; width], a: 0, b: 0, f: 0 }
+        Self {
+            payload: vec![0; width],
+            a: 0,
+            b: 0,
+            f: 0,
+        }
     }
 
     fn is_zero(&self) -> bool {
@@ -165,9 +170,18 @@ impl LinearHashTable {
         (row * self.buckets_per_row) as u32 + b as u32
     }
 
-    /// Applies a signed delta (one word per payload slot) to the bucket
-    /// state of `key`; `sign` is `+1` (apply) or `-1` (retract).
-    fn apply(buckets: &mut HashMap<u32, Bucket>, idx: u32, width: usize, delta: &[u64], c: u64, kc: u64, fc: u64, negate: bool) {
+    /// Applies a signed delta (one word per payload slot) plus the check
+    /// sums `(c, kc, fc)` to the bucket state at `idx`; `negate` retracts
+    /// instead of applying.
+    fn apply(
+        buckets: &mut HashMap<u32, Bucket>,
+        idx: u32,
+        width: usize,
+        delta: &[u64],
+        checks: (u64, u64, u64),
+        negate: bool,
+    ) {
+        let (c, kc, fc) = checks;
         let bucket = buckets.entry(idx).or_insert_with(|| Bucket::zero(width));
         if negate {
             for (slot, d) in bucket.payload.iter_mut().zip(delta) {
@@ -205,7 +219,14 @@ impl LinearHashTable {
         let fc = field::mul(self.fingerprint_hash.hash(field::canon(key)), c);
         for row in 0..ROWS {
             let idx = self.bucket_index(row, key);
-            Self::apply(&mut self.buckets, idx, self.width, &fdelta, c, kc, fc, false);
+            Self::apply(
+                &mut self.buckets,
+                idx,
+                self.width,
+                &fdelta,
+                (c, kc, fc),
+                false,
+            );
         }
     }
 
@@ -218,7 +239,10 @@ impl LinearHashTable {
         assert!(self.compatible(other), "merging incompatible tables");
         for (&idx, theirs) in &other.buckets {
             let width = self.width;
-            let mine = self.buckets.entry(idx).or_insert_with(|| Bucket::zero(width));
+            let mine = self
+                .buckets
+                .entry(idx)
+                .or_insert_with(|| Bucket::zero(width));
             for (slot, d) in mine.payload.iter_mut().zip(&theirs.payload) {
                 *slot = field::add(*slot, *d);
             }
@@ -275,7 +299,7 @@ impl LinearHashTable {
                     if !buckets.contains_key(&ridx) {
                         return Err(DecodeError::Inconsistent);
                     }
-                    Self::apply(&mut buckets, ridx, self.width, &payload, c, kc, fc, true);
+                    Self::apply(&mut buckets, ridx, self.width, &payload, (c, kc, fc), true);
                     if buckets.contains_key(&ridx) {
                         queue.push(ridx);
                     }
@@ -319,7 +343,10 @@ impl LinearHashTable {
     }
 
     fn hash_bytes(&self) -> usize {
-        self.row_hashes.iter().map(SpaceUsage::space_bytes).sum::<usize>()
+        self.row_hashes
+            .iter()
+            .map(SpaceUsage::space_bytes)
+            .sum::<usize>()
             + self.fingerprint_hash.space_bytes()
             + 8
     }
@@ -470,8 +497,7 @@ mod tests {
         assert_eq!(entries.len(), 1);
         let (key, words) = &entries[0];
         assert_eq!(*key, 500);
-        let recovered =
-            OneSparseCell::from_words(&[words[0], words[1], words[2]]).unwrap();
+        let recovered = OneSparseCell::from_words(&[words[0], words[1], words[2]]).unwrap();
         assert_eq!(recovered.decode(&inner_hash).unwrap(), Some((17, 1)));
     }
 

@@ -89,7 +89,12 @@ impl L0Family {
             .collect();
         let tie_hash = KWiseHash::new(4, tree.child(0x7E).seed());
         let family_id = tree.child(0x1D).seed();
-        Self { levels, tie_hash, seed, family_id }
+        Self {
+            levels,
+            tie_hash,
+            seed,
+            family_id,
+        }
     }
 
     /// The creation seed.
@@ -116,7 +121,10 @@ impl L0Family {
     ///
     /// Panics if `state` belongs to a different family.
     pub fn update(&self, state: &mut L0State, key: u64, delta: i128) {
-        assert_eq!(state.family_id, self.family_id, "state from a different family");
+        assert_eq!(
+            state.family_id, self.family_id,
+            "state from a different family"
+        );
         if delta == 0 {
             return;
         }
@@ -130,7 +138,10 @@ impl L0Family {
     /// Worst-case (dense) footprint of one state in bytes — the space a
     /// deployment must reserve per sampler instance.
     pub fn nominal_state_bytes(&self) -> usize {
-        self.levels.iter().map(|(_, fam)| fam.nominal_state_bytes()).sum()
+        self.levels
+            .iter()
+            .map(|(_, fam)| fam.nominal_state_bytes())
+            .sum()
     }
 
     /// Samples a nonzero coordinate of the vector sketched by `state`.
@@ -148,15 +159,16 @@ impl L0Family {
     ///
     /// Panics if `state` belongs to a different family.
     pub fn sample(&self, state: &L0State) -> Result<Option<(u64, i128)>, DecodeError> {
-        assert_eq!(state.family_id, self.family_id, "state from a different family");
+        assert_eq!(
+            state.family_id, self.family_id,
+            "state from a different family"
+        );
         let mut all_failed = true;
         for ((_, fam), st) in self.levels.iter().zip(&state.levels).rev() {
             match fam.decode(st) {
                 Ok(items) => {
                     all_failed = false;
-                    if let Some(best) =
-                        items.iter().min_by_key(|(k, _)| self.tie_hash.hash(*k))
-                    {
+                    if let Some(best) = items.iter().min_by_key(|(k, _)| self.tie_hash.hash(*k)) {
                         return Ok(Some(*best));
                     }
                 }
@@ -188,7 +200,10 @@ impl L0State {
     ///
     /// Panics if the states belong to different families.
     pub fn merge(&mut self, other: &L0State) {
-        assert_eq!(self.family_id, other.family_id, "merging states of different families");
+        assert_eq!(
+            self.family_id, other.family_id,
+            "merging states of different families"
+        );
         for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
             mine.merge(theirs);
         }
@@ -200,7 +215,10 @@ impl L0State {
     ///
     /// Panics if the states belong to different families.
     pub fn unmerge(&mut self, other: &L0State) {
-        assert_eq!(self.family_id, other.family_id, "subtracting states of different families");
+        assert_eq!(
+            self.family_id, other.family_id,
+            "subtracting states of different families"
+        );
         for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
             mine.unmerge(theirs);
         }
@@ -281,7 +299,11 @@ impl L0Sampler {
     ///
     /// Panics if the samplers were created with different seeds or shapes.
     pub fn merge(&mut self, other: &L0Sampler) {
-        assert_eq!(self.seed(), other.seed(), "merging incompatible L0 samplers");
+        assert_eq!(
+            self.seed(),
+            other.seed(),
+            "merging incompatible L0 samplers"
+        );
         self.state.merge(&other.state);
     }
 
@@ -291,7 +313,11 @@ impl L0Sampler {
     ///
     /// Panics if the samplers are incompatible.
     pub fn unmerge(&mut self, other: &L0Sampler) {
-        assert_eq!(self.seed(), other.seed(), "subtracting incompatible L0 samplers");
+        assert_eq!(
+            self.seed(),
+            other.seed(),
+            "subtracting incompatible L0 samplers"
+        );
         self.state.unmerge(&other.state);
     }
 
@@ -381,7 +407,10 @@ mod tests {
         }
         for &c in &coords {
             let got = counts.get(&c).copied().unwrap_or(0);
-            assert!(got > trials as usize / 40, "coordinate {c} sampled {got} times");
+            assert!(
+                got > trials as usize / 40,
+                "coordinate {c} sampled {got} times"
+            );
         }
     }
 

@@ -121,7 +121,10 @@ impl OneSparseCell {
         let key = field::mul(self.key_sum, field::inv(v));
         let expect = field::mul(v, h.hash(key));
         if expect == self.fingerprint {
-            OneSparseVerdict::One { key, value: self.total }
+            OneSparseVerdict::One {
+                key,
+                value: self.total,
+            }
         } else {
             OneSparseVerdict::Many
         }
@@ -166,7 +169,11 @@ impl OneSparseCell {
         if words.iter().any(|w| w.abs() >= p) {
             return Err(DecodeError::Inconsistent);
         }
-        Ok(Self { total: words[0], key_sum: mod_p(words[1]), fingerprint: mod_p(words[2]) })
+        Ok(Self {
+            total: words[0],
+            key_sum: mod_p(words[1]),
+            fingerprint: mod_p(words[2]),
+        })
     }
 }
 
@@ -209,7 +216,10 @@ mod tests {
         let h = h();
         let mut cell = OneSparseCell::new();
         cell.update(42, 7, &h);
-        assert_eq!(cell.verdict(&h), OneSparseVerdict::One { key: 42, value: 7 });
+        assert_eq!(
+            cell.verdict(&h),
+            OneSparseVerdict::One { key: 42, value: 7 }
+        );
     }
 
     #[test]
@@ -217,7 +227,10 @@ mod tests {
         let h = h();
         let mut cell = OneSparseCell::new();
         cell.update(42, -3, &h);
-        assert_eq!(cell.verdict(&h), OneSparseVerdict::One { key: 42, value: -3 });
+        assert_eq!(
+            cell.verdict(&h),
+            OneSparseVerdict::One { key: 42, value: -3 }
+        );
     }
 
     #[test]
@@ -251,7 +264,11 @@ mod tests {
             for i in 0..support as u64 {
                 cell.update(i * 17 + 3, 2, &h);
             }
-            assert_eq!(cell.verdict(&h), OneSparseVerdict::Many, "support {support}");
+            assert_eq!(
+                cell.verdict(&h),
+                OneSparseVerdict::Many,
+                "support {support}"
+            );
         }
     }
 
@@ -303,7 +320,10 @@ mod tests {
     #[test]
     fn from_words_rejects_modulus_scale() {
         let words = [0i128, field::P as i128, 0];
-        assert_eq!(OneSparseCell::from_words(&words), Err(DecodeError::Inconsistent));
+        assert_eq!(
+            OneSparseCell::from_words(&words),
+            Err(DecodeError::Inconsistent)
+        );
     }
 
     #[test]

@@ -96,7 +96,14 @@ impl RecoveryFamily {
             .collect();
         let fingerprint_hash = KWiseHash::new(3, tree.child(0xF1).seed());
         let family_id = tree.child(0x1D).seed() ^ budget as u64;
-        Self { budget, seed, buckets_per_row, row_hashes, fingerprint_hash, family_id }
+        Self {
+            budget,
+            seed,
+            buckets_per_row,
+            row_hashes,
+            fingerprint_hash,
+            family_id,
+        }
     }
 
     /// The decoding budget `B`.
@@ -111,7 +118,10 @@ impl RecoveryFamily {
 
     /// Creates an empty state bound to this family.
     pub fn new_state(&self) -> RecoveryState {
-        RecoveryState { cells: HashMap::new(), family_id: self.family_id }
+        RecoveryState {
+            cells: HashMap::new(),
+            family_id: self.family_id,
+        }
     }
 
     #[inline]
@@ -128,7 +138,10 @@ impl RecoveryFamily {
     ///
     /// Panics if `state` belongs to a different family.
     pub fn update(&self, state: &mut RecoveryState, key: u64, delta: i128) {
-        assert_eq!(state.family_id, self.family_id, "state from a different family");
+        assert_eq!(
+            state.family_id, self.family_id,
+            "state from a different family"
+        );
         if delta == 0 {
             return;
         }
@@ -157,7 +170,10 @@ impl RecoveryFamily {
     ///
     /// Panics if `state` belongs to a different family.
     pub fn decode(&self, state: &RecoveryState) -> Result<Vec<(u64, i128)>, DecodeError> {
-        assert_eq!(state.family_id, self.family_id, "state from a different family");
+        assert_eq!(
+            state.family_id, self.family_id,
+            "state from a different family"
+        );
         let mut cells = state.cells.clone();
         let mut recovered: HashMap<u64, i128> = HashMap::new();
         let mut queue: Vec<u32> = cells.keys().copied().collect();
@@ -213,7 +229,10 @@ impl RecoveryFamily {
 
 impl SpaceUsage for RecoveryFamily {
     fn space_bytes(&self) -> usize {
-        self.row_hashes.iter().map(SpaceUsage::space_bytes).sum::<usize>()
+        self.row_hashes
+            .iter()
+            .map(SpaceUsage::space_bytes)
+            .sum::<usize>()
             + self.fingerprint_hash.space_bytes()
     }
 }
@@ -225,7 +244,10 @@ impl RecoveryState {
     ///
     /// Panics if the states belong to different families.
     pub fn merge(&mut self, other: &RecoveryState) {
-        assert_eq!(self.family_id, other.family_id, "merging states of different families");
+        assert_eq!(
+            self.family_id, other.family_id,
+            "merging states of different families"
+        );
         for (&idx, cell) in &other.cells {
             let mine = self.cells.entry(idx).or_default();
             mine.merge(cell);
@@ -241,7 +263,10 @@ impl RecoveryState {
     ///
     /// Panics if the states belong to different families.
     pub fn unmerge(&mut self, other: &RecoveryState) {
-        assert_eq!(self.family_id, other.family_id, "subtracting states of different families");
+        assert_eq!(
+            self.family_id, other.family_id,
+            "subtracting states of different families"
+        );
         for (&idx, cell) in &other.cells {
             let mine = self.cells.entry(idx).or_default();
             mine.unmerge(cell);

@@ -59,7 +59,12 @@ impl AdditiveParams {
     /// Panics if `d == 0`.
     pub fn new(d: usize, seed: u64) -> Self {
         assert!(d >= 1, "d must be at least 1");
-        Self { d, seed, center_factor: 3.0, threshold_factor: 1.0 }
+        Self {
+            d,
+            seed,
+            center_factor: 3.0,
+            threshold_factor: 1.0,
+        }
     }
 
     /// The center sampling rate `min(1, c/d)`.
@@ -144,8 +149,7 @@ impl AdditiveSpanner {
         let z_samplers = (0..levels)
             .map(|r| SubsetSampler::at_rate_pow2(tree.child(1).child(r as u64).seed(), r as u32))
             .collect();
-        let nbr_family =
-            RecoveryFamily::new(params.neighborhood_budget(n), tree.child(2).seed());
+        let nbr_family = RecoveryFamily::new(params.neighborhood_budget(n), tree.child(2).seed());
         let nbr_states = (0..n).map(|_| nbr_family.new_state()).collect();
         let center_families = (0..levels)
             .map(|r| RecoveryFamily::new(8, tree.child(3).child(r as u64).seed()))
@@ -240,7 +244,9 @@ impl AdditiveSpanner {
             // High degree: find a center neighbor via the A^r sketches.
             let mut attached = false;
             for r in (0..self.center_families.len()).rev() {
-                let Some(state) = self.center_states.get(&(u, r as u8)) else { continue };
+                let Some(state) = self.center_states.get(&(u, r as u8)) else {
+                    continue;
+                };
                 match self.center_families[r].decode(state) {
                     Ok(items) => {
                         if let Some(&(w, mult)) = items.iter().find(|&&(_, m)| m > 0) {
@@ -301,8 +307,10 @@ impl StreamAlgorithm for AdditiveSpanner {
         let (a, b) = up.edge.endpoints();
         // Neighborhood and degree sketches, both directions.
         for (x, y) in [(a, b), (b, a)] {
-            self.nbr_family.update(&mut self.nbr_states[x as usize], y as u64, delta);
-            self.degree_family.update(&mut self.degree_states[x as usize], y as u64, delta);
+            self.nbr_family
+                .update(&mut self.nbr_states[x as usize], y as u64, delta);
+            self.degree_family
+                .update(&mut self.degree_states[x as usize], y as u64, delta);
             if self.centers.contains(y as u64) {
                 for r in 0..self.z_samplers.len() {
                     if self.z_samplers[r].contains(y as u64) {
@@ -331,11 +339,27 @@ impl StreamAlgorithm for AdditiveSpanner {
 impl SpaceUsage for AdditiveSpanner {
     fn space_bytes(&self) -> usize {
         let nbr: usize = self.nbr_family.space_bytes()
-            + self.nbr_states.iter().map(SpaceUsage::space_bytes).sum::<usize>();
-        let centers: usize = self.center_families.iter().map(SpaceUsage::space_bytes).sum::<usize>()
-            + self.center_states.values().map(SpaceUsage::space_bytes).sum::<usize>();
+            + self
+                .nbr_states
+                .iter()
+                .map(SpaceUsage::space_bytes)
+                .sum::<usize>();
+        let centers: usize = self
+            .center_families
+            .iter()
+            .map(SpaceUsage::space_bytes)
+            .sum::<usize>()
+            + self
+                .center_states
+                .values()
+                .map(SpaceUsage::space_bytes)
+                .sum::<usize>();
         let degrees: usize = self.degree_family.space_bytes()
-            + self.degree_states.iter().map(SpaceUsage::space_bytes).sum::<usize>();
+            + self
+                .degree_states
+                .iter()
+                .map(SpaceUsage::space_bytes)
+                .sum::<usize>();
         nbr + centers + degrees + self.agm.space_bytes() + self.z_samplers.space_bytes()
     }
 }
@@ -353,10 +377,7 @@ impl SpaceUsage for AdditiveSpanner {
 /// let out = run_additive(&stream, AdditiveParams::new(6, 3));
 /// assert!(out.spanner.num_edges() <= g.num_edges());
 /// ```
-pub fn run_additive(
-    stream: &dsg_graph::GraphStream,
-    params: AdditiveParams,
-) -> AdditiveOutput {
+pub fn run_additive(stream: &dsg_graph::GraphStream, params: AdditiveParams) -> AdditiveOutput {
     let mut alg = AdditiveSpanner::new(stream.num_vertices(), params);
     dsg_graph::pass::run(&mut alg, stream);
     alg.into_output().expect("pass completed")
@@ -399,7 +420,11 @@ mod tests {
         let distortion = verify::max_additive_distortion(&g, &out.spanner, n);
         // Theorem 19: O(n/d); constant checked empirically (E6 sweeps it).
         let bound = 8 * n as u32 / d as u32;
-        assert!(distortion <= bound, "distortion {distortion} > {bound}, stats {:?}", out.stats);
+        assert!(
+            distortion <= bound,
+            "distortion {distortion} > {bound}, stats {:?}",
+            out.stats
+        );
     }
 
     #[test]

@@ -52,10 +52,12 @@ pub fn build_spanner(g: &Graph, k: usize, seed: u64) -> Graph {
     // Phase 1: k-1 sampling iterations.
     for round in 0..k.saturating_sub(1) {
         // Sample the surviving cluster centers.
-        let centers: HashSet<Vertex> =
-            cluster.iter().flatten().copied().collect();
-        let sampled: HashSet<Vertex> =
-            centers.iter().copied().filter(|&c| coin(round, c)).collect();
+        let centers: HashSet<Vertex> = cluster.iter().flatten().copied().collect();
+        let sampled: HashSet<Vertex> = centers
+            .iter()
+            .copied()
+            .filter(|&c| coin(round, c))
+            .collect();
         let mut next_cluster: Vec<Option<Vertex>> = vec![None; n];
         // Vertices inside sampled clusters stay put.
         for v in 0..n {
@@ -75,7 +77,9 @@ pub fn build_spanner(g: &Graph, k: usize, seed: u64) -> Graph {
             for &w in &adj[vi] {
                 if let Some(c) = cluster[w as usize] {
                     let slot = by_cluster.entry(c).or_insert(w);
-                    if w < *slot { *slot = w; } // deterministic representative
+                    if w < *slot {
+                        *slot = w;
+                    } // deterministic representative
                 }
             }
             // Adjacent sampled cluster?
@@ -127,10 +131,12 @@ pub fn build_spanner(g: &Graph, k: usize, seed: u64) -> Graph {
         for &w in &adj[vi] {
             if let Some(c) = cluster[w as usize] {
                 let slot = by_cluster.entry(c).or_insert(w);
-                    if w < *slot { *slot = w; } // deterministic representative
+                if w < *slot {
+                    *slot = w;
+                } // deterministic representative
             }
         }
-        for (_, &w) in &by_cluster {
+        for &w in by_cluster.values() {
             spanner.insert(Edge::new(v, w));
         }
     }

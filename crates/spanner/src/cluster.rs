@@ -34,7 +34,10 @@ pub struct NodeId {
 impl NodeId {
     /// Creates the copy of `root` at `level`.
     pub fn new(level: usize, root: Vertex) -> Self {
-        Self { level: level as u8, root }
+        Self {
+            level: level as u8,
+            root,
+        }
     }
 }
 
@@ -137,17 +140,29 @@ impl ClusterForest {
     /// Panics if `node` already has a parent or is terminal, if `w` is not
     /// in `C_{level+1}`, or if the witness does not touch `w`.
     pub fn set_parent(&mut self, node: NodeId, w: Vertex, witness: Edge) {
-        assert!(!self.parent.contains_key(&node), "copy {node:?} already attached");
-        assert!(!self.terminal.contains(&node), "copy {node:?} already terminal");
+        assert!(
+            !self.parent.contains_key(&node),
+            "copy {node:?} already attached"
+        );
+        assert!(
+            !self.terminal.contains(&node),
+            "copy {node:?} already terminal"
+        );
         assert!(
             self.is_center(node.level as usize + 1, w),
             "parent {w} not a level-{} center",
             node.level + 1
         );
-        assert!(witness.touches(w), "witness {witness} does not touch parent {w}");
+        assert!(
+            witness.touches(w),
+            "witness {witness} does not touch parent {w}"
+        );
         self.parent.insert(node, w);
         self.witness.insert(node, witness);
-        self.children.entry(NodeId::new(node.level as usize + 1, w)).or_default().push(node.root);
+        self.children
+            .entry(NodeId::new(node.level as usize + 1, w))
+            .or_default()
+            .push(node.root);
     }
 
     /// Marks a copy terminal (root of its component in `F`).
@@ -156,7 +171,10 @@ impl ClusterForest {
     ///
     /// Panics if the copy already has a parent.
     pub fn set_terminal(&mut self, node: NodeId) {
-        assert!(!self.parent.contains_key(&node), "copy {node:?} already attached");
+        assert!(
+            !self.parent.contains_key(&node),
+            "copy {node:?} already attached"
+        );
         self.terminal.insert(node);
     }
 
@@ -226,7 +244,9 @@ impl ClusterForest {
     pub fn chain_classes(&self) -> HashMap<NodeId, Vec<Vertex>> {
         let mut classes: HashMap<NodeId, Vec<Vertex>> = HashMap::new();
         for v in 0..self.n as Vertex {
-            let t = self.chain_terminal(v).expect("forest construction incomplete");
+            let t = self
+                .chain_terminal(v)
+                .expect("forest construction incomplete");
             classes.entry(t).or_default().push(v);
         }
         classes

@@ -87,7 +87,10 @@ pub fn build_spanner(g: &Graph, params: SpannerParams) -> OfflineOutput {
         }
     }
 
-    OfflineOutput { spanner: Graph::from_edges(n, edges), forest }
+    OfflineOutput {
+        spanner: Graph::from_edges(n, edges),
+        forest,
+    }
 }
 
 #[cfg(test)]
@@ -183,8 +186,7 @@ mod tests {
         let g = gen::erdos_renyi(n, 0.4, 14);
         let k = 2;
         let out = build_spanner(&g, SpannerParams::new(k, 15));
-        let bound =
-            8.0 * k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64) * (n as f64).log2();
+        let bound = 8.0 * k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64) * (n as f64).log2();
         assert!((out.spanner.num_edges() as f64) < bound);
     }
 }

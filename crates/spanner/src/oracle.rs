@@ -53,7 +53,11 @@ impl DistanceOracle {
     pub fn new(spanner: Graph, stretch: u64) -> Self {
         assert!(stretch >= 1, "stretch must be at least 1");
         let adjacency = spanner.adjacency();
-        Self { spanner, adjacency, stretch }
+        Self {
+            spanner,
+            adjacency,
+            stretch,
+        }
     }
 
     /// The stretch guarantee `λ`.
@@ -122,7 +126,10 @@ mod tests {
                     (dsg_graph::bfs::UNREACHABLE, None) => {}
                     (t, Some(e)) => {
                         assert!(e >= t, "underestimate at {v}");
-                        assert!(e as u64 <= oracle.stretch() * t as u64, "overestimate at {v}");
+                        assert!(
+                            e as u64 <= oracle.stretch() * t as u64,
+                            "overestimate at {v}"
+                        );
                     }
                     (t, e) => panic!("reachability mismatch at {v}: {t} vs {e:?}"),
                 }

@@ -41,7 +41,13 @@ impl SpannerParams {
     /// Panics if `k == 0`.
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        Self { k, seed, sketch_budget: None, table_capacity_factor: 1.0, max_edge_levels: None }
+        Self {
+            k,
+            seed,
+            sketch_budget: None,
+            table_capacity_factor: 1.0,
+            max_edge_levels: None,
+        }
     }
 
     /// Overrides the pass-1 sketch decode budget.
@@ -69,7 +75,8 @@ impl SpannerParams {
 
     /// The resolved pass-1 sketch budget for an `n`-vertex graph.
     pub fn resolved_sketch_budget(&self, n: usize) -> usize {
-        self.sketch_budget.unwrap_or_else(|| ((n.max(2) as f64).log2().ceil() as usize).max(4))
+        self.sketch_budget
+            .unwrap_or_else(|| ((n.max(2) as f64).log2().ceil() as usize).max(4))
     }
 
     /// Number of edge-sampling levels `E_j` for an `n`-vertex graph:
@@ -117,7 +124,12 @@ mod tests {
         let p = SpannerParams::new(2, 0);
         assert_eq!(p.resolved_sketch_budget(16), 4);
         assert_eq!(p.resolved_sketch_budget(1024), 10);
-        assert_eq!(SpannerParams::new(2, 0).with_sketch_budget(7).resolved_sketch_budget(1024), 7);
+        assert_eq!(
+            SpannerParams::new(2, 0)
+                .with_sketch_budget(7)
+                .resolved_sketch_budget(1024),
+            7
+        );
     }
 
     #[test]

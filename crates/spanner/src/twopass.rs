@@ -129,8 +129,9 @@ impl TwoPassSpanner {
                     .collect()
             })
             .collect();
-        let inner_hashes =
-            (0..vertex_levels).map(|j| KWiseHash::new(3, tree.child(4).child(j as u64).seed())).collect();
+        let inner_hashes = (0..vertex_levels)
+            .map(|j| KWiseHash::new(3, tree.child(4).child(j as u64).seed()))
+            .collect();
         let forest = ClusterForest::new(n, k, params.seed);
         Self {
             n,
@@ -245,8 +246,12 @@ impl TwoPassSpanner {
         }
         // Fix the terminal order and chain classes for pass 2.
         self.terminals = forest.terminals();
-        let index: HashMap<NodeId, usize> =
-            self.terminals.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let index: HashMap<NodeId, usize> = self
+            .terminals
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect();
         self.class_of = (0..self.n as Vertex)
             .map(|v| {
                 let t = forest.chain_terminal(v).expect("complete forest");
@@ -365,9 +370,12 @@ impl TwoPassSpanner {
             .iter()
             .map(|row| row.iter().map(SpaceUsage::space_bytes).sum::<usize>())
             .sum();
-        let states: usize =
-            self.s_states.values().map(SpaceUsage::space_bytes).sum::<usize>()
-                + self.s_states.len() * 8;
+        let states: usize = self
+            .s_states
+            .values()
+            .map(SpaceUsage::space_bytes)
+            .sum::<usize>()
+            + self.s_states.len() * 8;
         let tables: usize = self
             .tables
             .iter()
@@ -433,10 +441,7 @@ impl SpaceUsage for TwoPassSpanner {
 /// let out = twopass::run_two_pass(&stream, SpannerParams::new(2, 3));
 /// assert!(out.spanner.num_edges() > 0);
 /// ```
-pub fn run_two_pass(
-    stream: &dsg_graph::GraphStream,
-    params: SpannerParams,
-) -> TwoPassOutput {
+pub fn run_two_pass(stream: &dsg_graph::GraphStream, params: SpannerParams) -> TwoPassOutput {
     let mut alg = TwoPassSpanner::new(stream.num_vertices(), params);
     dsg_graph::pass::run(&mut alg, stream);
     alg.into_output().expect("both passes completed")
@@ -465,7 +470,10 @@ mod tests {
     fn spanner_is_subgraph() {
         let g = gen::erdos_renyi(60, 0.15, 1);
         let out = spanner_for(&g, 2, 2);
-        assert!(verify::is_subgraph(&g, &out.spanner), "spanner contains non-edges");
+        assert!(
+            verify::is_subgraph(&g, &out.spanner),
+            "spanner contains non-edges"
+        );
     }
 
     #[test]
@@ -540,7 +548,10 @@ mod tests {
         let out = spanner_for(&g, 2, 17);
         let s_off = verify::max_multiplicative_stretch(&g, &off.spanner, 50);
         let s_str = verify::max_multiplicative_stretch(&g, &out.spanner, 50);
-        assert!(s_off <= 4.0 && s_str <= 4.0, "offline {s_off}, streaming {s_str}");
+        assert!(
+            s_off <= 4.0 && s_str <= 4.0,
+            "offline {s_off}, streaming {s_str}"
+        );
     }
 
     #[test]
@@ -567,10 +578,7 @@ mod tests {
         let out = spanner_for(&g, 2, 21);
         let stretch = verify::max_multiplicative_stretch(&g, &out.spanner, 30);
         assert!(stretch <= 4.0);
-        assert_eq!(
-            dsg_graph::components::num_components(&out.spanner),
-            1
-        );
+        assert_eq!(dsg_graph::components::num_components(&out.spanner), 1);
     }
 
     #[test]
@@ -598,8 +606,16 @@ mod tests {
         let g = gen::erdos_renyi(n, 0.8, 23);
         let out = spanner_for(&g, 2, 24);
         let bound = theorem1_space_bound_bytes(n, 2);
-        assert!((out.stats.pass1_bytes as f64) < bound, "pass1 {}", out.stats.pass1_bytes);
-        assert!((out.stats.pass2_bytes as f64) < bound, "pass2 {}", out.stats.pass2_bytes);
+        assert!(
+            (out.stats.pass1_bytes as f64) < bound,
+            "pass1 {}",
+            out.stats.pass1_bytes
+        );
+        assert!(
+            (out.stats.pass2_bytes as f64) < bound,
+            "pass2 {}",
+            out.stats.pass2_bytes
+        );
     }
 
     #[test]

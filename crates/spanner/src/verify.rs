@@ -148,12 +148,13 @@ mod tests {
     fn weighted_stretch_detects_detour() {
         let g = WeightedGraph::from_edges(
             3,
-            [(Edge::new(0, 1), 1.0), (Edge::new(1, 2), 1.0), (Edge::new(0, 2), 1.0)],
+            [
+                (Edge::new(0, 1), 1.0),
+                (Edge::new(1, 2), 1.0),
+                (Edge::new(0, 2), 1.0),
+            ],
         );
-        let h = WeightedGraph::from_edges(
-            3,
-            [(Edge::new(0, 1), 1.0), (Edge::new(1, 2), 1.0)],
-        );
+        let h = WeightedGraph::from_edges(3, [(Edge::new(0, 1), 1.0), (Edge::new(1, 2), 1.0)]);
         assert_eq!(max_weighted_stretch(&g, &h, 3), 2.0);
     }
 

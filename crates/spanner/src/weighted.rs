@@ -64,7 +64,14 @@ impl WeightedTwoPassSpanner {
     pub fn new(n: usize, gamma: f64, params: SpannerParams) -> Self {
         assert!(gamma > 0.0, "gamma must be positive");
         assert!(n >= 2, "need at least two vertices");
-        Self { n, gamma, params, classes: HashMap::new(), current_pass: 0, finished: false }
+        Self {
+            n,
+            gamma,
+            params,
+            classes: HashMap::new(),
+            current_pass: 0,
+            finished: false,
+        }
     }
 
     /// The weight class of `w`: `floor(log_{1+γ} w)`.
@@ -123,18 +130,29 @@ impl StreamAlgorithm for WeightedTwoPassSpanner {
         if self.current_pass == 0 {
             if !self.classes.contains_key(&class) {
                 let mut params = self.params;
-                params.seed =
-                    params.seed.wrapping_add(0x9E37u64.wrapping_mul(class as i64 as u64));
+                params.seed = params
+                    .seed
+                    .wrapping_add(0x9E37u64.wrapping_mul(class as i64 as u64));
                 let mut alg = TwoPassSpanner::new(self.n, params);
                 alg.begin_pass(0);
                 self.classes.insert(class, alg);
             }
         } else if !self.classes.contains_key(&class) {
-            panic!("weight class {class} first appeared in pass {}", self.current_pass);
+            panic!(
+                "weight class {class} first appeared in pass {}",
+                self.current_pass
+            );
         }
         // Route the update, stripped to unweighted form.
-        let unweighted = StreamUpdate { edge: update.edge, delta: update.delta, weight: 1.0 };
-        self.classes.get_mut(&class).expect("class exists").process(&unweighted);
+        let unweighted = StreamUpdate {
+            edge: update.edge,
+            delta: update.delta,
+            weight: 1.0,
+        };
+        self.classes
+            .get_mut(&class)
+            .expect("class exists")
+            .process(&unweighted);
     }
 
     fn end_pass(&mut self, pass: usize) {
@@ -161,7 +179,8 @@ mod tests {
 
     fn run(g: &WeightedGraph, gamma: f64, k: usize, seed: u64) -> WeightedOutput {
         let stream = GraphStream::weighted_with_churn(g, 1.0, seed ^ 0xEE);
-        let mut alg = WeightedTwoPassSpanner::new(g.num_vertices(), gamma, SpannerParams::new(k, seed));
+        let mut alg =
+            WeightedTwoPassSpanner::new(g.num_vertices(), gamma, SpannerParams::new(k, seed));
         dsg_graph::pass::run(&mut alg, &stream);
         alg.into_output().expect("finished")
     }

@@ -25,19 +25,15 @@
 /// assert!((vals[0] - 1.0).abs() < 1e-9);
 /// assert!((vals[1] - 3.0).abs() < 1e-9);
 /// ```
-pub fn symmetric_eigen(
-    m: &[Vec<f64>],
-    tol: f64,
-    max_sweeps: usize,
-) -> (Vec<f64>, Vec<Vec<f64>>) {
+pub fn symmetric_eigen(m: &[Vec<f64>], tol: f64, max_sweeps: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
     let n = m.len();
     for row in m {
         assert_eq!(row.len(), n, "matrix must be square");
     }
-    for i in 0..n {
-        for j in 0..i {
+    for (i, row) in m.iter().enumerate() {
+        for (j, &val) in row.iter().enumerate().take(i) {
             assert!(
-                (m[i][j] - m[j][i]).abs() <= 1e-8 * (1.0 + m[i][j].abs()),
+                (val - m[j][i]).abs() <= 1e-8 * (1.0 + val.abs()),
                 "matrix must be symmetric at ({i},{j})"
             );
         }
@@ -50,9 +46,9 @@ pub fn symmetric_eigen(
     }
     for _sweep in 0..max_sweeps {
         let mut off = 0.0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                off += a[i][j] * a[i][j];
+        for (i, row) in a.iter().enumerate() {
+            for &x in &row[i + 1..] {
+                off += x * x;
             }
         }
         if off.sqrt() <= tol {
@@ -71,31 +67,32 @@ pub fn symmetric_eigen(
                 };
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = t * c;
-                // Rotate rows/columns p and q.
-                for k in 0..n {
-                    let akp = a[k][p];
-                    let akq = a[k][q];
-                    a[k][p] = c * akp - s * akq;
-                    a[k][q] = s * akp + c * akq;
+                // Rotate columns p and q of `a`, then rows p and q, then
+                // columns p and q of the eigenvector accumulator.
+                for row in a.iter_mut() {
+                    let (akp, akq) = (row[p], row[q]);
+                    row[p] = c * akp - s * akq;
+                    row[q] = s * akp + c * akq;
                 }
-                for k in 0..n {
-                    let apk = a[p][k];
-                    let aqk = a[q][k];
-                    a[p][k] = c * apk - s * aqk;
-                    a[q][k] = s * apk + c * aqk;
+                let (head, tail) = a.split_at_mut(q);
+                let (row_p, row_q) = (&mut head[p], &mut tail[0]);
+                for (apk, aqk) in row_p.iter_mut().zip(row_q.iter_mut()) {
+                    let (x, y) = (*apk, *aqk);
+                    *apk = c * x - s * y;
+                    *aqk = s * x + c * y;
                 }
-                for k in 0..n {
-                    let vkp = v[k][p];
-                    let vkq = v[k][q];
-                    v[k][p] = c * vkp - s * vkq;
-                    v[k][q] = s * vkp + c * vkq;
+                for row in v.iter_mut() {
+                    let (vkp, vkq) = (row[p], row[q]);
+                    row[p] = c * vkp - s * vkq;
+                    row[q] = s * vkp + c * vkq;
                 }
             }
         }
     }
     // Extract and sort.
-    let mut pairs: Vec<(f64, Vec<f64>)> =
-        (0..n).map(|k| (a[k][k], (0..n).map(|i| v[i][k]).collect())).collect();
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|k| (a[k][k], (0..n).map(|i| v[i][k]).collect()))
+        .collect();
     pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite eigenvalues"));
     let vals = pairs.iter().map(|(l, _)| *l).collect();
     let vecs = pairs.into_iter().map(|(_, v)| v).collect();
@@ -114,8 +111,8 @@ pub fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
     for i in 0..n {
         for j in i..n {
             let mut sum = a[i][j];
-            for k in 0..i {
-                sum -= r[k][i] * r[k][j];
+            for rk in &r[..i] {
+                sum -= rk[i] * rk[j];
             }
             if i == j {
                 if sum <= 0.0 {
@@ -161,7 +158,11 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues() {
-        let m = vec![vec![3.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 2.0]];
+        let m = vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ];
         let (vals, _) = symmetric_eigen(&m, 1e-12, 50);
         assert!((vals[0] - 1.0).abs() < 1e-10);
         assert!((vals[1] - 2.0).abs() < 1e-10);

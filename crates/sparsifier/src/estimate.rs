@@ -73,10 +73,7 @@ impl NestedSamplers {
             .map(|j| {
                 (0..t_levels.saturating_sub(1))
                     .map(|t| {
-                        SubsetSampler::at_rate_pow2(
-                            tree.child(j as u64).child(t as u64).seed(),
-                            1,
-                        )
+                        SubsetSampler::at_rate_pow2(tree.child(j as u64).child(t as u64).seed(), 1)
                     })
                     .collect()
             })
@@ -160,11 +157,7 @@ impl ConnectivityEstimator {
     /// # Panics
     ///
     /// Panics if the grid shape does not match `params`.
-    pub fn from_oracle_graphs(
-        n: usize,
-        params: EstimateParams,
-        graphs: &[Vec<Graph>],
-    ) -> Self {
+    pub fn from_oracle_graphs(n: usize, params: EstimateParams, graphs: &[Vec<Graph>]) -> Self {
         assert_eq!(graphs.len(), params.j_reps, "J mismatch");
         for row in graphs {
             assert_eq!(row.len(), params.t_levels, "T mismatch");
@@ -292,7 +285,10 @@ mod tests {
         let est = estimator(&g, 2, 3);
         let bridge = Edge::new(7, 8);
         let level = est.query_level(bridge);
-        assert!(level <= 2, "bridge level {level} (q̂ = 2^-{level}) too small");
+        assert!(
+            level <= 2,
+            "bridge level {level} (q̂ = 2^-{level}) too small"
+        );
     }
 
     #[test]

@@ -44,7 +44,14 @@ impl SparsifierParams {
     pub fn new(k: usize, eps: f64, seed: u64) -> Self {
         assert!(k >= 1, "k must be at least 1");
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
-        Self { k, eps, delta: 0.25, z_factor: 0.02, j_factor: 0.5, seed }
+        Self {
+            k,
+            eps,
+            delta: 0.25,
+            z_factor: 0.02,
+            j_factor: 0.5,
+            seed,
+        }
     }
 
     /// The paper's choice `k = ceil(sqrt(log2 n))` (Section 6.3).
@@ -61,8 +68,7 @@ impl SparsifierParams {
     pub fn z_rounds(&self, n: usize) -> usize {
         let lambda = self.lambda() as f64;
         let logn = (n.max(2) as f64).log2();
-        let z = self.z_factor * lambda * lambda * logn
-            / ((1.0 - self.delta) * self.eps.powi(3));
+        let z = self.z_factor * lambda * lambda * logn / ((1.0 - self.delta) * self.eps.powi(3));
         (z.ceil() as usize).clamp(2, 512)
     }
 
@@ -175,7 +181,7 @@ mod tests {
         let logn = 30f64.log2();
         let q: HashMap<_, _> = resistance::all_edge_resistances(&l)
             .into_iter()
-            .map(|(e, w, r)| (e, (w * r * logn / 2.0).min(1.0).max(1e-3)))
+            .map(|(e, w, r)| (e, (w * r * logn / 2.0).clamp(1e-3, 1.0)))
             .collect();
         let h = theorem21_sample(&g, &q, 24, 7);
         let quality = measure_quality(&g, &h);

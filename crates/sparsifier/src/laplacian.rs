@@ -105,8 +105,8 @@ impl Laplacian {
     /// The dense matrix (row-major), for the eigensolver.
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut m = vec![vec![0.0; self.n]; self.n];
-        for i in 0..self.n {
-            m[i][i] = self.degree[i];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = self.degree[i];
         }
         for &(u, v, w) in &self.edges {
             m[u as usize][v as usize] -= w;
@@ -133,7 +133,10 @@ impl Laplacian {
 
     /// The edge list as unweighted edges.
     pub fn skeleton_edges(&self) -> Vec<Edge> {
-        self.edges.iter().map(|&(u, v, _)| Edge::new(u, v)).collect()
+        self.edges
+            .iter()
+            .map(|&(u, v, _)| Edge::new(u, v))
+            .collect()
     }
 }
 
@@ -171,7 +174,11 @@ mod tests {
         let y = l.matvec(&x);
         for i in 0..15 {
             let expect: f64 = (0..15).map(|j| dense[i][j] * x[j]).sum();
-            assert!((y[i] - expect).abs() < 1e-9, "row {i}: {} vs {expect}", y[i]);
+            assert!(
+                (y[i] - expect).abs() < 1e-9,
+                "row {i}: {} vs {expect}",
+                y[i]
+            );
         }
     }
 
@@ -190,17 +197,17 @@ mod tests {
         let l = Laplacian::from_graph(&gen::complete(6));
         let s = [true, true, true, false, false, false];
         assert_eq!(l.cut_value(&s), 9.0);
-        let quad =
-            l.quadratic_form(&s.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect::<Vec<_>>());
+        let quad = l.quadratic_form(
+            &s.iter()
+                .map(|&b| if b { 1.0 } else { 0.0 })
+                .collect::<Vec<_>>(),
+        );
         assert_eq!(quad, 9.0);
     }
 
     #[test]
     fn degrees_accumulate() {
-        let g = WeightedGraph::from_edges(
-            3,
-            [(Edge::new(0, 1), 2.0), (Edge::new(0, 2), 3.0)],
-        );
+        let g = WeightedGraph::from_edges(3, [(Edge::new(0, 1), 2.0), (Edge::new(0, 2), 3.0)]);
         let l = Laplacian::from_weighted(&g);
         assert_eq!(l.degree(0), 5.0);
         assert_eq!(l.degree(1), 2.0);

@@ -170,21 +170,22 @@ impl TwoPassSparsifier {
                 let out = alg.into_output()?;
                 for e in out.observed_edges {
                     observed_candidates += 1;
-                    let level =
-                        *level_cache.entry(e).or_insert_with(|| estimator.query_level(e));
+                    let level = *level_cache
+                        .entry(e)
+                        .or_insert_with(|| estimator.query_level(e));
                     if level == jlev {
-                        *weights.entry(e).or_insert(0.0) +=
-                            (1u64 << jlev) as f64 / z as f64;
+                        *weights.entry(e).or_insert(0.0) += (1u64 << jlev) as f64 / z as f64;
                     }
                 }
             }
         }
         self.stats.observed_candidates = observed_candidates;
-        let sparsifier = WeightedGraph::from_edges(
-            self.n,
-            weights.into_iter().filter(|&(_, w)| w > 0.0),
-        );
-        Some(PipelineOutput { sparsifier, stats: self.stats })
+        let sparsifier =
+            WeightedGraph::from_edges(self.n, weights.into_iter().filter(|&(_, w)| w > 0.0));
+        Some(PipelineOutput {
+            sparsifier,
+            stats: self.stats,
+        })
     }
 }
 
@@ -322,7 +323,11 @@ mod tests {
         let stream = GraphStream::insert_only(&g, 5);
         let out = run_sparsifier(&stream, small_params(6));
         let q = measure_quality(&g, &out.sparsifier);
-        assert!(q.epsilon < 1.0, "eps={} (disconnection-level error)", q.epsilon);
+        assert!(
+            q.epsilon < 1.0,
+            "eps={} (disconnection-level error)",
+            q.epsilon
+        );
     }
 
     #[test]

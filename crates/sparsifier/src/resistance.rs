@@ -103,7 +103,11 @@ impl ResistanceEstimator {
                 // y = B^T W^{1/2} q_row: accumulate ±sqrt(w)/sqrt(q) per edge.
                 let mut y = vec![0.0; n];
                 for &(u, v, w) in l.edge_triples() {
-                    let coin = if rng.next_u64() & 1 == 1 { scale } else { -scale };
+                    let coin = if rng.next_u64() & 1 == 1 {
+                        scale
+                    } else {
+                        -scale
+                    };
                     let c = coin * w.sqrt();
                     y[u as usize] += c;
                     y[v as usize] -= c;
@@ -226,7 +230,10 @@ mod tests {
         // Average over a few seeds to avoid flaky comparisons.
         let coarse: f64 = (0..3).map(|s| err(8, s)).sum::<f64>() / 3.0;
         let fine: f64 = (0..3).map(|s| err(128, s)).sum::<f64>() / 3.0;
-        assert!(fine < coarse, "JL error did not improve: {fine} vs {coarse}");
+        assert!(
+            fine < coarse,
+            "JL error did not improve: {fine} vs {coarse}"
+        );
     }
 
     #[test]
@@ -237,7 +244,11 @@ mod tests {
         let d = dsg_graph::bfs::bfs_distances(&g.adjacency(), 0);
         for v in 1..16u32 {
             let r = effective_resistance(&l, 0, v);
-            assert!(r <= d[v as usize] as f64 + 1e-6, "R(0,{v})={r} > d={}", d[v as usize]);
+            assert!(
+                r <= d[v as usize] as f64 + 1e-6,
+                "R(0,{v})={r} > d={}",
+                d[v as usize]
+            );
         }
     }
 }

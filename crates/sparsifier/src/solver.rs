@@ -85,7 +85,11 @@ pub fn solve(l: &Laplacian, b: &[f64], tol: f64, max_iter: usize) -> SolveResult
         let diff: Vec<f64> = lx.iter().zip(&b).map(|(a, c)| a - c).collect();
         norm(&diff)
     };
-    SolveResult { x, iterations, residual }
+    SolveResult {
+        x,
+        iterations,
+        residual,
+    }
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -149,10 +153,7 @@ mod tests {
         use dsg_graph::{Edge, WeightedGraph};
         // Two resistors in series: conductances 2 and 0.5 → resistances
         // 0.5 and 2 → total 2.5.
-        let g = WeightedGraph::from_edges(
-            3,
-            [(Edge::new(0, 1), 2.0), (Edge::new(1, 2), 0.5)],
-        );
+        let g = WeightedGraph::from_edges(3, [(Edge::new(0, 1), 2.0), (Edge::new(1, 2), 0.5)]);
         let l = Laplacian::from_weighted(&g);
         let r = solve(&l, &[1.0, 0.0, -1.0], 1e-12, 100);
         assert!((r.x[0] - r.x[2] - 2.5).abs() < 1e-8);

@@ -76,14 +76,17 @@ pub fn spectral_epsilon(g: &Laplacian, h: &Laplacian) -> f64 {
             // x = R^{-1} e  ⟺  R x = e (back substitution).
             let x = solve_upper(&r, &e);
             // y = B x.
-            let y: Vec<f64> =
-                (0..n - 1).map(|row| dot(&b[row], &x)).collect();
+            let y: Vec<f64> = (0..n - 1).map(|row| dot(&b[row], &x)).collect();
             // z = R^{-T} y  ⟺  R^T z = y (forward substitution).
             solve_lower_transpose(&r, &y)
         })
         .collect();
     let m: Vec<Vec<f64>> = (0..n - 1)
-        .map(|i| (0..n - 1).map(|j| (m_cols[j][i] + m_cols[i][j]) / 2.0).collect())
+        .map(|i| {
+            (0..n - 1)
+                .map(|j| (m_cols[j][i] + m_cols[i][j]) / 2.0)
+                .collect()
+        })
         .collect();
     let (vals, _) = symmetric_eigen(&m, 1e-11, 200);
     let lo = vals.first().copied().unwrap_or(1.0);
@@ -130,12 +133,7 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if the vertex counts differ.
-pub fn sampled_epsilon_lower_bound(
-    g: &Laplacian,
-    h: &Laplacian,
-    samples: usize,
-    seed: u64,
-) -> f64 {
+pub fn sampled_epsilon_lower_bound(g: &Laplacian, h: &Laplacian, samples: usize, seed: u64) -> f64 {
     let n = g.num_vertices();
     assert_eq!(n, h.num_vertices(), "vertex count mismatch");
     let mut rng = SplitMix64::new(seed);
@@ -158,8 +156,9 @@ pub fn sampled_epsilon_lower_bound(
             }
             1 => {
                 // Random cut indicator.
-                let x: Vec<f64> =
-                    (0..n).map(|_| if rng.next_u64() & 1 == 1 { 1.0 } else { 0.0 }).collect();
+                let x: Vec<f64> = (0..n)
+                    .map(|_| if rng.next_u64() & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect();
                 probe(&x);
             }
             _ => {
@@ -188,10 +187,7 @@ mod tests {
     fn uniform_scaling_gives_exact_eps() {
         let g = gen::complete(12);
         let lg = Laplacian::from_graph(&g);
-        let scaled = WeightedGraph::from_edges(
-            12,
-            g.edges().iter().map(|&e| (e, 1.3)),
-        );
+        let scaled = WeightedGraph::from_edges(12, g.edges().iter().map(|&e| (e, 1.3)));
         let lh = Laplacian::from_weighted(&scaled);
         let eps = spectral_epsilon(&lg, &lh);
         assert!((eps - 0.3).abs() < 1e-8, "eps={eps}");
@@ -215,8 +211,7 @@ mod tests {
         let g = gen::erdos_renyi(16, 0.5, 2);
         let lg = Laplacian::from_graph(&g);
         // Perturb: drop a few edges.
-        let kill: std::collections::HashSet<Edge> =
-            g.edges().iter().take(3).copied().collect();
+        let kill: std::collections::HashSet<Edge> = g.edges().iter().take(3).copied().collect();
         let lh = Laplacian::from_graph(&g.minus(&kill));
         let exact = spectral_epsilon(&lg, &lh);
         let sampled = sampled_epsilon_lower_bound(&lg, &lh, 300, 3);

@@ -78,7 +78,12 @@ mod tests {
             &Laplacian::from_weighted(&h),
         );
         assert!(eps < 0.9, "eps={eps}");
-        assert!(h.num_edges() < g.num_edges(), "{} vs {}", h.num_edges(), g.num_edges());
+        assert!(
+            h.num_edges() < g.num_edges(),
+            "{} vs {}",
+            h.num_edges(),
+            g.num_edges()
+        );
     }
 
     #[test]

@@ -63,7 +63,14 @@ impl WeightedTwoPassSparsifier {
     pub fn new(n: usize, gamma: f64, params: SparsifierParams) -> Self {
         assert!(gamma > 0.0, "gamma must be positive");
         assert!(n >= 2, "need at least two vertices");
-        Self { n, gamma, params, classes: HashMap::new(), current_pass: 0, finished: false }
+        Self {
+            n,
+            gamma,
+            params,
+            classes: HashMap::new(),
+            current_pass: 0,
+            finished: false,
+        }
     }
 
     /// The weight class of `w`: `floor(log_{1+γ} w)`.
@@ -125,17 +132,28 @@ impl StreamAlgorithm for WeightedTwoPassSparsifier {
         if self.current_pass == 0 {
             if !self.classes.contains_key(&class) {
                 let mut params = self.params;
-                params.seed =
-                    params.seed.wrapping_add(0x517C_C1B7u64.wrapping_mul(class as i64 as u64));
+                params.seed = params
+                    .seed
+                    .wrapping_add(0x517C_C1B7u64.wrapping_mul(class as i64 as u64));
                 let mut alg = TwoPassSparsifier::new(self.n, params);
                 alg.begin_pass(0);
                 self.classes.insert(class, alg);
             }
         } else if !self.classes.contains_key(&class) {
-            panic!("weight class {class} first appeared in pass {}", self.current_pass);
+            panic!(
+                "weight class {class} first appeared in pass {}",
+                self.current_pass
+            );
         }
-        let unweighted = StreamUpdate { edge: update.edge, delta: update.delta, weight: 1.0 };
-        self.classes.get_mut(&class).expect("class exists").process(&unweighted);
+        let unweighted = StreamUpdate {
+            edge: update.edge,
+            delta: update.delta,
+            weight: 1.0,
+        };
+        self.classes
+            .get_mut(&class)
+            .expect("class exists")
+            .process(&unweighted);
     }
 
     fn end_pass(&mut self, pass: usize) {

@@ -71,12 +71,20 @@ impl Summary {
 
     /// Smallest observation. Returns 0 for an empty summary.
     pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min).min_finite()
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min_finite()
     }
 
     /// Largest observation. Returns 0 for an empty summary.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max_finite()
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_finite()
     }
 
     /// Median (average of the two middle elements for even counts).
@@ -193,7 +201,9 @@ mod tests {
 
     #[test]
     fn basic_statistics() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert!((s.stddev() - 2.0).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);

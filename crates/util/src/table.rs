@@ -57,7 +57,8 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
     }
 
     /// Number of data rows.
@@ -78,7 +79,8 @@ impl Table {
 
 fn looks_numeric(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E' | 'x' | '%'))
+        && s.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E' | 'x' | '%'))
 }
 
 impl fmt::Display for Table {
@@ -130,7 +132,10 @@ mod tests {
         t.add_row(&["longer-cell"]);
         let out = t.to_string();
         let widths: Vec<usize> = out.lines().map(str::len).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "all lines same width: {out}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "all lines same width: {out}"
+        );
     }
 
     #[test]

@@ -26,8 +26,9 @@ fn main() {
     // Every server holds an AGM sketch with the SAME shared seed — the
     // "agreed upon" randomness of the paper — and consumes its shard.
     let shared_seed = 4242;
-    let mut shards: Vec<AgmSketch> =
-        (0..servers).map(|_| AgmSketch::new(n, shared_seed)).collect();
+    let mut shards: Vec<AgmSketch> = (0..servers)
+        .map(|_| AgmSketch::new(n, shared_seed))
+        .collect();
     for (i, up) in stream.updates().iter().enumerate() {
         shards[i % servers].update(up.edge, up.delta as i128);
     }

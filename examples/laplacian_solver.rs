@@ -19,7 +19,9 @@ fn main() {
     // Two-pass streaming sparsifier (Corollary 2), laptop constants.
     let mut params = SparsifierParams::new(2, 0.5, 22);
     params.z_factor = 0.08;
-    let out = SparsifierBuilder::new(n).params(params).build_from_stream(&stream);
+    let out = SparsifierBuilder::new(n)
+        .params(params)
+        .build_from_stream(&stream);
     let quality = measure_quality(&graph, &out.sparsifier);
     println!(
         "sparsifier: {} edges ({:.1}% of input), exact spectral eps = {:.3}",

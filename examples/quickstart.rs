@@ -22,7 +22,10 @@ fn main() {
 
     // Two passes, ~O(n^{1+1/k}) space, stretch 2^k (Theorem 1).
     let k = 2;
-    let out = SpannerBuilder::new(n).stretch_exponent(k).seed(1).build_from_stream(&stream);
+    let out = SpannerBuilder::new(n)
+        .stretch_exponent(k)
+        .seed(1)
+        .build_from_stream(&stream);
     println!(
         "spanner: {} edges (kept {:.1}% of the graph), {} terminals",
         out.spanner.num_edges(),
@@ -38,7 +41,10 @@ fn main() {
     // Distance queries on the spanner approximate the true metric within
     // the 2^k guarantee.
     let stretch = verify::max_multiplicative_stretch(&graph, &out.spanner, n);
-    println!("measured worst stretch: {stretch:.2} (guarantee: {})", 1 << k);
+    println!(
+        "measured worst stretch: {stretch:.2} (guarantee: {})",
+        1 << k
+    );
     assert!(stretch <= (1u64 << k) as f64);
 
     // Example query: distance 0 -> n-1 in graph vs spanner.

@@ -26,7 +26,11 @@ fn main() {
 
     // Follows and unfollows arrive as a dynamic stream.
     let stream = GraphStream::with_churn(&graph, 1.5, 3);
-    println!("{} events ({} unfollows)", stream.len(), stream.num_deletions());
+    println!(
+        "{} events ({} unfollows)",
+        stream.len(),
+        stream.num_deletions()
+    );
 
     // One pass: additive spanner with degree parameter d.
     let d = 12;

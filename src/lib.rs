@@ -1,0 +1,14 @@
+//! Workspace facade crate: hosts the root integration tests and examples,
+//! and re-exports every `dsg_*` crate under one roof. Library users should
+//! normally depend on [`dsg_core`](dsg_core) (re-exported here as [`core`])
+//! or the individual crates directly.
+
+pub use dsg_agm as agm;
+pub use dsg_core as core;
+pub use dsg_graph as graph;
+pub use dsg_hash as hash;
+pub use dsg_lowerbound as lowerbound;
+pub use dsg_sketch as sketch;
+pub use dsg_spanner as spanner;
+pub use dsg_sparsifier as sparsifier;
+pub use dsg_util as util;

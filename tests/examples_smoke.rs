@@ -1,0 +1,75 @@
+//! Smoke test: every example binary must run to successful completion, so
+//! the examples can't silently rot as APIs evolve.
+//!
+//! `cargo test` compiles examples into `target/<profile>/examples/` before
+//! running integration tests, so the binaries are located relative to this
+//! test executable instead of shelling out to a nested `cargo run`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "social_network",
+    "laplacian_solver",
+    "distributed_servers",
+];
+
+/// Directory holding compiled example binaries for the active profile.
+fn examples_dir() -> PathBuf {
+    // This test executable lives at target/<profile>/deps/<name>-<hash>.
+    let exe = std::env::current_exe().expect("test executable path");
+    let profile_dir = exe
+        .parent() // deps/
+        .and_then(|p| p.parent()) // <profile>/
+        .expect("test executable should live under target/<profile>/deps");
+    profile_dir.join("examples")
+}
+
+/// Builds one example via cargo. A bare `cargo test` pre-builds all
+/// examples, but a filtered `cargo test --test examples_smoke` does not.
+fn build_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml");
+    let release = examples_dir()
+        .parent()
+        .is_some_and(|p| p.ends_with("release"));
+    let mut cmd = Command::new(cargo);
+    cmd.args(["build", "--example", name, "--manifest-path", manifest]);
+    if release {
+        cmd.arg("--release");
+    }
+    let status = cmd.status().expect("failed to spawn cargo build");
+    assert!(status.success(), "cargo build --example {name} failed");
+}
+
+#[test]
+fn all_examples_run_to_completion() {
+    let dir = examples_dir();
+    for name in EXAMPLES {
+        let bin = dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+        if !bin.exists() {
+            build_example(name);
+        }
+        assert!(
+            bin.exists(),
+            "example binary {bin:?} missing — was the example renamed without updating EXAMPLES?"
+        );
+        let output = Command::new(&bin)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn example {name}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        // Every example prints a report; an empty stdout means it silently
+        // did nothing, which should fail the smoke test too.
+        assert!(
+            !output.stdout.is_empty(),
+            "example {name} produced no output"
+        );
+    }
+}

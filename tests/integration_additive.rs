@@ -97,7 +97,5 @@ fn deterministic_given_seed() {
 fn space_reservation_scales_with_nd() {
     let alg_small = dsg_spanner::AdditiveSpanner::new(100, AdditiveParams::new(2, 1));
     let alg_large = dsg_spanner::AdditiveSpanner::new(100, AdditiveParams::new(16, 1));
-    assert!(
-        alg_large.nominal_neighborhood_bytes() > 4 * alg_small.nominal_neighborhood_bytes()
-    );
+    assert!(alg_large.nominal_neighborhood_bytes() > 4 * alg_small.nominal_neighborhood_bytes());
 }

@@ -69,7 +69,11 @@ fn contraction_matches_algorithm3_pattern() {
     // rows.
     assert_eq!(f.edges.len(), 5, "forest: {:?}", f.edges);
     for e in &f.edges {
-        assert_eq!((e.v() / 6) - (e.u() / 6), 1, "edge {e} not between adjacent rows");
+        assert_eq!(
+            (e.v() / 6) - (e.u() / 6),
+            1,
+            "edge {e} not between adjacent rows"
+        );
     }
 }
 

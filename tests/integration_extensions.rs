@@ -15,7 +15,10 @@ fn oracle_from_streamed_spanner_satisfies_kp12_contract() {
     let g = gen::erdos_renyi(n, 0.12, 1);
     let stream = GraphStream::with_churn(&g, 1.0, 2);
     let k = 2;
-    let out = SpannerBuilder::new(n).stretch_exponent(k).seed(3).build_from_stream(&stream);
+    let out = SpannerBuilder::new(n)
+        .stretch_exponent(k)
+        .seed(3)
+        .build_from_stream(&stream);
     let oracle = DistanceOracle::new(out.spanner, 1 << k);
     let adj = g.adjacency();
     for src in [0u32, 20, 55] {
@@ -92,7 +95,7 @@ fn jl_resistances_feed_ss08_style_sampling() {
     let mut edges = Vec::new();
     for e in g.edges() {
         let r = est.estimate(e.u(), e.v());
-        let p = (2.0 * r * logn).min(1.0).max(0.05);
+        let p = (2.0 * r * logn).clamp(0.05, 1.0);
         if rng.next_f64() < p {
             edges.push((*e, 1.0 / p));
         }

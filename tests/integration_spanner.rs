@@ -25,9 +25,16 @@ fn stretch_guarantee_across_topologies() {
     for (name, g) in cases {
         let n = g.num_vertices();
         let out = build(&g, 2, 7, 1.0);
-        assert!(verify::is_subgraph(&g, &out.spanner), "{name}: non-subgraph");
+        assert!(
+            verify::is_subgraph(&g, &out.spanner),
+            "{name}: non-subgraph"
+        );
         let stretch = verify::max_multiplicative_stretch(&g, &out.spanner, n);
-        assert!(stretch <= 4.0, "{name}: stretch {stretch} > 4 ({:?})", out.stats);
+        assert!(
+            stretch <= 4.0,
+            "{name}: stretch {stretch} > 4 ({:?})",
+            out.stats
+        );
     }
 }
 
@@ -61,8 +68,8 @@ fn spanner_size_scales_with_lemma12() {
     let out_sparse = build(&sparse, k, 8, 0.5);
     let out_dense = build(&dense, k, 9, 0.5);
     let edge_ratio = dense.num_edges() as f64 / sparse.num_edges() as f64;
-    let spanner_ratio = out_dense.spanner.num_edges() as f64
-        / (out_sparse.spanner.num_edges() as f64).max(1.0);
+    let spanner_ratio =
+        out_dense.spanner.num_edges() as f64 / (out_sparse.spanner.num_edges() as f64).max(1.0);
     assert!(
         spanner_ratio < edge_ratio / 1.5,
         "spanner grew {spanner_ratio}x for {edge_ratio}x edges"
@@ -108,8 +115,7 @@ fn deterministic_given_seed() {
 fn observed_edges_cover_spanner_and_stay_real() {
     let g = gen::erdos_renyi(45, 0.25, 18);
     let out = build(&g, 2, 19, 1.0);
-    let observed: std::collections::HashSet<Edge> =
-        out.observed_edges.iter().copied().collect();
+    let observed: std::collections::HashSet<Edge> = out.observed_edges.iter().copied().collect();
     for e in out.spanner.edges() {
         assert!(observed.contains(e));
     }
@@ -126,7 +132,10 @@ fn offline_and_streaming_agree_on_quality() {
     let streaming = build(&g, 2, 21, 1.0);
     let s_off = verify::max_multiplicative_stretch(&g, &offline.spanner, 60);
     let s_str = verify::max_multiplicative_stretch(&g, &streaming.spanner, 60);
-    assert!(s_off <= 4.0 && s_str <= 4.0, "offline {s_off}, streaming {s_str}");
+    assert!(
+        s_off <= 4.0 && s_str <= 4.0,
+        "offline {s_off}, streaming {s_str}"
+    );
     // Sizes in the same ballpark (same centers, same bound).
     let ratio = streaming.spanner.num_edges() as f64 / offline.spanner.num_edges() as f64;
     assert!((0.3..3.0).contains(&ratio), "size ratio {ratio}");

@@ -60,10 +60,8 @@ fn streaming_beats_naive_uniform_sampling_on_barbell() {
 fn ss08_baseline_tracks_resistances() {
     let g = gen::with_random_weights(&gen::complete(30), 1.0, 1.0, 8);
     let h = ss08::sparsify(&g, 0.5, 0.5, 9);
-    let eps = spectral::spectral_epsilon(
-        &Laplacian::from_weighted(&g),
-        &Laplacian::from_weighted(&h),
-    );
+    let eps =
+        spectral::spectral_epsilon(&Laplacian::from_weighted(&g), &Laplacian::from_weighted(&h));
     assert!(eps < 0.9, "SS08 eps {eps}");
     // Cut deviation is bounded by the spectral epsilon.
     let cut_dev = cut::max_cut_deviation(
@@ -106,7 +104,11 @@ fn pipeline_space_is_subquadratic() {
 fn deterministic_given_seed() {
     let g = gen::erdos_renyi(22, 0.4, 15);
     let stream = GraphStream::insert_only(&g, 16);
-    let a = SparsifierBuilder::new(22).params(small_params(17)).build_from_stream(&stream);
-    let b = SparsifierBuilder::new(22).params(small_params(17)).build_from_stream(&stream);
+    let a = SparsifierBuilder::new(22)
+        .params(small_params(17))
+        .build_from_stream(&stream);
+    let b = SparsifierBuilder::new(22)
+        .params(small_params(17))
+        .build_from_stream(&stream);
     assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
 }

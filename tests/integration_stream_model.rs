@@ -12,8 +12,8 @@ fn sketches_cannot_tell_orderings_apart() {
     let g = gen::erdos_renyi(30, 0.3, 1);
     let s1 = GraphStream::with_churn(&g, 1.0, 2);
     let s2 = GraphStream::with_churn(&g, 1.0, 3); // different order/decoys…
-    // …so compare through the *final graph* sketch: stream the two final
-    // graphs' indicator updates into sketches.
+                                                  // …so compare through the *final graph* sketch: stream the two final
+                                                  // graphs' indicator updates into sketches.
     let mut a = SparseRecovery::new(64, 9);
     let mut b = SparseRecovery::new(64, 9);
     for e in s1.final_graph().edges() {
