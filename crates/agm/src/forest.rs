@@ -25,6 +25,8 @@ use crate::incidence::{edge_coordinate, incidence_sign};
 use dsg_graph::components::UnionFind;
 use dsg_graph::{index_to_pair, Edge, Vertex};
 use dsg_sketch::l0::{L0Family, L0State};
+use dsg_sketch::wire::{self, WireError};
+use dsg_sketch::LinearSketch;
 use dsg_util::SpaceUsage;
 
 /// Default extra rounds beyond `ceil(log2 n)`; Borůvka halves components
@@ -61,6 +63,7 @@ pub struct ForestResult {
 #[derive(Debug, Clone)]
 pub struct AgmSketch {
     n: usize,
+    seed: u64,
     families: Vec<L0Family>,
     /// `states[round][vertex]`.
     states: Vec<Vec<L0State>>,
@@ -97,6 +100,7 @@ impl AgmSketch {
             .collect();
         Self {
             n,
+            seed,
             families,
             states,
         }
@@ -105,6 +109,12 @@ impl AgmSketch {
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.n
+    }
+
+    /// The creation seed (compatibility key for merges — the randomness
+    /// the paper's servers "agreed upon" in advance).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of independent rounds.
@@ -136,26 +146,6 @@ impl AgmSketch {
     pub fn subtract_edges<'a, I: IntoIterator<Item = &'a Edge>>(&mut self, edges: I) {
         for e in edges {
             self.update(*e, -1);
-        }
-    }
-
-    /// Adds another sketch (the distributed-servers pattern: each server
-    /// sketches its local updates, sketches are merged centrally).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sketches are incompatible.
-    pub fn merge(&mut self, other: &AgmSketch) {
-        assert_eq!(self.n, other.n, "vertex count mismatch");
-        assert_eq!(
-            self.num_rounds(),
-            other.num_rounds(),
-            "round count mismatch"
-        );
-        for (mine, theirs) in self.states.iter_mut().zip(&other.states) {
-            for (a, b) in mine.iter_mut().zip(theirs) {
-                a.merge(b);
-            }
         }
     }
 
@@ -199,9 +189,12 @@ impl AgmSketch {
             if uf.num_components() == 1 {
                 break;
             }
-            // Group members by component root.
-            let mut groups: std::collections::HashMap<Vertex, Vec<Vertex>> =
-                std::collections::HashMap::new();
+            // Group members by component root. A BTreeMap fixes the
+            // iteration order so extraction is a deterministic function of
+            // the sketch state — merged shard sketches must answer
+            // identically to a single-sketch run, byte for byte.
+            let mut groups: std::collections::BTreeMap<Vertex, Vec<Vertex>> =
+                std::collections::BTreeMap::new();
             for v in 0..self.n as Vertex {
                 groups.entry(uf.find(v)).or_default().push(v);
             }
@@ -221,6 +214,10 @@ impl AgmSketch {
                     Err(_) => result.decode_failures += 1,
                 }
             }
+            // Union in sorted order: ties between competing edges across
+            // the same component pair resolve deterministically.
+            found.sort_unstable();
+            found.dedup();
             for e in found {
                 if uf.union(e.u(), e.v()) {
                     result.edges.push(e);
@@ -252,6 +249,81 @@ impl SpaceUsage for AgmSketch {
             .map(|row| row.iter().map(SpaceUsage::space_bytes).sum::<usize>())
             .sum();
         families + states
+    }
+}
+
+impl LinearSketch for AgmSketch {
+    const WIRE_KIND: u16 = wire::KIND_AGM;
+
+    /// Coordinate-keyed update: `key` is the stream coordinate of an edge
+    /// (see [`dsg_graph::pair_to_index`]), the form a sharded ingest
+    /// engine feeds. Keys outside `[0, C(n,2))` are dropped (debug builds
+    /// assert) — a malformed update must not abort a whole shard.
+    fn update(&mut self, key: u64, delta: i128) {
+        if key >= dsg_graph::ids::num_pairs(self.n) {
+            debug_assert!(false, "coordinate {key} out of range for n={}", self.n);
+            return;
+        }
+        let (u, v) = index_to_pair(key, self.n);
+        self.update(Edge::new(u, v), delta);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.n, other.n, "vertex count mismatch");
+        assert_eq!(
+            self.num_rounds(),
+            other.num_rounds(),
+            "round count mismatch"
+        );
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        for (mine, theirs) in self.states.iter_mut().zip(&other.states) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.merge(b);
+            }
+        }
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        wire::put_len(&mut payload, self.n);
+        wire::put_len(&mut payload, self.num_rounds());
+        wire::put_u64(&mut payload, self.seed);
+        for row in &self.states {
+            for st in row {
+                st.encode_into(&mut payload);
+            }
+        }
+        wire::finish_frame(Self::WIRE_KIND, payload)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = wire::open_frame(Self::WIRE_KIND, bytes)?;
+        let n = r.read_len()?;
+        let rounds = r.read_len()?;
+        if n < 2 || rounds == 0 {
+            return Err(WireError::Malformed("bad vertex or round count"));
+        }
+        // Edge coordinates must fit the 60-bit sketch key universe (and
+        // `num_pairs` must not overflow): reject rather than let the
+        // constructor assert on a crafted frame.
+        if n > (1 << 30) {
+            return Err(WireError::Malformed("vertex count exceeds key universe"));
+        }
+        // Every per-vertex per-round state costs at least 8 payload bytes
+        // (its level count); bound the declared shape by the payload so a
+        // corrupt frame cannot trigger a huge eager allocation.
+        if n.saturating_mul(rounds) > r.remaining() / 8 {
+            return Err(WireError::Truncated);
+        }
+        let seed = r.u64()?;
+        let mut sk = AgmSketch::with_rounds(n, rounds, seed);
+        for (family, row) in sk.families.iter().zip(sk.states.iter_mut()) {
+            for st in row.iter_mut() {
+                *st = family.decode_state(&mut r)?;
+            }
+        }
+        r.expect_end()?;
+        Ok(sk)
     }
 }
 
@@ -400,5 +472,67 @@ mod tests {
     fn out_of_range_update_panics() {
         let mut sk = AgmSketch::new(4, 1);
         sk.update(Edge::new(0, 9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn seed_mismatch_merge_panics() {
+        let mut a = AgmSketch::new(4, 1);
+        let b = AgmSketch::new(4, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn coordinate_update_matches_edge_update() {
+        let n = 12;
+        let mut by_edge = AgmSketch::new(n, 5);
+        let mut by_coord = AgmSketch::new(n, 5);
+        let g = gen::erdos_renyi(n, 0.3, 6);
+        for e in g.edges() {
+            by_edge.update(*e, 1);
+            LinearSketch::update(&mut by_coord, e.index(n), 1);
+        }
+        assert_eq!(by_edge.to_bytes(), by_coord.to_bytes());
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_forest() {
+        let g = gen::erdos_renyi(30, 0.15, 21);
+        let sk = sketch_graph(&g, 22);
+        let bytes = sk.to_bytes();
+        let back = AgmSketch::from_bytes(&bytes).unwrap();
+        assert_eq!(back.spanning_forest().edges, sk.spanning_forest().edges);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn crafted_shape_frames_rejected_without_panicking() {
+        use dsg_sketch::wire;
+        // n = 2^31 exceeds the key universe: must be a WireError, not the
+        // constructor assert (or a num_pairs overflow).
+        let mut payload = Vec::new();
+        wire::put_len(&mut payload, 1usize << 31);
+        wire::put_len(&mut payload, 1);
+        wire::put_u64(&mut payload, 0);
+        let frame = wire::finish_frame(wire::KIND_AGM, payload);
+        assert!(AgmSketch::from_bytes(&frame).is_err());
+        // A huge declared n×rounds over a tiny payload must be rejected
+        // before any state allocation.
+        let mut payload = Vec::new();
+        wire::put_len(&mut payload, 1usize << 20);
+        wire::put_len(&mut payload, 1usize << 12);
+        wire::put_u64(&mut payload, 0);
+        let frame = wire::finish_frame(wire::KIND_AGM, payload);
+        assert!(AgmSketch::from_bytes(&frame).is_err());
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        // The same state must always answer the same forest — required for
+        // merged shard sketches to agree with a single-sketch run.
+        let g = gen::erdos_renyi(40, 0.2, 30);
+        let sk = sketch_graph(&g, 31);
+        let clone = sk.clone();
+        assert_eq!(sk.spanning_forest().edges, clone.spanning_forest().edges);
     }
 }

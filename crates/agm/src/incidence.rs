@@ -18,9 +18,10 @@ use dsg_graph::{pair_to_index, Edge, Vertex};
 /// The sign with which edge `e` appears in the incidence vector of its
 /// endpoint `w`: `+1` for the smaller endpoint, `-1` for the larger.
 ///
-/// # Panics
-///
-/// Panics if `w` is not an endpoint of `e`.
+/// Routes through [`Edge::is_lower_endpoint`], the shared
+/// debug-assert-backed endpoint check: debug builds panic on a foreign
+/// vertex, release builds degrade to a `-1` contribution so a malformed
+/// update cannot abort an ingest shard mid-stream.
 ///
 /// # Examples
 ///
@@ -33,12 +34,10 @@ use dsg_graph::{pair_to_index, Edge, Vertex};
 /// assert_eq!(incidence_sign(7, &e), -1);
 /// ```
 pub fn incidence_sign(w: Vertex, e: &Edge) -> i128 {
-    if w == e.u() {
+    if e.is_lower_endpoint(w) {
         1
-    } else if w == e.v() {
-        -1
     } else {
-        panic!("vertex {w} is not an endpoint of {e}")
+        -1
     }
 }
 
@@ -59,6 +58,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)] // release builds degrade instead of panicking
     #[should_panic(expected = "not an endpoint")]
     fn foreign_vertex_panics() {
         incidence_sign(5, &Edge::new(1, 2));

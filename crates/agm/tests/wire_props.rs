@@ -1,0 +1,68 @@
+//! `LinearSketch` contract properties for [`AgmSketch`], the eighth
+//! implementor (the other seven live in `crates/sketch/tests/wire_props.rs`):
+//! shard-split invariance and wire roundtrip, both down to canonical
+//! snapshot bytes, plus forest-answer equality after a split.
+
+use dsg_agm::AgmSketch;
+use dsg_graph::ids::num_pairs;
+use dsg_graph::{index_to_pair, Edge};
+use dsg_sketch::LinearSketch;
+use proptest::prelude::*;
+
+const N: usize = 16;
+
+/// Random signed edge-coordinate updates over a 16-vertex graph.
+fn edge_updates() -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0u64..num_pairs(N), -2i64..=2), 0..50)
+}
+
+proptest! {
+    #[test]
+    fn agm_shard_split_is_bit_identical(xs in edge_updates(), k in 1usize..=4, seed in 0u64..100) {
+        let mut direct = AgmSketch::new(N, seed);
+        let mut shards: Vec<AgmSketch> = (0..k).map(|_| AgmSketch::new(N, seed)).collect();
+        for (i, &(coord, delta)) in xs.iter().enumerate() {
+            let (u, v) = index_to_pair(coord, N);
+            direct.update(Edge::new(u, v), delta as i128);
+            shards[(i * 7 + i * i) % k].update(Edge::new(u, v), delta as i128);
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s);
+        }
+        prop_assert_eq!(merged.to_bytes(), direct.to_bytes());
+        prop_assert_eq!(merged.spanning_forest().edges, direct.spanning_forest().edges);
+    }
+
+    #[test]
+    fn agm_wire_roundtrip_behaves_identically(xs in edge_updates(), extra in edge_updates(), seed in 0u64..100) {
+        let mut sk = AgmSketch::new(N, seed);
+        for &(coord, delta) in &xs {
+            let (u, v) = index_to_pair(coord, N);
+            sk.update(Edge::new(u, v), delta as i128);
+        }
+        let bytes = sk.to_bytes();
+        let mut back = AgmSketch::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.to_bytes(), bytes);
+        for &(coord, delta) in &extra {
+            let (u, v) = index_to_pair(coord, N);
+            sk.update(Edge::new(u, v), delta as i128);
+            back.update(Edge::new(u, v), delta as i128);
+        }
+        prop_assert_eq!(back.to_bytes(), sk.to_bytes());
+        prop_assert_eq!(back.spanning_forest().edges, sk.spanning_forest().edges);
+    }
+
+    #[test]
+    fn agm_corrupted_snapshot_rejected(xs in edge_updates(), pos_frac in 0.0f64..1.0, seed in 0u64..50) {
+        let mut sk = AgmSketch::new(N, seed);
+        for &(coord, delta) in &xs {
+            let (u, v) = index_to_pair(coord, N);
+            sk.update(Edge::new(u, v), delta as i128);
+        }
+        let mut bytes = sk.to_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 0x2A;
+        prop_assert!(AgmSketch::from_bytes(&bytes).is_err());
+    }
+}

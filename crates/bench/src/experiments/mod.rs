@@ -2,6 +2,7 @@
 //! in `EXPERIMENTS.md`.
 
 pub mod additive_exps;
+pub mod engine_exps;
 pub mod lowerbound_exps;
 pub mod sketch_exps;
 pub mod spanner_exps;
@@ -28,6 +29,7 @@ pub const ALL: &[&str] = &[
     "connectivity-estimates",
     "ablation-budget",
     "ablation-levels",
+    "engine",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -50,6 +52,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "connectivity-estimates" => sparsifier_exps::connectivity_estimates(scale),
         "ablation-budget" => spanner_exps::ablation_budget(scale),
         "ablation-levels" => spanner_exps::ablation_levels(scale),
+        "engine" => engine_exps::engine(scale),
         _ => return false,
     }
     true

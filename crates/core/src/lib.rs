@@ -53,15 +53,19 @@ pub use dsg_sparsifier as sparsifier;
 pub use dsg_util as util;
 
 pub mod builders;
+pub mod engine;
 
 pub use builders::{AdditiveSpannerBuilder, SpannerBuilder, SparsifierBuilder};
+pub use engine::EngineBuilder;
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use crate::builders::{AdditiveSpannerBuilder, SpannerBuilder, SparsifierBuilder};
+    pub use crate::engine::EngineBuilder;
     pub use dsg_graph::{
         gen, Edge, Graph, GraphStream, StreamAlgorithm, StreamUpdate, Vertex, WeightedGraph,
     };
+    pub use dsg_sketch::LinearSketch;
     pub use dsg_spanner::{verify, AdditiveParams, SpannerParams};
     pub use dsg_sparsifier::{Laplacian, SparsifierParams};
     pub use dsg_util::{SpaceUsage, Summary, Table};

@@ -1,0 +1,452 @@
+//! # dsg-engine — sharded multi-threaded sketch ingest
+//!
+//! The paper's opening scenario has edge updates "distributed and
+//! presented online … on multiple servers": because every sketch in this
+//! workspace is *linear*, each server can sketch only its local share of
+//! the stream and a coordinator merges the (small) sketches instead of
+//! collecting the (large) streams. This crate is that scenario as a
+//! subsystem:
+//!
+//! * [`ShardedEngine`] partitions an incoming update stream across `S`
+//!   worker shards (`std::thread` + bounded channels), delivering updates
+//!   in batches to amortize synchronization;
+//! * any [`LinearSketch`] plugs in directly through the blanket
+//!   [`EngineSketch`] impl — `AgmSketch`, `SparseRecovery`, `L0Sampler`,
+//!   `DistinctEstimator`, … — while pass-structured algorithms (the
+//!   two-pass spanner and KP12 sparsifier) plug in through hand-written
+//!   `EngineSketch` wrappers in `dsg-core`;
+//! * shard results flow back to the coordinator either in memory
+//!   ([`EngineRun::merged`], a log-depth [`merge_tree`]) or as wire-format
+//!   snapshots ([`EngineRun::snapshots`] → [`reduce_snapshots`]), the
+//!   serialized path a real multi-server deployment would ship over the
+//!   network.
+//!
+//! Correctness rests entirely on linearity: any K-way partition of a
+//! stream, sketched under the same shared seed and merged in any order,
+//! is bit-identical to one sketch of the whole stream. Property tests in
+//! `tests/` and `tests/integration_engine.rs` at the workspace root pin
+//! this down end to end (identical spanning forests, spanners, and
+//! sparsifiers).
+//!
+//! ```
+//! use dsg_engine::{EdgeUpdate, EngineConfig, ShardedEngine};
+//! use dsg_sketch::{LinearSketch, SparseRecovery};
+//!
+//! let cfg = EngineConfig::new(4).batch_size(64);
+//! let mut engine = ShardedEngine::start(cfg, |_shard| SparseRecovery::new(8, 42));
+//! for key in 0..100u64 {
+//!     engine.push(EdgeUpdate::new(key, 1));
+//! }
+//! for key in 0..97u64 {
+//!     engine.push(EdgeUpdate::new(key, -1));
+//! }
+//! let merged = engine.finish().merged().unwrap();
+//! assert_eq!(
+//!     merged.decode().unwrap(),
+//!     vec![(97, 1), (98, 1), (99, 1)],
+//! );
+//! ```
+
+use dsg_sketch::{LinearSketch, WireError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// One signed update to the sketched vector: `x[key] += delta`.
+///
+/// For graph streams, `key` is the edge coordinate under
+/// `dsg_graph::pair_to_index` and `delta` is `±1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeUpdate {
+    /// The updated coordinate.
+    pub key: u64,
+    /// The signed change.
+    pub delta: i128,
+}
+
+impl EdgeUpdate {
+    /// Creates an update.
+    pub fn new(key: u64, delta: i128) -> Self {
+        Self { key, delta }
+    }
+}
+
+/// Shape of a sharded ingest run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of worker shards (threads).
+    pub shards: usize,
+    /// Updates per batch handed to a shard. Larger batches amortize
+    /// channel synchronization; smaller batches reduce latency and peak
+    /// buffering. 256 is a good default for µs-scale sketch updates.
+    pub batch_size: usize,
+    /// Bounded channel depth per shard, in batches (backpressure: a
+    /// producer that outruns every shard blocks instead of buffering
+    /// unboundedly).
+    pub queue_depth: usize,
+}
+
+impl EngineConfig {
+    /// A config with `shards` workers and default batching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            shards,
+            batch_size: 256,
+            queue_depth: 4,
+        }
+    }
+
+    /// A config sized to the machine (one shard per available core).
+    pub fn auto() -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(shards)
+    }
+
+    /// Overrides the batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the per-shard queue depth (in batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth == 0`.
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "queue depth must be positive");
+        self.queue_depth = queue_depth;
+        self
+    }
+}
+
+/// What a shard worker must be able to do: ingest update batches and be
+/// folded into a coordinator-side reduction.
+///
+/// Every [`LinearSketch`] gets this for free via the blanket impl.
+/// Pass-structured stream algorithms whose *per-pass* state is linear but
+/// whose whole object is not a `LinearSketch` (the two-pass spanner, the
+/// KP12 sparsifier pipeline) implement it directly on a wrapper — see
+/// `dsg_core::engine`.
+pub trait EngineSketch: Send + 'static {
+    /// Ingests a batch of updates.
+    fn apply_batch(&mut self, batch: &[EdgeUpdate]);
+
+    /// Folds another shard's result into `self` (linearity: the result
+    /// sketches the union of both sub-streams).
+    fn absorb(&mut self, other: Self);
+}
+
+impl<S: LinearSketch + Send + 'static> EngineSketch for S {
+    fn apply_batch(&mut self, batch: &[EdgeUpdate]) {
+        for up in batch {
+            self.update(up.key, up.delta);
+        }
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.merge(&other);
+    }
+}
+
+/// A running sharded ingest: `S` worker threads, each owning one sketch,
+/// fed round-robin with batches of updates.
+///
+/// Round-robin batch routing balances load regardless of key skew — for a
+/// linear sketch *any* partition of the stream merges to the same state,
+/// so the router optimizes for balance, not locality.
+#[derive(Debug)]
+pub struct ShardedEngine<S: EngineSketch> {
+    senders: Vec<SyncSender<Vec<EdgeUpdate>>>,
+    workers: Vec<JoinHandle<(S, u64)>>,
+    buffer: Vec<EdgeUpdate>,
+    batch_size: usize,
+    next_shard: usize,
+    pushed: u64,
+}
+
+/// The completed result of a sharded ingest.
+#[derive(Debug)]
+pub struct EngineRun<S> {
+    /// One sketch per shard, in shard order.
+    pub shards: Vec<S>,
+    /// Updates each shard ingested (for load-balance diagnostics).
+    pub per_shard_updates: Vec<u64>,
+    /// Total updates pushed through the engine.
+    pub total_updates: u64,
+}
+
+impl<S: EngineSketch> EngineRun<S> {
+    /// Reduces the shard sketches to one via [`merge_tree`].
+    pub fn merged(self) -> Option<S> {
+        merge_tree(self.shards)
+    }
+}
+
+impl<S: LinearSketch + Send + 'static> EngineRun<S> {
+    /// Serializes every shard sketch into its wire snapshot — what each
+    /// server ships to the coordinator in the distributed deployment.
+    pub fn snapshots(&self) -> Vec<Vec<u8>> {
+        self.shards.iter().map(|s| s.snapshot()).collect()
+    }
+}
+
+impl<S: EngineSketch> ShardedEngine<S> {
+    /// Spawns the shard workers. `make_shard(i)` builds shard `i`'s sketch
+    /// on the caller's thread — all shards must be built from the same
+    /// shared seed/parameters or the final merge will (correctly) panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread cannot be spawned.
+    pub fn start<F: FnMut(usize) -> S>(cfg: EngineConfig, mut make_shard: F) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.batch_size > 0, "batch size must be positive");
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut workers = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx): (_, Receiver<Vec<EdgeUpdate>>) = sync_channel(cfg.queue_depth.max(1));
+            let mut sketch = make_shard(shard);
+            let handle = std::thread::Builder::new()
+                .name(format!("dsg-engine-shard-{shard}"))
+                .spawn(move || {
+                    let mut applied = 0u64;
+                    while let Ok(batch) = rx.recv() {
+                        applied += batch.len() as u64;
+                        sketch.apply_batch(&batch);
+                    }
+                    (sketch, applied)
+                })
+                .expect("failed to spawn engine shard");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        Self {
+            senders,
+            workers,
+            buffer: Vec::with_capacity(cfg.batch_size),
+            batch_size: cfg.batch_size,
+            next_shard: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Enqueues one update (delivered when the current batch fills or at
+    /// [`finish`](ShardedEngine::finish)).
+    pub fn push(&mut self, update: EdgeUpdate) {
+        self.pushed += 1;
+        self.buffer.push(update);
+        if self.buffer.len() >= self.batch_size {
+            self.dispatch();
+        }
+    }
+
+    /// Enqueues a slice of updates.
+    pub fn push_all(&mut self, updates: &[EdgeUpdate]) {
+        for &up in updates {
+            self.push(up);
+        }
+    }
+
+    /// Sends the buffered batch to the next shard (round-robin).
+    fn dispatch(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.batch_size));
+        self.senders[self.next_shard]
+            .send(batch)
+            .expect("engine shard hung up early");
+        self.next_shard = (self.next_shard + 1) % self.senders.len();
+    }
+
+    /// Flushes the tail batch, closes the channels, joins every worker,
+    /// and returns the per-shard sketches.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any shard worker.
+    pub fn finish(mut self) -> EngineRun<S> {
+        self.dispatch();
+        drop(self.senders);
+        let mut shards = Vec::with_capacity(self.workers.len());
+        let mut per_shard_updates = Vec::with_capacity(self.workers.len());
+        for handle in self.workers {
+            let (sketch, applied) = handle.join().expect("engine shard panicked");
+            shards.push(sketch);
+            per_shard_updates.push(applied);
+        }
+        EngineRun {
+            shards,
+            per_shard_updates,
+            total_updates: self.pushed,
+        }
+    }
+}
+
+/// Log-depth pairwise reduction of shard results — the coordinator's
+/// merge tree. Returns `None` for an empty input.
+pub fn merge_tree<S: EngineSketch>(mut shards: Vec<S>) -> Option<S> {
+    while shards.len() > 1 {
+        let mut next = Vec::with_capacity(shards.len().div_ceil(2));
+        let mut it = shards.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.absorb(b);
+            }
+            next.push(a);
+        }
+        shards = next;
+    }
+    shards.pop()
+}
+
+/// Decodes wire snapshots (one per shard) and merge-tree-reduces them —
+/// the coordinator side of the shipped-snapshot protocol.
+///
+/// # Errors
+///
+/// The first [`WireError`] hit while decoding a snapshot.
+pub fn reduce_snapshots<S: LinearSketch + Send + 'static>(
+    snapshots: &[Vec<u8>],
+) -> Result<Option<S>, WireError> {
+    let decoded = snapshots
+        .iter()
+        .map(|b| S::from_bytes(b))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(merge_tree(decoded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_sketch::SparseRecovery;
+
+    fn updates(n: u64) -> Vec<EdgeUpdate> {
+        (0..n).map(|i| EdgeUpdate::new(i % 37, 1)).collect()
+    }
+
+    #[test]
+    fn sharded_ingest_equals_direct() {
+        for shards in [1usize, 2, 4, 7] {
+            let ups = updates(1000);
+            let mut direct = SparseRecovery::new(64, 5);
+            for up in &ups {
+                LinearSketch::update(&mut direct, up.key, up.delta);
+            }
+            let cfg = EngineConfig::new(shards).batch_size(13);
+            let mut eng = ShardedEngine::start(cfg, |_| SparseRecovery::new(64, 5));
+            eng.push_all(&ups);
+            let merged = eng.finish().merged().unwrap();
+            assert_eq!(merged.to_bytes(), direct.to_bytes(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn per_shard_counts_are_balanced() {
+        let cfg = EngineConfig::new(4).batch_size(10);
+        let mut eng = ShardedEngine::start(cfg, |_| SparseRecovery::new(8, 1));
+        eng.push_all(&updates(400));
+        let run = eng.finish();
+        assert_eq!(run.total_updates, 400);
+        assert_eq!(run.per_shard_updates.iter().sum::<u64>(), 400);
+        for &c in &run.per_shard_updates {
+            assert_eq!(c, 100, "round-robin batches must balance evenly");
+        }
+    }
+
+    #[test]
+    fn tail_batch_flushed_on_finish() {
+        let cfg = EngineConfig::new(2).batch_size(1000); // never fills
+        let mut eng = ShardedEngine::start(cfg, |_| SparseRecovery::new(8, 2));
+        eng.push(EdgeUpdate::new(3, 7));
+        let merged = eng.finish().merged().unwrap();
+        assert_eq!(merged.decode().unwrap(), vec![(3, 7)]);
+    }
+
+    #[test]
+    fn empty_run_yields_empty_sketch() {
+        let cfg = EngineConfig::new(3);
+        let eng = ShardedEngine::start(cfg, |_| SparseRecovery::new(8, 3));
+        let run = eng.finish();
+        assert_eq!(run.total_updates, 0);
+        assert!(run.merged().unwrap().is_zero());
+    }
+
+    #[test]
+    fn merge_tree_handles_all_sizes() {
+        for k in 0usize..9 {
+            let shards: Vec<SparseRecovery> = (0..k)
+                .map(|i| {
+                    let mut s = SparseRecovery::new(16, 9);
+                    LinearSketch::update(&mut s, i as u64, 1);
+                    s
+                })
+                .collect();
+            match merge_tree(shards) {
+                None => assert_eq!(k, 0),
+                Some(m) => assert_eq!(m.decode().unwrap().len(), k),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_reduction_matches_in_memory() {
+        let ups = updates(500);
+        let cfg = EngineConfig::new(3).batch_size(32);
+        let mut eng = ShardedEngine::start(cfg, |_| SparseRecovery::new(64, 11));
+        eng.push_all(&ups);
+        let run = eng.finish();
+        let snaps = run.snapshots();
+        let shipped: SparseRecovery = reduce_snapshots(&snaps).unwrap().unwrap();
+        let direct = run.merged().unwrap();
+        assert_eq!(shipped.to_bytes(), direct.to_bytes());
+    }
+
+    #[test]
+    fn corrupted_snapshot_rejected() {
+        let mut s = SparseRecovery::new(8, 13);
+        LinearSketch::update(&mut s, 1, 1);
+        let mut snap = s.snapshot();
+        let last = snap.len() - 1;
+        snap[last] ^= 0x55;
+        let res: Result<Option<SparseRecovery>, _> = reduce_snapshots(&[snap]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn mismatched_shard_seeds_caught_at_merge() {
+        let cfg = EngineConfig::new(2).batch_size(4);
+        let mut eng = ShardedEngine::start(cfg, |shard| SparseRecovery::new(8, shard as u64));
+        eng.push_all(&updates(10));
+        let _ = eng.finish().merged();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        EngineConfig::new(0);
+    }
+
+    #[test]
+    fn auto_config_is_positive() {
+        assert!(EngineConfig::auto().shards >= 1);
+    }
+}

@@ -56,18 +56,33 @@ impl Edge {
         (self.u, self.v)
     }
 
+    /// Whether `w` is the smaller endpoint (`u`) of this edge.
+    ///
+    /// This is the single endpoint-identity check every incidence
+    /// computation routes through. Debug builds assert that `w` really is
+    /// an endpoint; release builds classify any foreign vertex as the
+    /// larger side, so one malformed update degrades into a recoverable
+    /// wrong-sign contribution instead of aborting a whole ingest shard
+    /// (linear sketches tolerate and cancel such noise; a process abort
+    /// loses everything).
+    #[inline]
+    pub fn is_lower_endpoint(&self, w: Vertex) -> bool {
+        debug_assert!(self.touches(w), "vertex {w} is not an endpoint of {self:?}");
+        w == self.u
+    }
+
     /// The endpoint that is not `w`.
     ///
     /// # Panics
     ///
-    /// Panics if `w` is not an endpoint of this edge.
+    /// Debug builds panic if `w` is not an endpoint of this edge; release
+    /// builds return the smaller endpoint (see
+    /// [`is_lower_endpoint`](Edge::is_lower_endpoint)).
     pub fn other(&self, w: Vertex) -> Vertex {
-        if w == self.u {
+        if self.is_lower_endpoint(w) {
             self.v
-        } else if w == self.v {
-            self.u
         } else {
-            panic!("vertex {w} is not an endpoint of {self:?}")
+            self.u
         }
     }
 
@@ -175,6 +190,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)] // release builds degrade instead of panicking
     #[should_panic(expected = "not an endpoint")]
     fn other_rejects_non_endpoint() {
         Edge::new(1, 2).other(3);

@@ -8,6 +8,8 @@
 //! compare against [`crate::SparseRecovery`] and completes the sketching
 //! toolbox a downstream user would expect.
 
+use crate::wire::{self, WireError};
+use crate::LinearSketch;
 use dsg_hash::{KWiseHash, SeedTree};
 use dsg_util::SpaceUsage;
 
@@ -91,21 +93,6 @@ impl CountSketch {
         ests[ests.len() / 2]
     }
 
-    /// Adds another CountSketch (linearity).
-    ///
-    /// # Panics
-    ///
-    /// Panics if shapes or seeds differ.
-    pub fn merge(&mut self, other: &CountSketch) {
-        assert!(
-            self.rows == other.rows && self.buckets == other.buckets && self.seed == other.seed,
-            "merging incompatible CountSketches"
-        );
-        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
-            *a += b;
-        }
-    }
-
     /// Whether all counters are zero.
     pub fn is_zero(&self) -> bool {
         self.counters.iter().all(|&c| c == 0)
@@ -132,6 +119,56 @@ impl CountSketch {
             .collect();
         out.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v.abs()));
         out
+    }
+}
+
+impl LinearSketch for CountSketch {
+    const WIRE_KIND: u16 = wire::KIND_COUNTSKETCH;
+
+    fn update(&mut self, key: u64, delta: i128) {
+        CountSketch::update(self, key, delta);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert!(
+            self.rows == other.rows && self.buckets == other.buckets && self.seed == other.seed,
+            "merging incompatible CountSketches"
+        );
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        wire::put_len(&mut payload, self.rows);
+        wire::put_len(&mut payload, self.buckets);
+        wire::put_u64(&mut payload, self.seed);
+        for &c in &self.counters {
+            wire::put_i128(&mut payload, c);
+        }
+        wire::finish_frame(Self::WIRE_KIND, payload)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = wire::open_frame(Self::WIRE_KIND, bytes)?;
+        let rows = r.read_len()?;
+        let buckets = r.read_len()?;
+        if rows == 0 || buckets == 0 {
+            return Err(WireError::Malformed("zero rows or buckets"));
+        }
+        let seed = r.u64()?;
+        // The counters are the rest of the payload, 16 bytes each: the
+        // declared shape must match exactly before anything is allocated.
+        if rows.saturating_mul(buckets) != r.remaining() / 16 {
+            return Err(WireError::Malformed("table size disagrees with payload"));
+        }
+        let mut sk = CountSketch::new(rows, buckets, seed);
+        for slot in sk.counters.iter_mut() {
+            *slot = r.i128()?;
+        }
+        r.expect_end()?;
+        Ok(sk)
     }
 }
 
@@ -211,6 +248,30 @@ mod tests {
         let mut a = CountSketch::new(3, 32, 1);
         let b = CountSketch::new(3, 32, 2);
         a.merge(&b);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_queries() {
+        let mut cs = CountSketch::new(3, 32, 17);
+        cs.update(5, 40);
+        cs.update(9, -3);
+        let bytes = cs.to_bytes();
+        let back = CountSketch::from_bytes(&bytes).unwrap();
+        assert_eq!(back.query(5), cs.query(5));
+        assert_eq!(back.query(9), cs.query(9));
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn crafted_shape_frame_rejected_before_allocation() {
+        // rows × buckets = 2^34 counters declared over an empty payload:
+        // the shape/payload consistency check must reject it.
+        let mut payload = Vec::new();
+        wire::put_len(&mut payload, 1usize << 17);
+        wire::put_len(&mut payload, 1usize << 17);
+        wire::put_u64(&mut payload, 0);
+        let frame = wire::finish_frame(wire::KIND_COUNTSKETCH, payload);
+        assert!(CountSketch::from_bytes(&frame).is_err());
     }
 
     #[test]

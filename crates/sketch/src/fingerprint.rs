@@ -8,6 +8,8 @@
 //! pipelines observed the same stream.
 
 use crate::onesparse::mod_p;
+use crate::wire::{self, WireError};
+use crate::LinearSketch;
 use dsg_hash::{field, KWiseHash};
 use dsg_util::SpaceUsage;
 
@@ -30,6 +32,7 @@ use dsg_util::SpaceUsage;
 pub struct VectorFingerprint {
     hash: KWiseHash,
     value: u64,
+    seed: u64,
 }
 
 impl VectorFingerprint {
@@ -38,19 +41,19 @@ impl VectorFingerprint {
         Self {
             hash: KWiseHash::new(3, seed ^ 0x4650_5249_4E54_5631),
             value: 0,
+            seed,
         }
+    }
+
+    /// The creation seed (compatibility key for merges).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Applies `x[key] += delta`.
     pub fn update(&mut self, key: u64, delta: i128) {
         let d = mod_p(delta);
         self.value = field::add(self.value, field::mul(d, self.hash.hash(key)));
-    }
-
-    /// Adds another fingerprint built with the same seed.
-    pub fn merge(&mut self, other: &VectorFingerprint) {
-        debug_assert_eq!(self.hash, other.hash, "merging incompatible fingerprints");
-        self.value = field::add(self.value, other.value);
     }
 
     /// Whether the fingerprint is zero (vector is zero whp).
@@ -61,6 +64,39 @@ impl VectorFingerprint {
     /// The raw fingerprint word.
     pub fn value(&self) -> u64 {
         self.value
+    }
+}
+
+impl LinearSketch for VectorFingerprint {
+    const WIRE_KIND: u16 = wire::KIND_FINGERPRINT;
+
+    fn update(&mut self, key: u64, delta: i128) {
+        VectorFingerprint::update(self, key, delta);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.seed, other.seed, "merging incompatible fingerprints");
+        self.value = field::add(self.value, other.value);
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        wire::put_u64(&mut payload, self.seed);
+        wire::put_u64(&mut payload, self.value);
+        wire::finish_frame(Self::WIRE_KIND, payload)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = wire::open_frame(Self::WIRE_KIND, bytes)?;
+        let seed = r.u64()?;
+        let value = r.u64()?;
+        if value >= field::P {
+            return Err(WireError::Malformed("non-canonical field word"));
+        }
+        r.expect_end()?;
+        let mut fp = VectorFingerprint::new(seed);
+        fp.value = value;
+        Ok(fp)
     }
 }
 
@@ -102,6 +138,17 @@ mod tests {
         a.update(5, 3);
         a.update(5, -3);
         assert!(a.is_zero());
+    }
+
+    #[test]
+    fn wire_roundtrip_is_exact() {
+        let mut a = VectorFingerprint::new(31);
+        a.update(5, 9);
+        a.update(77, -2);
+        let bytes = a.to_bytes();
+        let back = VectorFingerprint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.to_bytes(), bytes);
     }
 
     #[test]

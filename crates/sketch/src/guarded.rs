@@ -14,6 +14,8 @@
 use crate::distinct::DistinctEstimator;
 use crate::error::DecodeError;
 use crate::ssparse::SparseRecovery;
+use crate::wire::{self, WireError};
+use crate::LinearSketch;
 use dsg_hash::SeedTree;
 use dsg_util::SpaceUsage;
 
@@ -60,16 +62,6 @@ impl GuardedSketch {
         self.guard.update(key, delta);
     }
 
-    /// Adds another guarded sketch (linearity).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sketches are incompatible.
-    pub fn merge(&mut self, other: &GuardedSketch) {
-        self.sketch.merge(&other.sketch);
-        self.guard.merge(&other.guard);
-    }
-
     /// The paper's decodability declaration: the guard estimates the support
     /// at `≤ 2B`.
     ///
@@ -104,6 +96,44 @@ impl GuardedSketch {
 impl SpaceUsage for GuardedSketch {
     fn space_bytes(&self) -> usize {
         self.sketch.space_bytes() + self.guard.space_bytes()
+    }
+}
+
+impl LinearSketch for GuardedSketch {
+    const WIRE_KIND: u16 = wire::KIND_GUARDED;
+
+    fn update(&mut self, key: u64, delta: i128) {
+        GuardedSketch::update(self, key, delta);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.budget, other.budget, "merging incompatible sketches");
+        self.sketch.merge(&other.sketch);
+        self.guard.merge(&other.guard);
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        wire::put_len(&mut payload, self.budget);
+        wire::put_block(&mut payload, &self.sketch.to_bytes());
+        wire::put_block(&mut payload, &self.guard.to_bytes());
+        wire::finish_frame(Self::WIRE_KIND, payload)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = wire::open_frame(Self::WIRE_KIND, bytes)?;
+        let budget = r.read_len()?;
+        if budget == 0 {
+            return Err(WireError::Malformed("zero budget"));
+        }
+        let sketch = SparseRecovery::from_bytes(r.block()?)?;
+        let guard = DistinctEstimator::from_bytes(r.block()?)?;
+        r.expect_end()?;
+        Ok(Self {
+            sketch,
+            guard,
+            budget,
+        })
     }
 }
 
@@ -152,6 +182,17 @@ mod tests {
         b.update(2, 1);
         a.merge(&b);
         assert_eq!(a.decode().unwrap(), vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_guarded_decode() {
+        let mut g = GuardedSketch::new(4, 12, 6);
+        g.update(7, 2);
+        g.update(11, 1);
+        let bytes = g.to_bytes();
+        let back = GuardedSketch::from_bytes(&bytes).unwrap();
+        assert_eq!(back.decode(), g.decode());
+        assert_eq!(back.to_bytes(), bytes);
     }
 
     #[test]

@@ -29,6 +29,8 @@
 
 use crate::error::DecodeError;
 use crate::onesparse::mod_p;
+use crate::wire::{self, WireError};
+use crate::LinearSketch;
 use dsg_hash::{field, KWiseHash, SeedTree};
 use dsg_util::SpaceUsage;
 use std::collections::HashMap;
@@ -230,31 +232,6 @@ impl LinearHashTable {
         }
     }
 
-    /// Adds another table's contents (linearity).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the tables are incompatible.
-    pub fn merge(&mut self, other: &LinearHashTable) {
-        assert!(self.compatible(other), "merging incompatible tables");
-        for (&idx, theirs) in &other.buckets {
-            let width = self.width;
-            let mine = self
-                .buckets
-                .entry(idx)
-                .or_insert_with(|| Bucket::zero(width));
-            for (slot, d) in mine.payload.iter_mut().zip(&theirs.payload) {
-                *slot = field::add(*slot, *d);
-            }
-            mine.a = field::add(mine.a, theirs.a);
-            mine.b = field::add(mine.b, theirs.b);
-            mine.f = field::add(mine.f, theirs.f);
-            if mine.is_zero() {
-                self.buckets.remove(&idx);
-            }
-        }
-    }
-
     /// Whether the table state is identically zero.
     pub fn is_zero(&self) -> bool {
         self.buckets.is_empty()
@@ -351,9 +328,132 @@ impl LinearHashTable {
             + 8
     }
 
+    /// Adds `delta` to a single slot of `key`'s payload without
+    /// allocating a scratch width-vector — the engine's per-update hot
+    /// path ([`LinearSketch::update`] routes through slot 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.width()`.
+    pub fn update_slot(&mut self, key: u64, slot: usize, delta: i128) {
+        assert!(slot < self.width, "slot {slot} out of range");
+        let d = mod_p(delta);
+        if d == 0 {
+            return;
+        }
+        // A single-slot delta compresses to `c = α^slot · d`.
+        let mut apow = 1u64;
+        for _ in 0..slot {
+            apow = field::mul(apow, self.alpha);
+        }
+        let c = field::mul(apow, d);
+        let kc = field::mul(field::canon(key), c);
+        let fc = field::mul(self.fingerprint_hash.hash(field::canon(key)), c);
+        for row in 0..ROWS {
+            let idx = self.bucket_index(row, key);
+            let width = self.width;
+            let bucket = self
+                .buckets
+                .entry(idx)
+                .or_insert_with(|| Bucket::zero(width));
+            bucket.payload[slot] = field::add(bucket.payload[slot], d);
+            bucket.a = field::add(bucket.a, c);
+            bucket.b = field::add(bucket.b, kc);
+            bucket.f = field::add(bucket.f, fc);
+            if bucket.is_zero() {
+                self.buckets.remove(&idx);
+            }
+        }
+    }
+
     /// Number of currently allocated buckets.
     pub fn touched_buckets(&self) -> usize {
         self.buckets.len()
+    }
+}
+
+impl LinearSketch for LinearHashTable {
+    const WIRE_KIND: u16 = wire::KIND_HASHTABLE;
+
+    /// Scalar view of the table: `update(key, delta)` adds `delta` to slot
+    /// 0 of `key`'s payload vector (the natural embedding of a plain
+    /// dynamic vector into a width-`w` table), allocation-free.
+    fn update(&mut self, key: u64, delta: i128) {
+        self.update_slot(key, 0, delta);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert!(self.compatible(other), "merging incompatible tables");
+        for (&idx, theirs) in &other.buckets {
+            let width = self.width;
+            let mine = self
+                .buckets
+                .entry(idx)
+                .or_insert_with(|| Bucket::zero(width));
+            for (slot, d) in mine.payload.iter_mut().zip(&theirs.payload) {
+                *slot = field::add(*slot, *d);
+            }
+            mine.a = field::add(mine.a, theirs.a);
+            mine.b = field::add(mine.b, theirs.b);
+            mine.f = field::add(mine.f, theirs.f);
+            if mine.is_zero() {
+                self.buckets.remove(&idx);
+            }
+        }
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        wire::put_len(&mut payload, self.capacity);
+        wire::put_len(&mut payload, self.width);
+        wire::put_u64(&mut payload, self.seed);
+        let mut buckets: Vec<(u32, &Bucket)> = self.buckets.iter().map(|(&i, b)| (i, b)).collect();
+        buckets.sort_unstable_by_key(|&(i, _)| i);
+        wire::put_len(&mut payload, buckets.len());
+        for (idx, bk) in buckets {
+            wire::put_u32(&mut payload, idx);
+            for &w in &bk.payload {
+                wire::put_u64(&mut payload, w);
+            }
+            wire::put_u64(&mut payload, bk.a);
+            wire::put_u64(&mut payload, bk.b);
+            wire::put_u64(&mut payload, bk.f);
+        }
+        wire::finish_frame(Self::WIRE_KIND, payload)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = wire::open_frame(Self::WIRE_KIND, bytes)?;
+        let capacity = r.read_len()?;
+        let width = r.read_len()?;
+        if capacity == 0 || width == 0 {
+            return Err(WireError::Malformed("zero capacity or width"));
+        }
+        let seed = r.u64()?;
+        let mut table = LinearHashTable::new(capacity, width, seed);
+        let n = r.read_len()?;
+        for _ in 0..n {
+            let idx = r.u32()?;
+            let mut bucket = Bucket::zero(width);
+            for slot in bucket.payload.iter_mut() {
+                *slot = r.u64()?;
+            }
+            bucket.a = r.u64()?;
+            bucket.b = r.u64()?;
+            bucket.f = r.u64()?;
+            if bucket.payload.iter().any(|&w| w >= field::P)
+                || bucket.a >= field::P
+                || bucket.b >= field::P
+                || bucket.f >= field::P
+            {
+                return Err(WireError::Malformed("non-canonical field word"));
+            }
+            if table.buckets.insert(idx, bucket).is_some() {
+                return Err(WireError::Malformed("duplicate bucket index"));
+            }
+        }
+        r.expect_end()?;
+        Ok(table)
     }
 }
 
@@ -499,6 +599,41 @@ mod tests {
         assert_eq!(*key, 500);
         let recovered = OneSparseCell::from_words(&[words[0], words[1], words[2]]).unwrap();
         assert_eq!(recovered.decode(&inner_hash).unwrap(), Some((17, 1)));
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_decode() {
+        let mut t = LinearHashTable::new(8, 2, 33);
+        t.update(4, &[5, -6]);
+        t.update(900, &[1, 0]);
+        let bytes = t.to_bytes();
+        let back = LinearHashTable::from_bytes(&bytes).unwrap();
+        assert_eq!(back.decode().unwrap(), t.decode().unwrap());
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn scalar_trait_update_uses_slot_zero() {
+        let mut t = LinearHashTable::new(4, 3, 12);
+        LinearSketch::update(&mut t, 9, 5);
+        assert_eq!(t.decode().unwrap(), vec![(9, vec![5, 0, 0])]);
+    }
+
+    #[test]
+    fn update_slot_matches_vector_update() {
+        let mut by_slot = LinearHashTable::new(4, 3, 14);
+        let mut by_vec = LinearHashTable::new(4, 3, 14);
+        for (key, slot, d) in [(7u64, 0usize, 5i128), (7, 2, -3), (9, 1, 4), (7, 2, 3)] {
+            by_slot.update_slot(key, slot, d);
+            let mut payload = [0i128; 3];
+            payload[slot] = d;
+            by_vec.update(key, &payload);
+        }
+        assert_eq!(by_slot.to_bytes(), by_vec.to_bytes());
+        // Cancellation through the slot path frees buckets identically.
+        by_slot.update_slot(9, 1, -4);
+        by_vec.update(9, &[0, -4, 0]);
+        assert_eq!(by_slot.to_bytes(), by_vec.to_bytes());
     }
 
     #[test]

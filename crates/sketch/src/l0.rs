@@ -23,6 +23,8 @@
 
 use crate::error::DecodeError;
 use crate::ssparse::{RecoveryFamily, RecoveryState};
+use crate::wire::{self, ByteReader, WireError};
+use crate::LinearSketch;
 use dsg_hash::{KWiseHash, SeedTree, SubsetSampler};
 use dsg_util::SpaceUsage;
 
@@ -102,9 +104,37 @@ impl L0Family {
         self.seed
     }
 
+    /// The per-level decoding budget.
+    pub fn budget(&self) -> usize {
+        self.levels[0].1.budget()
+    }
+
     /// Number of subsampling levels.
     pub fn num_levels(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Decodes a state serialized by [`L0State::encode_into`], binding it
+    /// to this family.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if the payload is truncated, malformed, or its level
+    /// count does not match this family's.
+    pub fn decode_state(&self, r: &mut ByteReader<'_>) -> Result<L0State, WireError> {
+        let n = r.read_len()?;
+        if n != self.levels.len() {
+            return Err(WireError::Malformed("level count mismatch"));
+        }
+        let levels = self
+            .levels
+            .iter()
+            .map(|(_, fam)| fam.decode_state(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(L0State {
+            levels,
+            family_id: self.family_id,
+        })
     }
 
     /// Creates an empty state bound to this family.
@@ -228,6 +258,16 @@ impl L0State {
     pub fn is_zero(&self) -> bool {
         self.levels.iter().all(RecoveryState::is_zero)
     }
+
+    /// Serializes the per-level states (canonical order). Decode with
+    /// [`L0Family::decode_state`] on a family built from the same seed —
+    /// snapshots never carry hash functions (see [`crate::wire`]).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::put_len(out, self.levels.len());
+        for st in &self.levels {
+            st.encode_into(out);
+        }
+    }
 }
 
 impl SpaceUsage for L0State {
@@ -293,20 +333,6 @@ impl L0Sampler {
         self.family.update(&mut self.state, key, delta);
     }
 
-    /// Adds another sampler's state (sketch of the vector sum).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the samplers were created with different seeds or shapes.
-    pub fn merge(&mut self, other: &L0Sampler) {
-        assert_eq!(
-            self.seed(),
-            other.seed(),
-            "merging incompatible L0 samplers"
-        );
-        self.state.merge(&other.state);
-    }
-
     /// Subtracts another sampler's state.
     ///
     /// # Panics
@@ -339,6 +365,54 @@ impl L0Sampler {
 impl SpaceUsage for L0Sampler {
     fn space_bytes(&self) -> usize {
         self.family.space_bytes() + self.state.space_bytes()
+    }
+}
+
+impl LinearSketch for L0Sampler {
+    const WIRE_KIND: u16 = wire::KIND_L0_SAMPLER;
+
+    fn update(&mut self, key: u64, delta: i128) {
+        self.family.update(&mut self.state, key, delta);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.seed(),
+            other.seed(),
+            "merging incompatible L0 samplers"
+        );
+        assert_eq!(
+            self.num_levels(),
+            other.num_levels(),
+            "merging incompatible L0 samplers"
+        );
+        self.state.merge(&other.state);
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        wire::put_u32(&mut payload, (self.family.num_levels() - 1) as u32);
+        wire::put_len(&mut payload, self.family.budget());
+        wire::put_u64(&mut payload, self.family.seed());
+        self.state.encode_into(&mut payload);
+        wire::finish_frame(Self::WIRE_KIND, payload)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = wire::open_frame(Self::WIRE_KIND, bytes)?;
+        let universe_bits = r.u32()?;
+        if universe_bits > 60 {
+            return Err(WireError::Malformed("universe too large"));
+        }
+        let budget = r.read_len()?;
+        if budget == 0 {
+            return Err(WireError::Malformed("zero budget"));
+        }
+        let seed = r.u64()?;
+        let family = L0Family::with_budget(universe_bits, budget, seed);
+        let state = family.decode_state(&mut r)?;
+        r.expect_end()?;
+        Ok(Self { family, state })
     }
 }
 
@@ -443,6 +517,18 @@ mod tests {
         let mut a = L0Sampler::new(12, 1);
         let b = L0Sampler::new(12, 2);
         a.merge(&b);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_sample() {
+        let mut s = L0Sampler::new(12, 77);
+        s.update(100, 1);
+        s.update(200, 2);
+        s.update(100, -1);
+        let bytes = s.to_bytes();
+        let back = L0Sampler::from_bytes(&bytes).unwrap();
+        assert_eq!(back.sample().unwrap(), s.sample().unwrap());
+        assert_eq!(back.to_bytes(), bytes);
     }
 
     #[test]

@@ -144,6 +144,32 @@ impl OneSparseCell {
         }
     }
 
+    /// The raw state words `(total, key_sum, fingerprint)` — the wire
+    /// representation of a cell.
+    pub(crate) fn raw_parts(&self) -> (i128, u64, u64) {
+        (self.total, self.key_sum, self.fingerprint)
+    }
+
+    /// Rebuilds a cell from raw state words.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::WireError::Malformed`] if a field word is not canonical.
+    pub(crate) fn from_raw_parts(
+        total: i128,
+        key_sum: u64,
+        fingerprint: u64,
+    ) -> Result<Self, crate::WireError> {
+        if key_sum >= dsg_hash::field::P || fingerprint >= dsg_hash::field::P {
+            return Err(crate::WireError::Malformed("non-canonical field word"));
+        }
+        Ok(Self {
+            total,
+            key_sum,
+            fingerprint,
+        })
+    }
+
     /// Serializes the cell into three `i128` payload words (for embedding in
     /// a [`crate::LinearHashTable`], whose payload arithmetic is mod-p).
     pub fn to_words(self) -> [i128; 3] {

@@ -3,7 +3,7 @@
 //! decode success, so a silent wrong answer would invalidate everything
 //! downstream.
 
-use dsg_sketch::{DecodeError, L0Sampler, LinearHashTable, SparseRecovery};
+use dsg_sketch::{DecodeError, L0Sampler, LinearHashTable, LinearSketch, SparseRecovery};
 
 /// Overloads must be detected across two orders of magnitude of abuse.
 #[test]

@@ -3,7 +3,8 @@
 //! decode inverts sketch on within-budget supports.
 
 use dsg_sketch::{
-    CountSketch, DistinctEstimator, L0Sampler, LinearHashTable, SparseRecovery, VectorFingerprint,
+    CountSketch, DistinctEstimator, L0Sampler, LinearHashTable, LinearSketch, SparseRecovery,
+    VectorFingerprint,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;

@@ -28,7 +28,7 @@ use dsg_graph::{index_to_pair, Edge, Graph, StreamAlgorithm, Vertex};
 use dsg_hash::{KWiseHash, SeedTree, SubsetSampler};
 use dsg_sketch::onesparse::OneSparseCell;
 use dsg_sketch::ssparse::{RecoveryFamily, RecoveryState};
-use dsg_sketch::LinearHashTable;
+use dsg_sketch::{LinearHashTable, LinearSketch};
 use dsg_util::SpaceUsage;
 use std::collections::{HashMap, HashSet};
 
@@ -65,8 +65,10 @@ pub struct TwoPassOutput {
 }
 
 /// The two-pass streaming spanner algorithm (implements
-/// [`StreamAlgorithm`]; drive it with [`dsg_graph::pass::run`]).
-#[derive(Debug)]
+/// [`StreamAlgorithm`]; drive it with [`dsg_graph::pass::run`], or shard
+/// each pass across threads and recombine with
+/// [`merge_pass_state`](TwoPassSpanner::merge_pass_state)).
+#[derive(Debug, Clone)]
 pub struct TwoPassSpanner {
     n: usize,
     params: SpannerParams,
@@ -160,9 +162,58 @@ impl TwoPassSpanner {
         &self.params
     }
 
+    /// The pass currently being processed (0-indexed).
+    pub fn current_pass(&self) -> usize {
+        self.current_pass
+    }
+
     /// Consumes the algorithm, returning the output if both passes ran.
     pub fn into_output(self) -> Option<TwoPassOutput> {
         self.output
+    }
+
+    /// Adds `other`'s pass-local linear state into `self` — the
+    /// distributed-ingest merge.
+    ///
+    /// Within each pass the algorithm's stream-facing state is a *linear*
+    /// function of the updates: pass 1 accumulates the `S^{r,j}(u)`
+    /// recovery states, pass 2 the `H^u_j` hash tables; everything else
+    /// (forest, terminals, observed edges) is computed between passes and
+    /// never touched by `process`. So shards built with the same `n` and
+    /// params can each ingest a slice of the stream and be merged here,
+    /// bit-for-bit equal to one instance seeing the whole stream — the
+    /// simultaneous-communication pattern of Filtser–Kapralov–Nouri.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` was built with different `n`, seed, or `k`, or
+    /// sits in a different pass.
+    pub fn merge_pass_state(&mut self, other: &Self) {
+        assert_eq!(self.n, other.n, "vertex count mismatch");
+        assert_eq!(self.params.seed, other.params.seed, "seed mismatch");
+        assert_eq!(self.params.k, other.params.k, "depth mismatch");
+        assert_eq!(self.current_pass, other.current_pass, "pass mismatch");
+        for (&(v, r, j), st) in &other.s_states {
+            let family = &self.sketch_families[r as usize][j as usize];
+            let mine = self
+                .s_states
+                .entry((v, r, j))
+                .or_insert_with(|| family.new_state());
+            mine.merge(st);
+            if mine.is_zero() {
+                self.s_states.remove(&(v, r, j));
+            }
+        }
+        assert_eq!(
+            self.tables.len(),
+            other.tables.len(),
+            "table shape mismatch"
+        );
+        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.merge(b);
+            }
+        }
     }
 
     fn process_pass1(&mut self, up: &StreamUpdate) {

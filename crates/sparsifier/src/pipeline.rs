@@ -47,8 +47,10 @@ pub struct PipelineOutput {
     pub stats: PipelineStats,
 }
 
-/// The two-pass streaming sparsifier (implements [`StreamAlgorithm`]).
-#[derive(Debug)]
+/// The two-pass streaming sparsifier (implements [`StreamAlgorithm`];
+/// each pass can also be sharded across threads and recombined with
+/// [`merge_pass_state`](TwoPassSparsifier::merge_pass_state)).
+#[derive(Debug, Clone)]
 pub struct TwoPassSparsifier {
     n: usize,
     params: SparsifierParams,
@@ -138,6 +140,50 @@ impl TwoPassSparsifier {
     /// The construction parameters.
     pub fn params(&self) -> &SparsifierParams {
         &self.params
+    }
+
+    /// Adds `other`'s pass-local linear state into `self` — the
+    /// distributed-ingest merge, delegated to every inner
+    /// [`TwoPassSpanner::merge_pass_state`]. The pipeline is a bank of
+    /// two-pass spanners behind deterministic subsample filters, so its
+    /// per-pass stream state is linear exactly when theirs is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` was built with different `n` or params, or sits
+    /// in a different pass.
+    pub fn merge_pass_state(&mut self, other: &Self) {
+        assert_eq!(self.n, other.n, "vertex count mismatch");
+        assert_eq!(self.params.seed, other.params.seed, "seed mismatch");
+        assert!(
+            self.estimate_spanners.len() == other.estimate_spanners.len()
+                && self
+                    .estimate_spanners
+                    .iter()
+                    .zip(&other.estimate_spanners)
+                    .all(|(a, b)| a.len() == b.len())
+                && self.sample_spanners.len() == other.sample_spanners.len()
+                && self
+                    .sample_spanners
+                    .iter()
+                    .zip(&other.sample_spanners)
+                    .all(|(a, b)| a.len() == b.len()),
+            "spanner bank shape mismatch (different eps/z/j parameters?)"
+        );
+        for (mine, theirs) in self
+            .estimate_spanners
+            .iter_mut()
+            .zip(&other.estimate_spanners)
+        {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.merge_pass_state(b);
+            }
+        }
+        for (mine, theirs) in self.sample_spanners.iter_mut().zip(&other.sample_spanners) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.merge_pass_state(b);
+            }
+        }
     }
 
     /// Assembles the sparsifier after both passes.

@@ -1,22 +1,28 @@
-//! Distributed sketching: the paper's opening scenario. Edge updates are
-//! "distributed and presented online ... on multiple servers"; each server
-//! sketches only its local shard, and merging the (linear!) sketches at a
-//! coordinator answers global queries with communication proportional to
-//! the sketch size, not the data size.
+//! Distributed sketching: the paper's opening scenario, actually running.
+//! Edge updates are "distributed and presented online ... on multiple
+//! servers"; here each server is a real worker thread of the sharded
+//! ingest engine (`dsg-engine`). Every shard sketches only the update
+//! batches routed to it, serializes its sketch into a checksummed wire
+//! snapshot — what it would ship over the network — and the coordinator
+//! verifies, decodes, and merge-tree-reduces the snapshots to answer
+//! global queries with communication proportional to the sketch size, not
+//! the stream length.
 //!
 //! Run with: `cargo run --release --example distributed_servers`
 
 use dsg_agm::AgmSketch;
 use dsg_core::prelude::*;
+use dsg_engine::{reduce_snapshots, EdgeUpdate, EngineConfig, ShardedEngine};
 use dsg_graph::components::is_spanning_forest;
 
 fn main() {
     let n = 250;
     let servers = 8;
+    let shared_seed = 4242;
     let graph = gen::erdos_renyi(n, 0.03, 11);
     let stream = GraphStream::with_churn(&graph, 1.0, 12);
     println!(
-        "global graph: {} vertices / {} edges; {} updates sharded over {} servers",
+        "global graph: {} vertices / {} edges; {} updates sharded over {} server threads",
         n,
         graph.num_edges(),
         stream.len(),
@@ -24,24 +30,28 @@ fn main() {
     );
 
     // Every server holds an AGM sketch with the SAME shared seed — the
-    // "agreed upon" randomness of the paper — and consumes its shard.
-    let shared_seed = 4242;
-    let mut shards: Vec<AgmSketch> = (0..servers)
-        .map(|_| AgmSketch::new(n, shared_seed))
-        .collect();
-    for (i, up) in stream.updates().iter().enumerate() {
-        shards[i % servers].update(up.edge, up.delta as i128);
+    // "agreed upon" randomness of the paper — and ingests the update
+    // batches the engine routes to it, concurrently on its own thread.
+    let cfg = EngineConfig::new(servers).batch_size(128);
+    let mut engine = ShardedEngine::start(cfg, |_| AgmSketch::new(n, shared_seed));
+    for up in stream.updates() {
+        engine.push(EdgeUpdate::new(up.edge.index(n), up.delta as i128));
     }
-
-    // Communication: each server ships its sketch. The crucial property is
-    // that the sketch size depends only on n — not on how long the update
-    // stream runs. Demonstrate by replaying a 4x-churn stream into a fresh
-    // shard and comparing.
-    let sketch_bytes: usize = shards.iter().map(|s| s.space_bytes()).sum();
+    let run = engine.finish();
     println!(
-        "communication: {} of sketches ({} per server)",
-        dsg_util::space::human_bytes(sketch_bytes),
-        dsg_util::space::human_bytes(sketch_bytes / servers),
+        "shard ingest counts: {:?} (round-robin batches balance the load)",
+        run.per_shard_updates
+    );
+
+    // Communication: each server ships its wire-format snapshot. The
+    // crucial property is that the snapshot size depends only on the
+    // sketched graph — not on how long the update stream ran.
+    let snapshots = run.snapshots();
+    let shipped: usize = snapshots.iter().map(Vec::len).sum();
+    println!(
+        "communication: {} of snapshots ({} per server, checksummed wire frames)",
+        dsg_util::space::human_bytes(shipped),
+        dsg_util::space::human_bytes(shipped / servers),
     );
     let long_stream = GraphStream::with_churn(&graph, 4.0, 13);
     let mut long_shard = AgmSketch::new(n, shared_seed);
@@ -49,20 +59,20 @@ fn main() {
         long_shard.update(up.edge, up.delta as i128);
     }
     println!(
-        "stream of {} updates -> total sketch {}; stream of {} updates -> sketch {}",
+        "stream of {} updates -> snapshots {}; stream of {} updates -> snapshot {}",
         stream.len(),
-        dsg_util::space::human_bytes(sketch_bytes),
+        dsg_util::space::human_bytes(shipped),
         long_stream.len(),
-        dsg_util::space::human_bytes(long_shard.space_bytes()),
+        dsg_util::space::human_bytes(long_shard.snapshot().len()),
     );
-    println!("(sketch size tracks the graph, not the stream length)");
+    println!("(snapshot size tracks the graph, not the stream length)");
 
-    // The coordinator merges and extracts a spanning forest of the global
-    // graph (Theorem 10).
-    let mut global = shards.remove(0);
-    for s in &shards {
-        global.merge(s);
-    }
+    // The coordinator decodes the snapshots (checksums catch corruption),
+    // merge-tree-reduces them by linearity, and extracts a spanning
+    // forest of the global graph (Theorem 10).
+    let global: AgmSketch = reduce_snapshots(&snapshots)
+        .expect("snapshots verify and decode")
+        .expect("at least one server");
     let forest = global.spanning_forest();
     println!(
         "coordinator recovered a spanning forest with {} edges ({} components)",
@@ -70,5 +80,16 @@ fn main() {
         n - forest.edges.len()
     );
     assert!(is_spanning_forest(&graph, &forest.edges));
-    println!("forest verified against ground truth ✓");
+
+    // Sanity: the distributed answer is exactly the single-server answer.
+    let mut single = AgmSketch::new(n, shared_seed);
+    for up in stream.updates() {
+        single.update(up.edge, up.delta as i128);
+    }
+    assert_eq!(
+        forest.edges,
+        single.spanning_forest().edges,
+        "sharded ingest must answer identically to a single sketch"
+    );
+    println!("forest verified against ground truth and single-server run ✓");
 }

@@ -5,6 +5,7 @@
 
 pub use dsg_agm as agm;
 pub use dsg_core as core;
+pub use dsg_engine as engine;
 pub use dsg_graph as graph;
 pub use dsg_hash as hash;
 pub use dsg_lowerbound as lowerbound;

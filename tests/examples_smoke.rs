@@ -71,5 +71,16 @@ fn all_examples_run_to_completion() {
             !output.stdout.is_empty(),
             "example {name} produced no output"
         );
+        // The distributed example must actually exercise the sharded
+        // engine path (threads + wire snapshots), not a toy loop.
+        if *name == "distributed_servers" {
+            let stdout = String::from_utf8_lossy(&output.stdout);
+            for marker in ["server threads", "snapshots", "shard ingest counts"] {
+                assert!(
+                    stdout.contains(marker),
+                    "distributed_servers output lost its '{marker}' report:\n{stdout}"
+                );
+            }
+        }
     }
 }
