@@ -54,6 +54,20 @@ proptest! {
     }
 
     #[test]
+    fn agm_peek_kind_reads_header_only(xs in edge_updates(), seed in 0u64..100) {
+        let mut sk = AgmSketch::new(N, seed);
+        for &(coord, delta) in &xs {
+            let (u, v) = index_to_pair(coord, N);
+            sk.update(Edge::new(u, v), delta as i128);
+        }
+        let snap = sk.snapshot();
+        let header = dsg_sketch::wire::peek_kind(&snap).unwrap();
+        prop_assert_eq!(header.kind, dsg_sketch::wire::KIND_AGM);
+        prop_assert_eq!(header.version, dsg_sketch::wire::VERSION);
+        prop_assert_eq!(header.payload_len, snap.len() - dsg_sketch::wire::HEADER_BYTES);
+    }
+
+    #[test]
     fn agm_corrupted_snapshot_rejected(xs in edge_updates(), pos_frac in 0.0f64..1.0, seed in 0u64..50) {
         let mut sk = AgmSketch::new(N, seed);
         for &(coord, delta) in &xs {

@@ -4,6 +4,7 @@
 pub mod additive_exps;
 pub mod engine_exps;
 pub mod lowerbound_exps;
+pub mod service_exps;
 pub mod sketch_exps;
 pub mod spanner_exps;
 pub mod sparsifier_exps;
@@ -30,6 +31,7 @@ pub const ALL: &[&str] = &[
     "ablation-budget",
     "ablation-levels",
     "engine",
+    "service",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -53,6 +55,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "ablation-budget" => spanner_exps::ablation_budget(scale),
         "ablation-levels" => spanner_exps::ablation_levels(scale),
         "engine" => engine_exps::engine(scale),
+        "service" => service_exps::service(scale),
         _ => return false,
     }
     true

@@ -76,6 +76,13 @@ impl<A: PassMergeable> EngineSketch for PassShard<A> {
     fn absorb(&mut self, other: Self) {
         self.alg.merge_pass_state(&other.alg);
     }
+
+    fn fork(&self) -> Self {
+        Self {
+            alg: self.alg.clone(),
+            n: self.n,
+        }
+    }
 }
 
 /// Builder for sharded end-to-end runs.
@@ -137,6 +144,26 @@ impl EngineBuilder {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Number of vertices the builder is configured for.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Configured shard (worker thread) count.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Configured updates-per-batch granularity.
+    pub fn updates_per_batch(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Configured shared root seed.
+    pub fn root_seed(&self) -> u64 {
+        self.seed
     }
 
     fn config(&self) -> EngineConfig {

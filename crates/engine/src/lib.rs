@@ -131,8 +131,9 @@ impl EngineConfig {
     }
 }
 
-/// What a shard worker must be able to do: ingest update batches and be
-/// folded into a coordinator-side reduction.
+/// What a shard worker must be able to do: ingest update batches, be
+/// folded into a coordinator-side reduction, and fork a consistent copy
+/// of its state for live snapshots.
 ///
 /// Every [`LinearSketch`] gets this for free via the blanket impl.
 /// Pass-structured stream algorithms whose *per-pass* state is linear but
@@ -146,9 +147,14 @@ pub trait EngineSketch: Send + 'static {
     /// Folds another shard's result into `self` (linearity: the result
     /// sketches the union of both sub-streams).
     fn absorb(&mut self, other: Self);
+
+    /// A consistent copy of this shard's current state, taken between
+    /// batches. This is what an epoch snapshot collects while the worker
+    /// keeps ingesting — see [`ShardedEngine::snapshot_shards`].
+    fn fork(&self) -> Self;
 }
 
-impl<S: LinearSketch + Send + 'static> EngineSketch for S {
+impl<S: LinearSketch + Clone + Send + 'static> EngineSketch for S {
     fn apply_batch(&mut self, batch: &[EdgeUpdate]) {
         for up in batch {
             self.update(up.key, up.delta);
@@ -158,6 +164,19 @@ impl<S: LinearSketch + Send + 'static> EngineSketch for S {
     fn absorb(&mut self, other: Self) {
         self.merge(&other);
     }
+
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+}
+
+/// A message to a shard worker: either a batch of updates or a request to
+/// ship back a fork of the shard's current state. Channel FIFO order makes
+/// snapshots consistent: a fork reflects exactly the batches sent before
+/// the request, never a torn prefix of one.
+enum ShardMsg<S> {
+    Batch(Vec<EdgeUpdate>),
+    Snapshot(SyncSender<S>),
 }
 
 /// A running sharded ingest: `S` worker threads, each owning one sketch,
@@ -168,7 +187,7 @@ impl<S: LinearSketch + Send + 'static> EngineSketch for S {
 /// so the router optimizes for balance, not locality.
 #[derive(Debug)]
 pub struct ShardedEngine<S: EngineSketch> {
-    senders: Vec<SyncSender<Vec<EdgeUpdate>>>,
+    senders: Vec<SyncSender<ShardMsg<S>>>,
     workers: Vec<JoinHandle<(S, u64)>>,
     buffer: Vec<EdgeUpdate>,
     batch_size: usize,
@@ -216,15 +235,25 @@ impl<S: EngineSketch> ShardedEngine<S> {
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
         for shard in 0..cfg.shards {
-            let (tx, rx): (_, Receiver<Vec<EdgeUpdate>>) = sync_channel(cfg.queue_depth.max(1));
+            let (tx, rx): (_, Receiver<ShardMsg<S>>) = sync_channel(cfg.queue_depth.max(1));
             let mut sketch = make_shard(shard);
             let handle = std::thread::Builder::new()
                 .name(format!("dsg-engine-shard-{shard}"))
                 .spawn(move || {
                     let mut applied = 0u64;
-                    while let Ok(batch) = rx.recv() {
-                        applied += batch.len() as u64;
-                        sketch.apply_batch(&batch);
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            ShardMsg::Batch(batch) => {
+                                applied += batch.len() as u64;
+                                sketch.apply_batch(&batch);
+                            }
+                            // A dropped reply receiver just means the
+                            // coordinator gave up on the snapshot; the
+                            // worker keeps ingesting either way.
+                            ShardMsg::Snapshot(reply) => {
+                                let _ = reply.send(sketch.fork());
+                            }
+                        }
                     }
                     (sketch, applied)
                 })
@@ -245,6 +274,44 @@ impl<S: EngineSketch> ShardedEngine<S> {
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Total updates pushed so far (including any still buffered).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Takes a consistent snapshot of every shard **without** tearing the
+    /// workers down: flushes the buffered tail batch, asks each worker to
+    /// fork its state between batches, and returns the forks in shard
+    /// order. Every update pushed before this call is reflected in the
+    /// forks; none pushed after is — per-channel FIFO delivery is the
+    /// whole synchronization story. Ingest can continue immediately.
+    ///
+    /// This is the epoch-advance primitive of the serving layer: reduce
+    /// the forks with [`merge_tree`] (or serialize them and go through
+    /// [`reduce_snapshots`]) to get the coordinator sketch frozen at this
+    /// stream position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker has hung up (i.e. panicked).
+    pub fn snapshot_shards(&mut self) -> Vec<S> {
+        self.dispatch();
+        let replies: Vec<Receiver<S>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (rtx, rrx) = sync_channel(1);
+                tx.send(ShardMsg::Snapshot(rtx))
+                    .expect("engine shard hung up early");
+                rrx
+            })
+            .collect();
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("engine shard dropped snapshot request"))
+            .collect()
     }
 
     /// Enqueues one update (delivered when the current batch fills or at
@@ -271,7 +338,7 @@ impl<S: EngineSketch> ShardedEngine<S> {
         }
         let batch = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.batch_size));
         self.senders[self.next_shard]
-            .send(batch)
+            .send(ShardMsg::Batch(batch))
             .expect("engine shard hung up early");
         self.next_shard = (self.next_shard + 1) % self.senders.len();
     }
@@ -323,7 +390,7 @@ pub fn merge_tree<S: EngineSketch>(mut shards: Vec<S>) -> Option<S> {
 /// # Errors
 ///
 /// The first [`WireError`] hit while decoding a snapshot.
-pub fn reduce_snapshots<S: LinearSketch + Send + 'static>(
+pub fn reduce_snapshots<S: LinearSketch + Clone + Send + 'static>(
     snapshots: &[Vec<u8>],
 ) -> Result<Option<S>, WireError> {
     let decoded = snapshots
@@ -428,6 +495,60 @@ mod tests {
         snap[last] ^= 0x55;
         let res: Result<Option<SparseRecovery>, _> = reduce_snapshots(&[snap]);
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn live_snapshot_freezes_prefix_and_ingest_continues() {
+        let ups = updates(1000);
+        let cfg = EngineConfig::new(3).batch_size(16);
+        let mut eng = ShardedEngine::start(cfg, |_| SparseRecovery::new(64, 21));
+        let cut = 600usize;
+        eng.push_all(&ups[..cut]);
+        let frozen = merge_tree(eng.snapshot_shards()).unwrap();
+        // The snapshot must equal a direct sketch of exactly the prefix…
+        let mut direct_prefix = SparseRecovery::new(64, 21);
+        for up in &ups[..cut] {
+            LinearSketch::update(&mut direct_prefix, up.key, up.delta);
+        }
+        assert_eq!(frozen.to_bytes(), direct_prefix.to_bytes());
+        // …and the engine keeps ingesting afterwards, unaffected.
+        eng.push_all(&ups[cut..]);
+        let full = eng.finish().merged().unwrap();
+        let mut direct_full = SparseRecovery::new(64, 21);
+        for up in &ups {
+            LinearSketch::update(&mut direct_full, up.key, up.delta);
+        }
+        assert_eq!(full.to_bytes(), direct_full.to_bytes());
+    }
+
+    #[test]
+    fn repeated_snapshots_are_monotone_prefixes() {
+        let ups = updates(300);
+        let cfg = EngineConfig::new(2).batch_size(7);
+        let mut eng = ShardedEngine::start(cfg, |_| SparseRecovery::new(64, 33));
+        let mut direct = SparseRecovery::new(64, 33);
+        for (i, up) in ups.iter().enumerate() {
+            eng.push(*up);
+            LinearSketch::update(&mut direct, up.key, up.delta);
+            if (i + 1) % 100 == 0 {
+                assert_eq!(eng.pushed(), (i + 1) as u64);
+                let snap = merge_tree(eng.snapshot_shards()).unwrap();
+                assert_eq!(snap.to_bytes(), direct.to_bytes(), "epoch at {}", i + 1);
+            }
+        }
+        let run = eng.finish();
+        assert_eq!(run.total_updates, 300);
+    }
+
+    #[test]
+    fn snapshot_of_empty_engine_is_zero() {
+        let cfg = EngineConfig::new(2);
+        let mut eng = ShardedEngine::start(cfg, |_| SparseRecovery::new(8, 4));
+        let snap = merge_tree(eng.snapshot_shards()).unwrap();
+        assert!(snap.is_zero());
+        eng.push(EdgeUpdate::new(5, 2));
+        let merged = eng.finish().merged().unwrap();
+        assert_eq!(merged.decode().unwrap(), vec![(5, 2)]);
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Immutable epoch snapshots and their lazily built derived artifacts.
+//!
+//! An [`EpochSnapshot`] is the unit of snapshot isolation: it owns the
+//! merged coordinator sketch frozen at one stream position, plus the
+//! frozen update log prefix (as shared chunks — sealing an epoch never
+//! copies the log). Readers query it freely while ingest continues on the
+//! engine; nothing in a snapshot is ever mutated after publication except
+//! the one-shot initialization of its artifact cells.
+//!
+//! Artifacts are cached per epoch in [`OnceLock`]s:
+//!
+//! * **spanning forest + component labels** — decoded from the AGM sketch
+//!   (Theorem 10); backs connectivity and same-component queries;
+//! * **distance oracle** — the two-pass `2^k`-spanner (Theorem 1) rebuilt
+//!   over the frozen prefix, wrapped in the memoizing
+//!   [`DistanceOracle`]; backs distance and far/near queries;
+//! * **cut sparsifier** — the KP12 pipeline (Corollary 2) over the frozen
+//!   prefix, reduced to its [`Laplacian`]; backs cut-value estimates.
+//!
+//! `OnceLock::get_or_init` guarantees each artifact is built exactly once
+//! per epoch no matter how many readers race for it; advancing the epoch
+//! publishes a new snapshot, which *is* the cache invalidation.
+
+use crate::query::{GraphStats, Query, Response};
+use crate::{GraphConfig, ServiceError};
+use dsg_agm::forest::ForestResult;
+use dsg_agm::AgmSketch;
+use dsg_graph::components::UnionFind;
+use dsg_graph::{GraphStream, StreamUpdate, Vertex};
+use dsg_spanner::oracle::DistanceOracle;
+use dsg_spanner::twopass;
+use dsg_sparsifier::pipeline::run_sparsifier;
+use dsg_sparsifier::Laplacian;
+use std::sync::{Arc, OnceLock};
+
+/// The spanning forest of an epoch plus the component structure derived
+/// from it, so membership queries are O(1) after one decode.
+#[derive(Debug, Clone)]
+pub struct ForestData {
+    /// The decoded forest (Theorem 10).
+    pub result: ForestResult,
+    /// Component representative per vertex (two vertices are connected
+    /// iff their labels are equal).
+    pub labels: Vec<Vertex>,
+    /// Number of connected components (isolated vertices included).
+    pub num_components: usize,
+}
+
+/// The cut-query artifact: the KP12 sparsifier collapsed to a Laplacian.
+#[derive(Debug, Clone)]
+pub struct CutData {
+    /// Laplacian of the weighted sparsifier.
+    pub laplacian: Laplacian,
+    /// Edges the sparsifier kept.
+    pub sparsifier_edges: usize,
+}
+
+/// Which artifacts of a snapshot have been built so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArtifactStatus {
+    /// Spanning forest + component labels.
+    pub forest: bool,
+    /// Spanner-backed distance oracle.
+    pub oracle: bool,
+    /// KP12 cut sparsifier.
+    pub cut: bool,
+}
+
+/// An immutable view of one served graph frozen at an epoch boundary.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    config: GraphConfig,
+    total_updates: u64,
+    sketch: AgmSketch,
+    /// The frozen update log, as the sealed chunks the registry
+    /// accumulated — shared, never copied on epoch advance.
+    chunks: Vec<Arc<Vec<StreamUpdate>>>,
+    forest: OnceLock<Arc<ForestData>>,
+    oracle: OnceLock<Arc<DistanceOracle>>,
+    cut: OnceLock<Arc<CutData>>,
+}
+
+impl EpochSnapshot {
+    /// Builds a snapshot. Internal to the crate: snapshots are published
+    /// by [`crate::ServedGraph::advance_epoch`].
+    pub(crate) fn new(
+        epoch: u64,
+        config: GraphConfig,
+        sketch: AgmSketch,
+        chunks: Vec<Arc<Vec<StreamUpdate>>>,
+        total_updates: u64,
+    ) -> Self {
+        Self {
+            epoch,
+            config,
+            total_updates,
+            sketch,
+            chunks,
+            forest: OnceLock::new(),
+            oracle: OnceLock::new(),
+            cut: OnceLock::new(),
+        }
+    }
+
+    /// The epoch number (0 is the empty snapshot a graph starts with).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The graph's configuration.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+
+    /// Vertices of the served graph.
+    pub fn num_vertices(&self) -> usize {
+        self.config.n
+    }
+
+    /// Updates frozen into this snapshot.
+    pub fn total_updates(&self) -> u64 {
+        self.total_updates
+    }
+
+    /// The merged coordinator sketch frozen at the epoch boundary.
+    pub fn sketch(&self) -> &AgmSketch {
+        &self.sketch
+    }
+
+    /// Which artifacts have been built so far.
+    pub fn artifact_status(&self) -> ArtifactStatus {
+        ArtifactStatus {
+            forest: self.forest.get().is_some(),
+            oracle: self.oracle.get().is_some(),
+            cut: self.cut.get().is_some(),
+        }
+    }
+
+    /// Materializes the frozen stream prefix (for multi-pass artifact
+    /// builds and offline verification).
+    pub fn frozen_stream(&self) -> GraphStream {
+        let mut updates = Vec::with_capacity(self.total_updates as usize);
+        for chunk in &self.chunks {
+            updates.extend_from_slice(chunk);
+        }
+        GraphStream::new(self.config.n, updates)
+    }
+
+    /// The forest artifact, built on first use (one sketch decode).
+    pub fn forest(&self) -> Arc<ForestData> {
+        Arc::clone(self.forest.get_or_init(|| {
+            let result = self.sketch.spanning_forest();
+            let mut uf = UnionFind::new(self.config.n);
+            for e in &result.edges {
+                uf.union(e.u(), e.v());
+            }
+            let labels: Vec<Vertex> = (0..self.config.n as Vertex).map(|v| uf.find(v)).collect();
+            let num_components = uf.num_components();
+            Arc::new(ForestData {
+                result,
+                labels,
+                num_components,
+            })
+        }))
+    }
+
+    /// The distance-oracle artifact, built on first use by re-running the
+    /// two-pass spanner over the frozen prefix (deterministic in the
+    /// graph seed, so every rebuild of the same epoch agrees).
+    pub fn oracle(&self) -> Arc<DistanceOracle> {
+        Arc::clone(self.oracle.get_or_init(|| {
+            let out = twopass::run_two_pass(&self.frozen_stream(), self.config.oracle_params());
+            Arc::new(DistanceOracle::new(out.spanner, 1 << self.config.spanner_k))
+        }))
+    }
+
+    /// The cut artifact, built on first use by running KP12 over the
+    /// frozen prefix.
+    pub fn cut_data(&self) -> Arc<CutData> {
+        Arc::clone(self.cut.get_or_init(|| {
+            let out = run_sparsifier(&self.frozen_stream(), self.config.cut_params());
+            Arc::new(CutData {
+                laplacian: Laplacian::from_weighted(&out.sparsifier),
+                sparsifier_edges: out.sparsifier.num_edges(),
+            })
+        }))
+    }
+
+    fn check_vertex(&self, v: Vertex) -> Result<(), ServiceError> {
+        if (v as usize) < self.config.n {
+            Ok(())
+        } else {
+            Err(ServiceError::VertexOutOfRange {
+                vertex: v,
+                n: self.config.n,
+            })
+        }
+    }
+
+    /// Executes one query against this frozen snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::VertexOutOfRange`] if the query names a vertex the
+    /// graph does not have.
+    pub fn execute(&self, query: &Query) -> Result<Response, ServiceError> {
+        match query {
+            Query::Connectivity => {
+                let forest = self.forest();
+                Ok(Response::Connectivity {
+                    connected: forest.num_components == 1,
+                    num_components: forest.num_components,
+                })
+            }
+            Query::SameComponent(u, v) => {
+                self.check_vertex(*u)?;
+                self.check_vertex(*v)?;
+                let forest = self.forest();
+                Ok(Response::SameComponent(
+                    forest.labels[*u as usize] == forest.labels[*v as usize],
+                ))
+            }
+            Query::Distance(u, v) => {
+                self.check_vertex(*u)?;
+                self.check_vertex(*v)?;
+                Ok(Response::Distance(self.oracle().estimate(*u, *v)))
+            }
+            Query::IsFar { u, v, threshold } => {
+                self.check_vertex(*u)?;
+                self.check_vertex(*v)?;
+                Ok(Response::IsFar(self.oracle().is_far(*u, *v, *threshold)))
+            }
+            Query::CutEstimate(side) => {
+                let mut in_side = vec![false; self.config.n];
+                for &v in side {
+                    self.check_vertex(v)?;
+                    in_side[v as usize] = true;
+                }
+                Ok(Response::CutEstimate(
+                    self.cut_data().laplacian.cut_value(&in_side),
+                ))
+            }
+            Query::Stats => {
+                let status = self.artifact_status();
+                Ok(Response::Stats(GraphStats {
+                    epoch: self.epoch,
+                    num_vertices: self.config.n,
+                    total_updates: self.total_updates,
+                    artifacts: status,
+                }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::gen;
+
+    fn snapshot_for(n: usize, seed: u64) -> (dsg_graph::Graph, EpochSnapshot) {
+        let g = gen::erdos_renyi(n, 0.15, seed);
+        let stream = GraphStream::with_churn(&g, 1.0, seed ^ 0xE0);
+        let config = GraphConfig::new(n).seed(seed);
+        let mut sketch = AgmSketch::new(n, seed);
+        for up in stream.updates() {
+            sketch.update(up.edge, up.delta as i128);
+        }
+        let chunks = vec![Arc::new(stream.updates().to_vec())];
+        let total = stream.len() as u64;
+        (g, EpochSnapshot::new(1, config, sketch, chunks, total))
+    }
+
+    #[test]
+    fn artifacts_build_lazily_and_once() {
+        let (_, snap) = snapshot_for(40, 3);
+        assert_eq!(snap.artifact_status(), ArtifactStatus::default());
+        let f1 = snap.forest();
+        assert!(snap.artifact_status().forest);
+        let f2 = snap.forest();
+        assert!(Arc::ptr_eq(&f1, &f2), "forest must be built exactly once");
+        let o1 = snap.oracle();
+        let o2 = snap.oracle();
+        assert!(Arc::ptr_eq(&o1, &o2), "oracle must be built exactly once");
+    }
+
+    #[test]
+    fn component_labels_match_true_components() {
+        let (g, snap) = snapshot_for(50, 4);
+        let truth = dsg_graph::components::connected_components(&g);
+        let forest = snap.forest();
+        for u in 0..50u32 {
+            for v in (u + 1)..50u32 {
+                assert_eq!(
+                    forest.labels[u as usize] == forest.labels[v as usize],
+                    truth[u as usize] == truth[v as usize],
+                    "component mismatch at ({u},{v})"
+                );
+            }
+        }
+        assert_eq!(
+            forest.num_components,
+            dsg_graph::components::num_components(&g)
+        );
+    }
+
+    #[test]
+    fn queries_validate_vertices() {
+        let (_, snap) = snapshot_for(20, 5);
+        assert!(matches!(
+            snap.execute(&Query::SameComponent(0, 25)),
+            Err(ServiceError::VertexOutOfRange { vertex: 25, n: 20 })
+        ));
+        assert!(matches!(
+            snap.execute(&Query::Distance(21, 0)),
+            Err(ServiceError::VertexOutOfRange { vertex: 21, n: 20 })
+        ));
+        assert!(matches!(
+            snap.execute(&Query::CutEstimate(vec![0, 20])),
+            Err(ServiceError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn cut_estimate_is_close_to_truth() {
+        let (g, snap) = snapshot_for(40, 6);
+        let side: Vec<Vertex> = (0..20).collect();
+        let Response::CutEstimate(est) = snap.execute(&Query::CutEstimate(side)).unwrap() else {
+            panic!("wrong response variant");
+        };
+        let mut in_side = vec![false; 40];
+        in_side[..20].fill(true);
+        let truth = Laplacian::from_graph(&g).cut_value(&in_side);
+        // KP12 at laptop scale is approximate; the estimate must at least
+        // be positive for a dense random cut and within a loose factor.
+        assert!(est > 0.0, "cut estimate collapsed to zero (truth {truth})");
+        assert!(
+            est <= 3.0 * truth + 1e-9 && est >= truth / 3.0 - 1e-9,
+            "cut estimate {est} wildly off from {truth}"
+        );
+    }
+
+    #[test]
+    fn stats_report_epoch_and_artifacts() {
+        let (_, snap) = snapshot_for(20, 7);
+        let Response::Stats(stats) = snap.execute(&Query::Stats).unwrap() else {
+            panic!("wrong response variant");
+        };
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.num_vertices, 20);
+        assert!(!stats.artifacts.forest);
+        let _ = snap.forest();
+        let Response::Stats(stats) = snap.execute(&Query::Stats).unwrap() else {
+            panic!("wrong response variant");
+        };
+        assert!(stats.artifacts.forest);
+    }
+}

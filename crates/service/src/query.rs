@@ -1,0 +1,282 @@
+//! The typed query API and the worker pool that executes it.
+//!
+//! [`Query`] names the read operations the paper's structures support:
+//! connectivity and same-component from the AGM spanning forest (Theorem
+//! 10), distance estimates and far/near threshold tests from the spanner
+//! oracle (Theorem 1, the `ESTIMATE` primitive of Algorithm 4), cut-value
+//! estimates from the KP12 sparsifier (Corollary 2, the cut queries of
+//! Goel–Kapralov–Post), and a stats probe. [`QueryService`] fans queries
+//! out to a pool of worker threads over the shared [`GraphRegistry`];
+//! each worker resolves the target graph's *current* epoch snapshot and
+//! executes against it, so workers never block ingest and ingest never
+//! tears a read.
+
+use crate::epoch::ArtifactStatus;
+use crate::registry::GraphRegistry;
+use crate::ServiceError;
+use dsg_graph::Vertex;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A read operation against one served graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Is the graph connected, and how many components does it have?
+    Connectivity,
+    /// Are two vertices in the same connected component?
+    SameComponent(Vertex, Vertex),
+    /// Stretch-`2^k` distance estimate between two vertices (`None` when
+    /// disconnected).
+    Distance(Vertex, Vertex),
+    /// Is the estimated distance strictly greater than `threshold`?
+    IsFar {
+        /// Source vertex.
+        u: Vertex,
+        /// Target vertex.
+        v: Vertex,
+        /// The distance threshold.
+        threshold: u32,
+    },
+    /// Estimated weight of the cut separating `side` from the rest.
+    CutEstimate(Vec<Vertex>),
+    /// Epoch / ingest / artifact diagnostics.
+    Stats,
+}
+
+/// Diagnostics returned by [`Query::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// The answering snapshot's epoch.
+    pub epoch: u64,
+    /// Vertices of the served graph.
+    pub num_vertices: usize,
+    /// Updates frozen into the answering snapshot.
+    pub total_updates: u64,
+    /// Which derived artifacts the snapshot has built.
+    pub artifacts: ArtifactStatus,
+}
+
+/// The answer to a [`Query`] (variants correspond one-to-one).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Query::Connectivity`].
+    Connectivity {
+        /// Whether the graph is connected.
+        connected: bool,
+        /// Number of connected components.
+        num_components: usize,
+    },
+    /// Answer to [`Query::SameComponent`].
+    SameComponent(bool),
+    /// Answer to [`Query::Distance`].
+    Distance(Option<u32>),
+    /// Answer to [`Query::IsFar`].
+    IsFar(bool),
+    /// Answer to [`Query::CutEstimate`].
+    CutEstimate(f64),
+    /// Answer to [`Query::Stats`].
+    Stats(GraphStats),
+}
+
+/// One unit of pool work: a query, its target graph, and the reply slot.
+struct Job {
+    graph: String,
+    query: Query,
+    reply: SyncSender<Result<Response, ServiceError>>,
+}
+
+/// A handle to one submitted query; [`wait`](QueryTicket::wait) blocks
+/// for the answer.
+#[derive(Debug)]
+pub struct QueryTicket {
+    reply: Option<Receiver<Result<Response, ServiceError>>>,
+}
+
+impl QueryTicket {
+    /// Blocks until the pool answers.
+    ///
+    /// # Errors
+    ///
+    /// The query's own [`ServiceError`], or
+    /// [`ServiceError::PoolShutDown`] if the pool died before answering.
+    pub fn wait(self) -> Result<Response, ServiceError> {
+        match self.reply {
+            Some(rx) => rx.recv().unwrap_or(Err(ServiceError::PoolShutDown)),
+            None => Err(ServiceError::PoolShutDown),
+        }
+    }
+}
+
+/// A fixed pool of query-worker threads over a shared registry.
+#[derive(Debug)]
+pub struct QueryService {
+    registry: Arc<GraphRegistry>,
+    jobs: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts `workers` query threads over `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or a thread cannot be spawned.
+    pub fn start(registry: Arc<GraphRegistry>, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one query worker");
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("dsg-query-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while dequeuing, not
+                        // while executing — workers run queries in parallel.
+                        let job = match rx.lock().expect("job queue poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        };
+                        let result = registry.get(&job.graph).and_then(|g| g.query(&job.query));
+                        // A dropped ticket is fine; the answer is discarded.
+                        let _ = job.reply.send(result);
+                    })
+                    .expect("failed to spawn query worker")
+            })
+            .collect();
+        Self {
+            registry,
+            jobs: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// The registry this pool serves.
+    pub fn registry(&self) -> &Arc<GraphRegistry> {
+        &self.registry
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a query against `graph`; returns immediately with a
+    /// ticket for the answer.
+    pub fn submit(&self, graph: &str, query: Query) -> QueryTicket {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            graph: graph.to_string(),
+            query,
+            reply: reply_tx,
+        };
+        match &self.jobs {
+            Some(tx) if tx.send(job).is_ok() => QueryTicket {
+                reply: Some(reply_rx),
+            },
+            _ => QueryTicket { reply: None },
+        }
+    }
+
+    /// Submits and waits — the one-call convenience path.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the query execution produces, or
+    /// [`ServiceError::PoolShutDown`].
+    pub fn query_blocking(&self, graph: &str, query: Query) -> Result<Response, ServiceError> {
+        self.submit(graph, query).wait()
+    }
+
+    /// Drains the queue and joins every worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.jobs.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphConfig;
+    use dsg_graph::StreamUpdate;
+
+    fn pool_with_path_graph(n: usize, workers: usize) -> QueryService {
+        let registry = Arc::new(GraphRegistry::new());
+        let g = registry.create("g", GraphConfig::new(n).seed(3)).unwrap();
+        let updates: Vec<StreamUpdate> = (0..n as Vertex - 1)
+            .map(|v| StreamUpdate::insert(v, v + 1))
+            .collect();
+        g.apply(&updates).unwrap();
+        g.advance_epoch();
+        QueryService::start(registry, workers)
+    }
+
+    #[test]
+    fn pool_answers_queries() {
+        let pool = pool_with_path_graph(10, 3);
+        let r = pool.query_blocking("g", Query::Connectivity).unwrap();
+        assert_eq!(
+            r,
+            Response::Connectivity {
+                connected: true,
+                num_components: 1
+            }
+        );
+        let r = pool
+            .query_blocking("g", Query::SameComponent(0, 9))
+            .unwrap();
+        assert_eq!(r, Response::SameComponent(true));
+        let Response::Distance(Some(d)) = pool.query_blocking("g", Query::Distance(0, 9)).unwrap()
+        else {
+            panic!("path endpoints must be connected");
+        };
+        assert!((9..=9 * 4).contains(&(d as usize)), "stretch violated: {d}");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn unknown_graph_is_an_error_not_a_hang() {
+        let pool = pool_with_path_graph(6, 2);
+        assert!(matches!(
+            pool.query_blocking("nope", Query::Stats),
+            Err(ServiceError::UnknownGraph(_))
+        ));
+    }
+
+    #[test]
+    fn many_concurrent_tickets_resolve() {
+        let pool = pool_with_path_graph(12, 4);
+        let tickets: Vec<QueryTicket> = (0..64)
+            .map(|i| pool.submit("g", Query::SameComponent(i % 12, (i + 1) % 12)))
+            .collect();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap(), Response::SameComponent(true));
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_pool_down() {
+        let registry = Arc::new(GraphRegistry::new());
+        let mut pool = QueryService::start(registry, 1);
+        pool.shutdown_in_place();
+        assert!(matches!(
+            pool.submit("g", Query::Stats).wait(),
+            Err(ServiceError::PoolShutDown)
+        ));
+    }
+}

@@ -1,0 +1,377 @@
+//! The multi-tenant graph registry and the per-graph serving state.
+//!
+//! A [`ServedGraph`] pairs a live sharded ingest engine with the most
+//! recently published [`EpochSnapshot`]. Writers append updates under the
+//! ingest lock; readers clone an `Arc` of the current snapshot and never
+//! contend with ingest. [`ServedGraph::advance_epoch`] is the only bridge
+//! between the two sides: it forks every shard's state between batches
+//! (workers keep running), merges the forks, and publishes the result.
+//!
+//! The update log is kept as *sealed chunks* (`Arc<Vec<StreamUpdate>>`):
+//! advancing an epoch seals the active chunk and shares all sealed chunks
+//! with the new snapshot — epoch advance is O(shards · sketch size), never
+//! O(stream length).
+
+use crate::epoch::EpochSnapshot;
+use crate::query::{Query, Response};
+use crate::{GraphConfig, ServiceError};
+use dsg_agm::AgmSketch;
+use dsg_engine::{merge_tree, reduce_snapshots, EdgeUpdate, EngineConfig, ShardedEngine};
+use dsg_graph::{StreamUpdate, Vertex};
+use dsg_sketch::wire;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Writer-side state: the live engine plus the chunked update log.
+struct IngestState {
+    engine: ShardedEngine<AgmSketch>,
+    sealed: Vec<Arc<Vec<StreamUpdate>>>,
+    active: Vec<StreamUpdate>,
+}
+
+/// One tenant graph: a live ingest engine plus the current epoch snapshot.
+pub struct ServedGraph {
+    name: String,
+    config: GraphConfig,
+    ingest: Mutex<IngestState>,
+    current: RwLock<Arc<EpochSnapshot>>,
+}
+
+impl std::fmt::Debug for ServedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedGraph")
+            .field("name", &self.name)
+            .field("config", &self.config)
+            .field("epoch", &self.snapshot().epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServedGraph {
+    fn new(name: String, config: GraphConfig) -> Self {
+        let (n, seed) = (config.n, config.seed);
+        let engine_cfg = EngineConfig::new(config.shards).batch_size(config.batch_size);
+        let engine = ShardedEngine::start(engine_cfg, |_| AgmSketch::new(n, seed));
+        let epoch0 = EpochSnapshot::new(0, config, AgmSketch::new(n, seed), Vec::new(), 0);
+        Self {
+            name,
+            config,
+            ingest: Mutex::new(IngestState {
+                engine,
+                sealed: Vec::new(),
+                active: Vec::new(),
+            }),
+            current: RwLock::new(Arc::new(epoch0)),
+        }
+    }
+
+    /// The registry name of this graph.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The graph's configuration.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+
+    /// Appends a batch of stream updates to the live engine (and the
+    /// frozen-log tail). Returns the total updates ingested so far.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::VertexOutOfRange`] if any update names a vertex
+    /// outside `[0, n)`; the whole batch is rejected before any of it is
+    /// applied, so a bad batch never half-lands.
+    pub fn apply(&self, updates: &[StreamUpdate]) -> Result<u64, ServiceError> {
+        let n = self.config.n;
+        for up in updates {
+            let big = up.edge.v(); // canonical order: v is the larger endpoint
+            if big as usize >= n {
+                return Err(ServiceError::VertexOutOfRange { vertex: big, n });
+            }
+        }
+        let mut st = self.ingest.lock().expect("ingest lock poisoned");
+        for up in updates {
+            st.engine
+                .push(EdgeUpdate::new(up.edge.index(n), up.delta as i128));
+            st.active.push(*up);
+        }
+        Ok(st.engine.pushed())
+    }
+
+    /// Convenience: applies one edge insertion.
+    pub fn insert(&self, u: Vertex, v: Vertex) -> Result<u64, ServiceError> {
+        self.apply(&[StreamUpdate::insert(u, v)])
+    }
+
+    /// Convenience: applies one edge deletion.
+    pub fn delete(&self, u: Vertex, v: Vertex) -> Result<u64, ServiceError> {
+        self.apply(&[StreamUpdate::delete(u, v)])
+    }
+
+    /// Freezes the current stream position into a new immutable epoch and
+    /// publishes it, while the shard workers keep running. In-memory
+    /// merge path ([`merge_tree`] over the shard forks).
+    pub fn advance_epoch(&self) -> Arc<EpochSnapshot> {
+        self.advance_with(|forks| merge_tree(forks).expect("engine has at least one shard"))
+    }
+
+    /// Like [`advance_epoch`](ServedGraph::advance_epoch), but routes
+    /// every shard fork through its **wire snapshot**: serialize, cheap
+    /// header validation ([`wire::peek_kind`] — kind and version), then
+    /// checksum-verified decode and merge. This is the path a
+    /// multi-server deployment exercises, where shard snapshots arrive as
+    /// untrusted bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadFrame`] if a frame fails the header peek, is of
+    /// the wrong kind or a future version, or fails the full decode.
+    pub fn advance_epoch_via_wire(&self) -> Result<Arc<EpochSnapshot>, ServiceError> {
+        let mut st = self.ingest.lock().expect("ingest lock poisoned");
+        let frames: Vec<Vec<u8>> = st
+            .engine
+            .snapshot_shards()
+            .iter()
+            .map(dsg_sketch::LinearSketch::snapshot)
+            .collect();
+        for frame in &frames {
+            let header = wire::peek_kind(frame)?;
+            if header.kind != wire::KIND_AGM {
+                return Err(ServiceError::BadFrame(wire::WireError::WrongKind {
+                    expected: wire::KIND_AGM,
+                    found: header.kind,
+                }));
+            }
+            if header.version != wire::VERSION {
+                return Err(ServiceError::BadFrame(wire::WireError::BadVersion(
+                    header.version,
+                )));
+            }
+        }
+        let merged =
+            reduce_snapshots::<AgmSketch>(&frames)?.expect("engine has at least one shard");
+        Ok(self.publish(&mut st, merged))
+    }
+
+    /// Shared epoch-advance plumbing: snapshot the shards under the
+    /// ingest lock, reduce them with `merge`, seal the log, publish.
+    fn advance_with<F>(&self, merge: F) -> Arc<EpochSnapshot>
+    where
+        F: FnOnce(Vec<AgmSketch>) -> AgmSketch,
+    {
+        let mut st = self.ingest.lock().expect("ingest lock poisoned");
+        let forks = st.engine.snapshot_shards();
+        let merged = merge(forks);
+        self.publish(&mut st, merged)
+    }
+
+    /// Seals the active log chunk and swaps in the new snapshot. Must be
+    /// called with the ingest lock held (enforced by the `&mut` borrow).
+    fn publish(&self, st: &mut IngestState, merged: AgmSketch) -> Arc<EpochSnapshot> {
+        if !st.active.is_empty() {
+            let chunk = std::mem::take(&mut st.active);
+            st.sealed.push(Arc::new(chunk));
+        }
+        let total = st.engine.pushed();
+        let next_epoch = self.snapshot().epoch() + 1;
+        let snap = Arc::new(EpochSnapshot::new(
+            next_epoch,
+            self.config,
+            merged,
+            st.sealed.clone(),
+            total,
+        ));
+        *self.current.write().expect("epoch lock poisoned") = Arc::clone(&snap);
+        snap
+    }
+
+    /// The current epoch snapshot (an `Arc` clone; readers keep querying
+    /// it even after later epochs are published).
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.current.read().expect("epoch lock poisoned"))
+    }
+
+    /// Executes a query against the **current** epoch. For a pinned
+    /// epoch, hold the [`snapshot`](ServedGraph::snapshot) and call
+    /// [`EpochSnapshot::execute`] directly.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`EpochSnapshot::execute`] returns.
+    pub fn query(&self, query: &Query) -> Result<Response, ServiceError> {
+        self.snapshot().execute(query)
+    }
+}
+
+/// The multi-tenant registry: many named [`ServedGraph`]s behind one
+/// read-mostly lock.
+#[derive(Debug, Default)]
+pub struct GraphRegistry {
+    graphs: RwLock<HashMap<String, Arc<ServedGraph>>>,
+}
+
+impl GraphRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new graph and starts its ingest engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateGraph`] if the name is taken.
+    pub fn create(
+        &self,
+        name: &str,
+        config: GraphConfig,
+    ) -> Result<Arc<ServedGraph>, ServiceError> {
+        let mut graphs = self.graphs.write().expect("registry lock poisoned");
+        if graphs.contains_key(name) {
+            return Err(ServiceError::DuplicateGraph(name.to_string()));
+        }
+        let graph = Arc::new(ServedGraph::new(name.to_string(), config));
+        graphs.insert(name.to_string(), Arc::clone(&graph));
+        Ok(graph)
+    }
+
+    /// Looks up a graph by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownGraph`] if nothing is registered under
+    /// `name`.
+    pub fn get(&self, name: &str) -> Result<Arc<ServedGraph>, ServiceError> {
+        self.graphs
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))
+    }
+
+    /// Unregisters a graph. Existing `Arc` handles (and in-flight
+    /// queries) stay valid; the engine shuts down when the last handle
+    /// drops.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownGraph`] if nothing is registered under
+    /// `name`.
+    pub fn remove(&self, name: &str) -> Result<(), ServiceError> {
+        self.graphs
+            .write()
+            .expect("registry lock poisoned")
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))
+    }
+
+    /// Registered graph names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .graphs
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsg_graph::gen;
+    use dsg_graph::GraphStream;
+
+    #[test]
+    fn registry_is_multi_tenant() {
+        let reg = GraphRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.create("a", GraphConfig::new(10)).unwrap();
+        let b = reg.create("b", GraphConfig::new(20).seed(1)).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
+        a.insert(0, 1).unwrap();
+        b.insert(5, 6).unwrap();
+        assert_eq!(a.advance_epoch().total_updates(), 1);
+        assert_eq!(b.advance_epoch().total_updates(), 1);
+        assert!(matches!(
+            reg.create("a", GraphConfig::new(5)),
+            Err(ServiceError::DuplicateGraph(_))
+        ));
+        reg.remove("a").unwrap();
+        assert!(matches!(reg.get("a"), Err(ServiceError::UnknownGraph(_))));
+        assert!(reg.get("b").is_ok());
+    }
+
+    #[test]
+    fn epoch_zero_is_empty_and_epochs_count_up() {
+        let reg = GraphRegistry::new();
+        let g = reg.create("g", GraphConfig::new(8)).unwrap();
+        let snap0 = g.snapshot();
+        assert_eq!(snap0.epoch(), 0);
+        assert_eq!(snap0.total_updates(), 0);
+        assert_eq!(snap0.forest().num_components, 8);
+        g.insert(0, 1).unwrap();
+        assert_eq!(g.advance_epoch().epoch(), 1);
+        g.insert(2, 3).unwrap();
+        let snap2 = g.advance_epoch();
+        assert_eq!(snap2.epoch(), 2);
+        assert_eq!(snap2.total_updates(), 2);
+        // The old handle still answers from its frozen position.
+        assert_eq!(snap0.forest().num_components, 8);
+    }
+
+    #[test]
+    fn out_of_range_updates_are_rejected_atomically() {
+        let reg = GraphRegistry::new();
+        let g = reg.create("g", GraphConfig::new(5)).unwrap();
+        let batch = [StreamUpdate::insert(0, 1), StreamUpdate::insert(2, 7)];
+        assert!(matches!(
+            g.apply(&batch),
+            Err(ServiceError::VertexOutOfRange { vertex: 7, n: 5 })
+        ));
+        // Nothing from the bad batch landed.
+        assert_eq!(g.advance_epoch().total_updates(), 0);
+    }
+
+    #[test]
+    fn wire_and_memory_epoch_paths_agree() {
+        let n = 30;
+        let g0 = gen::erdos_renyi(n, 0.2, 11);
+        let stream = GraphStream::with_churn(&g0, 1.0, 12);
+        let reg = GraphRegistry::new();
+        let a = reg
+            .create("mem", GraphConfig::new(n).seed(5).shards(3))
+            .unwrap();
+        let b = reg
+            .create("wire", GraphConfig::new(n).seed(5).shards(3))
+            .unwrap();
+        a.apply(stream.updates()).unwrap();
+        b.apply(stream.updates()).unwrap();
+        let sa = a.advance_epoch();
+        let sb = b.advance_epoch_via_wire().unwrap();
+        assert_eq!(
+            dsg_sketch::LinearSketch::to_bytes(sa.sketch()),
+            dsg_sketch::LinearSketch::to_bytes(sb.sketch()),
+            "wire epoch diverged from in-memory epoch"
+        );
+        assert_eq!(sa.forest().result.edges, sb.forest().result.edges);
+    }
+}

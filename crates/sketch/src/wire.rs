@@ -129,6 +129,51 @@ pub fn finish_frame(kind: u16, payload: Vec<u8>) -> Vec<u8> {
     out
 }
 
+/// What a frame header declares about its payload, readable without
+/// decoding (or even checksumming) the payload itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The sketch kind tag (see the kind registry in the module docs).
+    pub kind: u16,
+    /// The wire-format version the frame was written under.
+    pub version: u16,
+    /// Declared payload length in bytes.
+    pub payload_len: usize,
+}
+
+/// Header-only inspection of a snapshot frame: magic, kind, version, and
+/// declared payload length, in O(1) and without touching the payload.
+///
+/// This is the cheap routing/validation step a registry or coordinator
+/// runs on every incoming frame *before* committing to a full decode: it
+/// can reject a frame of the wrong kind or a future version immediately.
+/// Unlike [`open_frame`] it deliberately does **not** verify the checksum
+/// or the payload length against the buffer — corruption is still caught
+/// by the full decode that follows an accepted frame.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] if the buffer is shorter than a header,
+/// [`WireError::BadMagic`] if it is not a snapshot frame. A version this
+/// build does not understand is *returned*, not rejected — the caller
+/// decides whether unknown versions are an error.
+pub fn peek_kind(bytes: &[u8]) -> Result<FrameHeader, WireError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    let kind = u16::from_le_bytes([bytes[6], bytes[7]]);
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    Ok(FrameHeader {
+        kind,
+        version,
+        payload_len,
+    })
+}
+
 /// Validates a frame (magic, version, kind, length, checksum) and returns
 /// a reader over its payload.
 ///
@@ -357,6 +402,33 @@ mod tests {
         assert_eq!(r.i128().unwrap(), -12345678901234567890i128);
         assert_eq!(r.block().unwrap(), b"abc");
         r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn peek_reads_header_without_decoding() {
+        let frame = finish_frame(KIND_GUARDED, vec![1, 2, 3]);
+        let h = peek_kind(&frame).unwrap();
+        assert_eq!(h.kind, KIND_GUARDED);
+        assert_eq!(h.version, VERSION);
+        assert_eq!(h.payload_len, 3);
+        // A corrupt payload is invisible to the peek (and that's the
+        // point: peek routes, open_frame verifies).
+        let mut corrupt = frame.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert_eq!(peek_kind(&corrupt).unwrap(), h);
+        // Future versions are reported, not rejected.
+        let mut future = frame;
+        future[4] = 0x09;
+        assert_eq!(peek_kind(&future).unwrap().version, 9);
+    }
+
+    #[test]
+    fn peek_rejects_non_frames() {
+        assert!(matches!(peek_kind(&[0u8; 10]), Err(WireError::Truncated)));
+        let mut frame = finish_frame(KIND_L0_SAMPLER, vec![]);
+        frame[2] = b'!';
+        assert!(matches!(peek_kind(&frame), Err(WireError::BadMagic)));
     }
 
     #[test]

@@ -6,13 +6,15 @@
 //!   bit-identical (canonical wire bytes) to one sketch of the whole
 //!   stream;
 //! * **wire roundtrip** — `from_bytes(to_bytes(s))` behaves identically
-//!   to `s`: same bytes now, and same bytes after further updates.
+//!   to `s`: same bytes now, and same bytes after further updates;
+//! * **header peek** — `wire::peek_kind` reads the kind/version/length
+//!   of any snapshot without decoding it.
 //!
 //! `AgmSketch`, the eighth implementor, is covered by the same properties
 //! in `crates/agm/tests/wire_props.rs`.
 
 use dsg_sketch::{
-    CountSketch, DistinctEstimator, GuardedSketch, L0Sampler, LinearHashTable, LinearSketch,
+    wire, CountSketch, DistinctEstimator, GuardedSketch, L0Sampler, LinearHashTable, LinearSketch,
     SparseRecovery, VectorFingerprint,
 };
 use proptest::prelude::*;
@@ -66,8 +68,23 @@ fn check_roundtrip<S: LinearSketch>(mut sketch: S, extra: &[(u64, i64)]) {
     );
 }
 
+/// Checks that [`wire::peek_kind`] on a snapshot reports the implementor's
+/// `WIRE_KIND`, the current format version, and the exact payload length —
+/// the header-only routing contract a snapshot registry relies on.
+fn check_peek_kind<S: LinearSketch>(sketch: &S) {
+    let snap = sketch.snapshot();
+    let header = wire::peek_kind(&snap).expect("snapshot frames always peek");
+    assert_eq!(header.kind, S::WIRE_KIND, "kind tag mismatch");
+    assert_eq!(header.version, wire::VERSION, "version mismatch");
+    assert_eq!(
+        header.payload_len,
+        snap.len() - wire::HEADER_BYTES,
+        "declared payload length mismatch"
+    );
+}
+
 macro_rules! sketch_properties {
-    ($split_name:ident, $roundtrip_name:ident, $make:expr) => {
+    ($split_name:ident, $roundtrip_name:ident, $peek_name:ident, $make:expr) => {
         proptest! {
             #[test]
             fn $split_name(xs in updates(), k in 1usize..=5, seed in 0u64..500) {
@@ -84,6 +101,16 @@ macro_rules! sketch_properties {
                 }
                 check_roundtrip(sk, &extra);
             }
+
+            #[test]
+            fn $peek_name(xs in updates(), seed in 0u64..500) {
+                let make = $make;
+                let mut sk = make(seed);
+                for &(key, delta) in &xs {
+                    LinearSketch::update(&mut sk, key, delta as i128);
+                }
+                check_peek_kind(&sk);
+            }
         }
     };
 }
@@ -91,32 +118,51 @@ macro_rules! sketch_properties {
 sketch_properties!(
     sparse_recovery_shard_split,
     sparse_recovery_roundtrip,
+    sparse_recovery_peek_kind,
     |seed| SparseRecovery::new(16, seed)
 );
 
-sketch_properties!(l0_sampler_shard_split, l0_sampler_roundtrip, |seed| {
-    L0Sampler::new(6, seed)
-});
+sketch_properties!(
+    l0_sampler_shard_split,
+    l0_sampler_roundtrip,
+    l0_sampler_peek_kind,
+    |seed| { L0Sampler::new(6, seed) }
+);
 
-sketch_properties!(distinct_shard_split, distinct_roundtrip, |seed| {
-    DistinctEstimator::new(6, 0.5, 3, seed)
-});
+sketch_properties!(
+    distinct_shard_split,
+    distinct_roundtrip,
+    distinct_peek_kind,
+    |seed| { DistinctEstimator::new(6, 0.5, 3, seed) }
+);
 
-sketch_properties!(hashtable_shard_split, hashtable_roundtrip, |seed| {
-    LinearHashTable::new(32, 2, seed)
-});
+sketch_properties!(
+    hashtable_shard_split,
+    hashtable_roundtrip,
+    hashtable_peek_kind,
+    |seed| { LinearHashTable::new(32, 2, seed) }
+);
 
-sketch_properties!(countsketch_shard_split, countsketch_roundtrip, |seed| {
-    CountSketch::new(3, 32, seed)
-});
+sketch_properties!(
+    countsketch_shard_split,
+    countsketch_roundtrip,
+    countsketch_peek_kind,
+    |seed| { CountSketch::new(3, 32, seed) }
+);
 
-sketch_properties!(guarded_shard_split, guarded_roundtrip, |seed| {
-    GuardedSketch::new(8, 6, seed)
-});
+sketch_properties!(
+    guarded_shard_split,
+    guarded_roundtrip,
+    guarded_peek_kind,
+    |seed| { GuardedSketch::new(8, 6, seed) }
+);
 
-sketch_properties!(fingerprint_shard_split, fingerprint_roundtrip, |seed| {
-    VectorFingerprint::new(seed)
-});
+sketch_properties!(
+    fingerprint_shard_split,
+    fingerprint_roundtrip,
+    fingerprint_peek_kind,
+    |seed| { VectorFingerprint::new(seed) }
+);
 
 proptest! {
     /// Decoded answers (not just bytes) survive the split+merge for the

@@ -10,10 +10,61 @@
 //! and answers queries by (optionally bounded) BFS over it. Because the
 //! spanner is a subgraph, answers never underestimate; because its stretch
 //! is `λ`, they never overestimate by more than `λ`.
+//!
+//! A BFS from `u` computes the estimates to *every* target, so the oracle
+//! memoizes whole distance rows in a bounded per-source cache: repeated
+//! queries from a hot source cost one hash lookup instead of a BFS. The
+//! cache is behind a [`Mutex`] so a shared oracle (e.g. an epoch artifact
+//! in `dsg-service`) stays queryable from many reader threads.
 
 use dsg_graph::bfs::{bfs_distances, bfs_distances_bounded, UNREACHABLE};
 use dsg_graph::graph::Adjacency;
 use dsg_graph::{Graph, Vertex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Default number of distinct sources whose distance rows stay cached.
+pub const DEFAULT_CACHE_SOURCES: usize = 32;
+
+/// Cache-effectiveness counters of a [`DistanceOracle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from a memoized distance row.
+    pub hits: u64,
+    /// Queries that ran a BFS.
+    pub misses: u64,
+}
+
+/// Bounded FIFO memo of per-source distance rows.
+#[derive(Debug, Default)]
+struct SourceCache {
+    capacity: usize,
+    rows: HashMap<Vertex, Arc<Vec<u32>>>,
+    order: VecDeque<Vertex>,
+    stats: CacheStats,
+}
+
+impl SourceCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    fn insert(&mut self, src: Vertex, row: Arc<Vec<u32>>) {
+        if self.capacity == 0 || self.rows.contains_key(&src) {
+            return;
+        }
+        if self.rows.len() >= self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.rows.remove(&evicted);
+            }
+        }
+        self.order.push_back(src);
+        self.rows.insert(src, row);
+    }
+}
 
 /// A stretch-`λ` distance oracle over a spanner subgraph.
 ///
@@ -37,11 +88,25 @@ use dsg_graph::{Graph, Vertex};
 ///     }
 /// }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DistanceOracle {
     spanner: Graph,
     adjacency: Adjacency,
     stretch: u64,
+    cache: Mutex<SourceCache>,
+}
+
+impl Clone for DistanceOracle {
+    /// Clones the oracle with a fresh, empty cache of the same capacity.
+    fn clone(&self) -> Self {
+        let capacity = self.cache.lock().expect("oracle cache poisoned").capacity;
+        Self {
+            spanner: self.spanner.clone(),
+            adjacency: self.adjacency.clone(),
+            stretch: self.stretch,
+            cache: Mutex::new(SourceCache::new(capacity)),
+        }
+    }
 }
 
 impl DistanceOracle {
@@ -57,6 +122,16 @@ impl DistanceOracle {
             spanner,
             adjacency,
             stretch,
+            cache: Mutex::new(SourceCache::new(DEFAULT_CACHE_SOURCES)),
+        }
+    }
+
+    /// Overrides the per-source cache capacity (`0` disables memoization;
+    /// every query then runs its own BFS).
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        Self {
+            cache: Mutex::new(SourceCache::new(capacity)),
+            ..self
         }
     }
 
@@ -70,33 +145,73 @@ impl DistanceOracle {
         &self.spanner
     }
 
+    /// Hit/miss counters of the per-source cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("oracle cache poisoned").stats
+    }
+
+    /// Probes the cache for `u`'s distance row, bumping the hit/miss
+    /// counters — the one place the probe-and-count logic lives.
+    fn cached_row(&self, u: Vertex) -> Option<Arc<Vec<u32>>> {
+        let mut cache = self.cache.lock().expect("oracle cache poisoned");
+        match cache.rows.get(&u).cloned() {
+            Some(row) => {
+                cache.stats.hits += 1;
+                Some(row)
+            }
+            None => {
+                cache.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The memoized distance row from `u`, computing it with one BFS on a
+    /// cache miss. The BFS runs outside the lock, so a slow miss never
+    /// blocks concurrent hits; two racing misses both compute and one
+    /// insert wins (idempotent — BFS is deterministic).
+    fn distances_from(&self, u: Vertex) -> Arc<Vec<u32>> {
+        if let Some(row) = self.cached_row(u) {
+            return row;
+        }
+        let row = Arc::new(bfs_distances(&self.adjacency, u));
+        let mut cache = self.cache.lock().expect("oracle cache poisoned");
+        cache.insert(u, Arc::clone(&row));
+        row
+    }
+
     /// The distance estimate `d̂(u, v)`, or `None` if `u` and `v` are
     /// disconnected in the spanner (hence in the graph, whp).
     pub fn estimate(&self, u: Vertex, v: Vertex) -> Option<u32> {
         if u == v {
             return Some(0);
         }
-        let d = bfs_distances(&self.adjacency, u);
-        let dv = d[v as usize];
+        let dv = self.distances_from(u)[v as usize];
         (dv != UNREACHABLE).then_some(dv)
     }
 
     /// Whether `d̂(u, v) > threshold` — the only query `ESTIMATE`
-    /// (Algorithm 4) needs, answered by a BFS truncated at
-    /// `threshold` (cheaper than a full BFS for small thresholds).
+    /// (Algorithm 4) needs. A cached distance row from `u` answers it
+    /// directly; otherwise a BFS truncated at `threshold` runs (cheaper
+    /// than a full BFS for small thresholds, and deliberately *not*
+    /// cached: a truncated row cannot serve later full-distance queries).
     pub fn is_far(&self, u: Vertex, v: Vertex, threshold: u32) -> bool {
         if u == v {
             return false;
+        }
+        if let Some(row) = self.cached_row(u) {
+            let dv = row[v as usize];
+            return dv == UNREACHABLE || dv > threshold;
         }
         let d = bfs_distances_bounded(&self.adjacency, u, threshold);
         d[v as usize] == UNREACHABLE
     }
 
-    /// All estimates from a single source (one BFS).
+    /// All estimates from a single source (one BFS, memoized).
     pub fn estimates_from(&self, u: Vertex) -> Vec<Option<u32>> {
-        bfs_distances(&self.adjacency, u)
-            .into_iter()
-            .map(|d| (d != UNREACHABLE).then_some(d))
+        self.distances_from(u)
+            .iter()
+            .map(|&d| (d != UNREACHABLE).then_some(d))
             .collect()
     }
 }
@@ -162,5 +277,65 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_stretch_panics() {
         DistanceOracle::new(Graph::empty(3), 0);
+    }
+
+    #[test]
+    fn repeated_source_queries_hit_the_cache() {
+        let (_, oracle) = oracle_for(50, 2, 4);
+        assert_eq!(oracle.cache_stats(), CacheStats::default());
+        let first = oracle.estimate(7, 20);
+        assert_eq!(oracle.cache_stats(), CacheStats { hits: 0, misses: 1 });
+        // Same source, different targets: all answered from the memo row.
+        assert_eq!(oracle.estimate(7, 20), first);
+        for v in [21u32, 35, 49] {
+            let _ = oracle.estimate(7, v);
+        }
+        let stats = oracle.cache_stats();
+        assert_eq!(stats.misses, 1, "one BFS serves every query from source 7");
+        assert!(stats.hits >= 4);
+        // `is_far` from the hot source is also answered from the row.
+        let hits_before = oracle.cache_stats().hits;
+        let _ = oracle.is_far(7, 31, 2);
+        assert_eq!(oracle.cache_stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn cached_answers_match_uncached() {
+        let (_, oracle) = oracle_for(40, 2, 5);
+        let uncached = oracle.clone().with_cache_capacity(0);
+        for u in 0..40u32 {
+            for v in 0..40u32 {
+                assert_eq!(oracle.estimate(u, v), uncached.estimate(u, v), "({u},{v})");
+            }
+        }
+        assert_eq!(
+            uncached.cache_stats().hits,
+            0,
+            "capacity 0 disables memoization"
+        );
+        assert!(oracle.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn cache_is_bounded_fifo() {
+        let (_, oracle) = oracle_for(30, 1, 6);
+        let oracle = oracle.with_cache_capacity(2);
+        let _ = oracle.estimate(0, 1); // miss: row(0) cached
+        let _ = oracle.estimate(1, 2); // miss: row(1) cached
+        let _ = oracle.estimate(2, 3); // miss: row(2) cached, row(0) evicted
+        let _ = oracle.estimate(0, 4); // miss again — 0 was evicted
+        let _ = oracle.estimate(2, 5); // hit — 2 still resident
+        let stats = oracle.cache_stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn clone_starts_with_a_cold_cache() {
+        let (_, oracle) = oracle_for(20, 1, 7);
+        let _ = oracle.estimate(1, 2);
+        let fresh = oracle.clone();
+        assert_eq!(fresh.cache_stats(), CacheStats::default());
+        assert_eq!(fresh.estimate(1, 2), oracle.estimate(1, 2));
     }
 }

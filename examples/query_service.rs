@@ -1,0 +1,139 @@
+//! A miniature serving deployment: one registry, two tenant graphs, a
+//! worker-pool query front end, and a writer that keeps streaming edge
+//! churn while epochs advance underneath the readers.
+//!
+//! Run with: `cargo run --release --example query_service`
+
+use dsg_graph::{gen, GraphStream, Vertex};
+use dsg_service::{GraphConfig, GraphRegistry, LoadGen, Query, QueryMix, QueryService, Response};
+use dsg_util::Summary;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let registry = Arc::new(GraphRegistry::new());
+
+    // Two tenants with different shapes share the one service.
+    let social = registry
+        .create("social", GraphConfig::new(80).seed(7).shards(2))
+        .expect("fresh registry");
+    let roads = registry
+        .create("roads", GraphConfig::new(40).seed(8).shards(2).spanner_k(3))
+        .expect("fresh registry");
+    println!(
+        "registry hosts {} graphs: {:?}",
+        registry.len(),
+        registry.names()
+    );
+
+    // Seed both graphs with a dynamic stream (inserts and deletions).
+    let social_stream = GraphStream::with_churn(&gen::erdos_renyi(80, 0.08, 1), 1.0, 2);
+    let road_stream = GraphStream::with_churn(&gen::erdos_renyi(40, 0.12, 3), 0.5, 4);
+    social.apply(social_stream.updates()).expect("in range");
+    roads.apply(road_stream.updates()).expect("in range");
+
+    // Freeze epoch 1 on both; readers will see exactly this prefix.
+    let social_epoch = social.advance_epoch();
+    let roads_epoch = roads.advance_epoch();
+    println!(
+        "epoch {} frozen for 'social' at {} updates; epoch {} for 'roads' at {}",
+        social_epoch.epoch(),
+        social_epoch.total_updates(),
+        roads_epoch.epoch(),
+        roads_epoch.total_updates(),
+    );
+
+    // A writer keeps the stream churning while queries are served.
+    let writer = {
+        let social = Arc::clone(&social);
+        std::thread::spawn(move || {
+            for v in 0..40u32 {
+                social.insert(v, v + 40).expect("in range");
+            }
+            social.advance_epoch();
+        })
+    };
+
+    // Serve a deterministic mixed workload through the worker pool.
+    let pool = QueryService::start(Arc::clone(&registry), 4);
+    // Cut queries are issued explicitly below (one KP12 build is plenty
+    // for an example); the pool workload covers the rest of the mix.
+    let mix = QueryMix {
+        cut: 0,
+        ..QueryMix::read_heavy()
+    };
+    let load = LoadGen::new(80, mix, 42);
+    let queries = load.queries(300);
+    let mut latencies = Summary::new();
+    let mut connected = 0usize;
+    let t0 = Instant::now();
+    for q in &queries {
+        let t = Instant::now();
+        match pool.query_blocking("social", q.clone()) {
+            Ok(Response::SameComponent(true)) => connected += 1,
+            Ok(_) => {}
+            Err(e) => panic!("query failed: {e}"),
+        }
+        latencies.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    writer.join().expect("writer thread");
+    println!(
+        "served {} queries in {:.1} ms ({:.0} queries/s)",
+        queries.len(),
+        wall * 1e3,
+        queries.len() as f64 / wall,
+    );
+    println!(
+        "latency p50 {:.1} µs, p95 {:.1} µs; {} same-component pairs connected",
+        latencies.quantile(0.5),
+        latencies.quantile(0.95),
+        connected,
+    );
+
+    // Distance queries on the second tenant, from a hot source.
+    let hot: Vertex = 5;
+    let mut reachable = 0usize;
+    for v in 0..40u32 {
+        if let Ok(Response::Distance(Some(_))) =
+            pool.query_blocking("roads", Query::Distance(hot, v))
+        {
+            reachable += 1;
+        }
+    }
+    let oracle = registry
+        .get("roads")
+        .expect("registered")
+        .snapshot()
+        .oracle();
+    println!(
+        "'roads' oracle (stretch {}): {} of 40 vertices reachable from {}; cache {:?}",
+        oracle.stretch(),
+        reachable,
+        hot,
+        oracle.cache_stats(),
+    );
+
+    // One explicit cut estimate on the small tenant (builds the KP12
+    // artifact for its current epoch, lazily, exactly once).
+    let side: Vec<Vertex> = (0..20).collect();
+    let Ok(Response::CutEstimate(cut_weight)) =
+        pool.query_blocking("roads", Query::CutEstimate(side))
+    else {
+        panic!("cut estimate failed");
+    };
+    println!("'roads' cut estimate for the low half: {cut_weight:.1}");
+
+    // The frozen epoch still answers identically after further ingest.
+    let Response::Stats(stats) = social_epoch.execute(&Query::Stats).expect("valid query") else {
+        panic!("wrong response variant");
+    };
+    println!(
+        "pinned snapshot: epoch {} with {} updates, artifacts {:?} (current epoch {})",
+        stats.epoch,
+        stats.total_updates,
+        stats.artifacts,
+        social.snapshot().epoch(),
+    );
+    pool.shutdown();
+}

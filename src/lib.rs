@@ -9,6 +9,7 @@ pub use dsg_engine as engine;
 pub use dsg_graph as graph;
 pub use dsg_hash as hash;
 pub use dsg_lowerbound as lowerbound;
+pub use dsg_service as service;
 pub use dsg_sketch as sketch;
 pub use dsg_spanner as spanner;
 pub use dsg_sparsifier as sparsifier;

@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "social_network",
     "laplacian_solver",
     "distributed_servers",
+    "query_service",
 ];
 
 /// Directory holding compiled example binaries for the active profile.
@@ -79,6 +80,23 @@ fn all_examples_run_to_completion() {
                 assert!(
                     stdout.contains(marker),
                     "distributed_servers output lost its '{marker}' report:\n{stdout}"
+                );
+            }
+        }
+        // The serving example must exercise the real service: multiple
+        // tenants, a frozen epoch, pool latencies, and the oracle cache.
+        if *name == "query_service" {
+            let stdout = String::from_utf8_lossy(&output.stdout);
+            for marker in [
+                "registry hosts 2 graphs",
+                "epoch 1 frozen",
+                "queries/s",
+                "p95",
+                "cache",
+            ] {
+                assert!(
+                    stdout.contains(marker),
+                    "query_service output lost its '{marker}' report:\n{stdout}"
                 );
             }
         }
