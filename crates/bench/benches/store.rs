@@ -1,0 +1,110 @@
+//! Durability benchmarks: WAL append throughput under each sync policy,
+//! checkpoint write/restore latency, and end-to-end recovery time as a
+//! function of how much WAL tail must be replayed.
+//!
+//! All benches run against scratch directories under the system temp dir
+//! (usually tmpfs-backed on CI, so fsync costs are lower bounds — the
+//! *relative* ordering EveryBatch < EveryN < Manual is the signal).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsg_graph::{gen, GraphStream, StreamUpdate};
+use dsg_service::GraphConfig;
+use dsg_store::{
+    read_checkpoint, DurableRegistry, ScratchDir, StoreOptions, SyncPolicy, Wal, WalConfig,
+};
+use std::hint::black_box;
+
+const N: usize = 64;
+
+fn stream(seed: u64) -> Vec<StreamUpdate> {
+    let g = gen::erdos_renyi(N, 0.15, seed);
+    GraphStream::with_churn(&g, 1.0, seed ^ 0xABCD)
+        .updates()
+        .to_vec()
+}
+
+fn config() -> GraphConfig {
+    GraphConfig::new(N).seed(42).shards(2).batch_size(64)
+}
+
+/// Appending one 64-update batch record under each sync policy.
+fn bench_wal_append(c: &mut Criterion) {
+    let updates = stream(1);
+    let batch = &updates[..64.min(updates.len())];
+    let mut group = c.benchmark_group("store");
+    for (label, sync) in [
+        ("wal_append_sync_every_batch", SyncPolicy::EveryBatch),
+        ("wal_append_sync_every_32", SyncPolicy::EveryN(32)),
+        ("wal_append_sync_manual", SyncPolicy::Manual),
+    ] {
+        group.bench_function(label, |b| {
+            let dir = ScratchDir::new("bench-wal");
+            let mut wal = Wal::open(
+                dir.path(),
+                WalConfig {
+                    sync,
+                    ..WalConfig::default()
+                },
+            )
+            .expect("scratch wal");
+            b.iter(|| black_box(wal.append_batch(black_box(batch)).expect("append")));
+        });
+    }
+    group.finish();
+}
+
+/// Writing a checkpoint of a warm tenant, and reading it back.
+fn bench_checkpoint(c: &mut Criterion) {
+    let updates = stream(2);
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    group.bench_function("checkpoint_write", |b| {
+        let dir = ScratchDir::new("bench-cp-write");
+        let reg = DurableRegistry::open(dir.path(), StoreOptions::default()).expect("open");
+        let g = reg.create("t", config()).expect("fresh");
+        g.apply(&updates).expect("in range");
+        b.iter(|| black_box(g.checkpoint().expect("checkpoint")));
+    });
+    group.bench_function("checkpoint_restore_decode", |b| {
+        let dir = ScratchDir::new("bench-cp-read");
+        let reg = DurableRegistry::open(dir.path(), StoreOptions::default()).expect("open");
+        let g = reg.create("t", config()).expect("fresh");
+        g.apply(&updates).expect("in range");
+        g.checkpoint().expect("checkpoint");
+        let tenant = g.dir().to_path_buf();
+        drop((g, reg));
+        b.iter(|| black_box(read_checkpoint(&tenant).expect("valid checkpoint")));
+    });
+    group.finish();
+}
+
+/// Full registry recovery (checkpoint restore + tail replay + engine
+/// spawn) with WAL tails of increasing length.
+fn bench_recovery(c: &mut Criterion) {
+    let updates = stream(3);
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    for tail_batches in [0usize, 8, 32] {
+        let dir = ScratchDir::new("bench-recover");
+        {
+            let reg = DurableRegistry::open(dir.path(), StoreOptions::default()).expect("open");
+            let g = reg.create("t", config()).expect("fresh");
+            g.apply(&updates[..updates.len() / 2]).expect("in range");
+            g.checkpoint().expect("checkpoint");
+            for batch in updates[updates.len() / 2..].chunks(8).take(tail_batches) {
+                g.apply(batch).expect("in range");
+            }
+        }
+        group.bench_function(format!("recovery_tail_{tail_batches}_batches"), |b| {
+            b.iter(|| {
+                let reg =
+                    DurableRegistry::open(dir.path(), StoreOptions::default()).expect("recover");
+                black_box(reg.get("t").expect("tenant back"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append, bench_checkpoint, bench_recovery);
+criterion_main!(benches);

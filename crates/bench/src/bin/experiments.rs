@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every experiment table in
-//! `EXPERIMENTS.md` (see DESIGN.md's experiment index E1–E19).
+//! `EXPERIMENTS.md` (see DESIGN.md's experiment index E1–E20).
 //!
 //! Usage:
 //!

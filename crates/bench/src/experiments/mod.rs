@@ -8,6 +8,7 @@ pub mod service_exps;
 pub mod sketch_exps;
 pub mod spanner_exps;
 pub mod sparsifier_exps;
+pub mod store_exps;
 
 use crate::Scale;
 
@@ -32,6 +33,7 @@ pub const ALL: &[&str] = &[
     "ablation-levels",
     "engine",
     "service",
+    "store",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -56,6 +58,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "ablation-levels" => spanner_exps::ablation_levels(scale),
         "engine" => engine_exps::engine(scale),
         "service" => service_exps::service(scale),
+        "store" => store_exps::store(scale),
         _ => return false,
     }
     true

@@ -1,0 +1,176 @@
+//! Experiment E20: the durability subsystem — WAL append throughput per
+//! sync policy, checkpoint write/restore latency, and the recovery-time
+//! gap between full-log replay and checkpoint + tail replay.
+
+use crate::Scale;
+use dsg_graph::{gen, GraphStream, StreamUpdate};
+use dsg_service::GraphConfig;
+use dsg_store::{DurableRegistry, ScratchDir, StoreOptions, SyncPolicy};
+use dsg_util::Table;
+use std::path::Path;
+use std::time::Instant;
+
+/// Copies a tenant directory (flat: checkpoint + WAL segments).
+fn copy_tenant(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("scratch space");
+    for entry in std::fs::read_dir(src).expect("tenant dir") {
+        let entry = entry.expect("tenant dir entry");
+        if entry.file_type().expect("file type").is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy tenant file");
+        }
+    }
+}
+
+/// E20: durability costs end to end. The headline assertion — recovery
+/// from checkpoint + tail beats full-log replay — is checked, not just
+/// printed: compaction is pointless if it does not buy recovery time.
+pub fn store(scale: Scale) {
+    let n = scale.pick(200usize, 80);
+    let batch = 64usize;
+    let g = gen::erdos_renyi(n, scale.pick(0.06, 0.1), 17);
+    let stream = GraphStream::with_churn(&g, 1.0, 18);
+    let updates: Vec<StreamUpdate> = std::iter::repeat(stream.updates())
+        .take(scale.pick(6, 3))
+        .flatten()
+        .copied()
+        .collect();
+    println!(
+        "\n## E20 — durability subsystem (n = {n}, {} stream updates, {}-update batches)\n",
+        updates.len(),
+        batch,
+    );
+
+    // Durable apply throughput (WAL append + engine push) by sync policy.
+    // The criterion bench isolates the raw WAL append; this table shows
+    // what a tenant actually pays end to end per policy.
+    let mut t = Table::new(&["sync policy", "batches", "wall", "updates/s", "per batch"]);
+    for (label, sync) in [
+        ("every batch (fsync each)", SyncPolicy::EveryBatch),
+        ("every 32 batches", SyncPolicy::EveryN(32)),
+        ("manual (close-time flush)", SyncPolicy::Manual),
+    ] {
+        let dir = ScratchDir::new("e20-wal");
+        let options = StoreOptions::default().sync(sync);
+        let reg = DurableRegistry::open(dir.path(), options).expect("fresh registry");
+        let served = reg
+            .create("wal", GraphConfig::new(n).seed(7).batch_size(batch))
+            .expect("fresh tenant");
+        let t0 = Instant::now();
+        let mut batches = 0u64;
+        for chunk in updates.chunks(batch) {
+            served.apply(chunk).expect("in range");
+            batches += 1;
+        }
+        served.sync().expect("final flush");
+        let wall = t0.elapsed().as_secs_f64();
+        t.add_row(&[
+            label.into(),
+            batches.to_string(),
+            format!("{:.1} ms", wall * 1e3),
+            format!("{:.0}", updates.len() as f64 / wall),
+            format!("{:.1} µs", wall * 1e6 / batches as f64),
+        ]);
+    }
+    println!("{t}");
+
+    // Checkpoint write and restore latency on a warm tenant.
+    let dir = ScratchDir::new("e20-cp");
+    let reg = DurableRegistry::open(dir.path(), StoreOptions::default()).expect("fresh registry");
+    let served = reg
+        .create(
+            "cp",
+            GraphConfig::new(n).seed(7).shards(2).batch_size(batch),
+        )
+        .expect("fresh tenant");
+    served.apply(&updates).expect("in range");
+    let t0 = Instant::now();
+    let stats = served.checkpoint().expect("checkpoint");
+    let write_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let tenant_dir = served.dir().to_path_buf();
+    drop((served, reg));
+    let t0 = Instant::now();
+    let cp = dsg_store::read_checkpoint(&tenant_dir).expect("read back");
+    let read_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "checkpoint at epoch {}: write {write_ms:.1} ms ({} shard frames, {} log updates), \
+         decode {read_ms:.1} ms, {} WAL segment(s) compacted\n",
+        stats.epoch,
+        cp.shards.len(),
+        cp.log.len(),
+        stats.segments_removed,
+    );
+
+    // Recovery: full-log replay vs checkpoint + tail, same durable state.
+    // Build one tenant, snapshot its directory just BEFORE checkpointing
+    // (the full-log variant), then checkpoint and keep a short tail (the
+    // compacted variant) — both recover to the same stream position.
+    let src = ScratchDir::new("e20-recover-src");
+    let tail_updates = scale.pick(256usize, 128);
+    {
+        let reg =
+            DurableRegistry::open(src.path(), StoreOptions::default()).expect("fresh registry");
+        let served = reg
+            .create("r", GraphConfig::new(n).seed(7).shards(2).batch_size(batch))
+            .expect("fresh tenant");
+        let head = updates.len() - tail_updates;
+        for chunk in updates[..head].chunks(batch) {
+            served.apply(chunk).expect("in range");
+        }
+        let full = ScratchDir::new("e20-recover-full");
+        copy_tenant(served.dir(), &full.path().join("r"));
+        served.checkpoint().expect("checkpoint");
+        for chunk in updates[head..].chunks(batch) {
+            served.apply(chunk).expect("in range");
+        }
+        drop(served);
+        drop(reg);
+        // Bring the full-log copy up to the same durable position.
+        let reg =
+            DurableRegistry::open(full.path(), StoreOptions::default()).expect("full-log copy");
+        let served = reg.get("r").expect("tenant");
+        for chunk in updates[head..].chunks(batch) {
+            served.apply(chunk).expect("in range");
+        }
+        drop(served);
+        drop(reg);
+
+        let time_recovery = |root: &Path| {
+            let t0 = Instant::now();
+            let reg = DurableRegistry::open(root, StoreOptions::default()).expect("recovery");
+            let report = reg.recovery_report()[0].clone();
+            let wall = t0.elapsed().as_secs_f64() * 1e3;
+            let total = reg
+                .get("r")
+                .expect("tenant")
+                .served()
+                .snapshot()
+                .total_updates();
+            (wall, report, total)
+        };
+        let (full_ms, full_report, _) = time_recovery(full.path());
+        let (cp_ms, cp_report, _) = time_recovery(src.path());
+        let mut t = Table::new(&["recovery mode", "records replayed", "wall"]);
+        t.add_row(&[
+            "full-log replay (no checkpoint)".into(),
+            full_report.records_replayed.to_string(),
+            format!("{full_ms:.1} ms"),
+        ]);
+        t.add_row(&[
+            format!("checkpoint + {tail_updates}-update tail"),
+            cp_report.records_replayed.to_string(),
+            format!("{cp_ms:.1} ms"),
+        ]);
+        println!("{t}");
+        let speedup = full_ms / cp_ms;
+        println!("recovery speedup from checkpointing: {speedup:.1}x");
+        assert!(
+            cp_report.records_replayed < full_report.records_replayed,
+            "checkpoint must shorten the replayed tail"
+        );
+        assert!(
+            speedup > 1.0,
+            "checkpoint + tail recovery must beat full-log replay (got {speedup:.2}x)"
+        );
+    }
+    println!();
+}

@@ -230,13 +230,44 @@ impl<S: EngineSketch> ShardedEngine<S> {
     ///
     /// Panics if a worker thread cannot be spawned.
     pub fn start<F: FnMut(usize) -> S>(cfg: EngineConfig, mut make_shard: F) -> Self {
+        let sketches: Vec<S> = (0..cfg.shards).map(&mut make_shard).collect();
+        Self::spawn(cfg, sketches, 0)
+    }
+
+    /// Spawns the shard workers from **pre-existing** shard states — the
+    /// recovery path of a durability layer: a checkpoint stores every
+    /// shard's sketch (`LinearSketch::to_bytes` frames), and `restore`
+    /// resumes ingest exactly where the checkpoint froze it. By linearity
+    /// the restored engine is indistinguishable from one that ingested the
+    /// whole stream uninterrupted.
+    ///
+    /// `already_pushed` seeds the [`pushed`](ShardedEngine::pushed)
+    /// counter so stream positions keep counting from the true start of
+    /// the stream, not from the restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sketches.len() != cfg.shards`, or if a worker thread
+    /// cannot be spawned.
+    pub fn restore(cfg: EngineConfig, sketches: Vec<S>, already_pushed: u64) -> Self {
+        assert_eq!(
+            sketches.len(),
+            cfg.shards,
+            "restore requires one sketch per shard"
+        );
+        Self::spawn(cfg, sketches, already_pushed)
+    }
+
+    /// Shared worker-spawning plumbing behind [`start`](ShardedEngine::start)
+    /// and [`restore`](ShardedEngine::restore).
+    fn spawn(cfg: EngineConfig, sketches: Vec<S>, already_pushed: u64) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
         assert!(cfg.batch_size > 0, "batch size must be positive");
+        assert_eq!(sketches.len(), cfg.shards, "one sketch per shard");
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
-        for shard in 0..cfg.shards {
+        for (shard, mut sketch) in sketches.into_iter().enumerate() {
             let (tx, rx): (_, Receiver<ShardMsg<S>>) = sync_channel(cfg.queue_depth.max(1));
-            let mut sketch = make_shard(shard);
             let handle = std::thread::Builder::new()
                 .name(format!("dsg-engine-shard-{shard}"))
                 .spawn(move || {
@@ -267,7 +298,7 @@ impl<S: EngineSketch> ShardedEngine<S> {
             buffer: Vec::with_capacity(cfg.batch_size),
             batch_size: cfg.batch_size,
             next_shard: 0,
-            pushed: 0,
+            pushed: already_pushed,
         }
     }
 
@@ -351,10 +382,13 @@ impl<S: EngineSketch> ShardedEngine<S> {
     /// Propagates a panic from any shard worker.
     pub fn finish(mut self) -> EngineRun<S> {
         self.dispatch();
-        drop(self.senders);
-        let mut shards = Vec::with_capacity(self.workers.len());
-        let mut per_shard_updates = Vec::with_capacity(self.workers.len());
-        for handle in self.workers {
+        // Take the channels and handles out so the Drop impl (which joins
+        // whatever is left) sees an already-shut-down engine.
+        drop(std::mem::take(&mut self.senders));
+        let workers = std::mem::take(&mut self.workers);
+        let mut shards = Vec::with_capacity(workers.len());
+        let mut per_shard_updates = Vec::with_capacity(workers.len());
+        for handle in workers {
             let (sketch, applied) = handle.join().expect("engine shard panicked");
             shards.push(sketch);
             per_shard_updates.push(applied);
@@ -363,6 +397,22 @@ impl<S: EngineSketch> ShardedEngine<S> {
             shards,
             per_shard_updates,
             total_updates: self.pushed,
+        }
+    }
+}
+
+/// Dropping an engine without [`finish`](ShardedEngine::finish) still
+/// shuts it down **deterministically**: the channels close and every
+/// worker thread is joined (not detached), so no shard thread outlives
+/// its engine — a durability layer can flush and delete files right after
+/// the drop without racing a straggler. The buffered tail batch is
+/// discarded (only `finish` promises delivery); a worker that panicked is
+/// ignored here because propagating from `drop` would abort.
+impl<S: EngineSketch> Drop for ShardedEngine<S> {
+    fn drop(&mut self) {
+        self.senders.clear(); // hang up: workers drain their queue and exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -564,6 +614,44 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         EngineConfig::new(0);
+    }
+
+    #[test]
+    fn restored_engine_resumes_bit_identically() {
+        let ups = updates(900);
+        let cut = 500usize;
+        let cfg = EngineConfig::new(3).batch_size(17);
+        // First life: ingest a prefix, then "crash" at a batch boundary by
+        // finishing and keeping the per-shard states.
+        let mut first = ShardedEngine::start(cfg, |_| SparseRecovery::new(64, 77));
+        first.push_all(&ups[..cut]);
+        let run = first.finish();
+        assert_eq!(run.total_updates, cut as u64);
+        // Second life: restore from the per-shard states and ingest the rest.
+        let mut second = ShardedEngine::restore(cfg, run.shards, run.total_updates);
+        assert_eq!(second.pushed(), cut as u64);
+        second.push_all(&ups[cut..]);
+        let merged = second.finish().merged().unwrap();
+        let mut direct = SparseRecovery::new(64, 77);
+        for up in &ups {
+            LinearSketch::update(&mut direct, up.key, up.delta);
+        }
+        assert_eq!(merged.to_bytes(), direct.to_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "one sketch per shard")]
+    fn restore_rejects_shard_count_mismatch() {
+        let cfg = EngineConfig::new(3);
+        let _ = ShardedEngine::restore(cfg, vec![SparseRecovery::new(8, 1)], 0);
+    }
+
+    #[test]
+    fn drop_without_finish_joins_cleanly() {
+        let cfg = EngineConfig::new(4).batch_size(8);
+        let mut eng = ShardedEngine::start(cfg, |_| SparseRecovery::new(32, 9));
+        eng.push_all(&updates(200));
+        drop(eng); // must join all four workers, not detach them
     }
 
     #[test]

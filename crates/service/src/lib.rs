@@ -54,7 +54,7 @@ mod workload;
 
 pub use epoch::{ArtifactStatus, CutData, EpochSnapshot, ForestData};
 pub use query::{GraphStats, Query, QueryService, QueryTicket, Response};
-pub use registry::{GraphRegistry, ServedGraph};
+pub use registry::{GraphRegistry, PersistedGraph, ServedGraph};
 pub use workload::{LoadGen, QueryMix};
 
 use dsg_core::engine::EngineBuilder;

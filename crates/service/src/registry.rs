@@ -29,6 +29,40 @@ struct IngestState {
     active: Vec<StreamUpdate>,
 }
 
+/// Everything a durability layer must persist to bring a [`ServedGraph`]
+/// back bit-identically after a crash: the per-shard sketches and the
+/// frozen update log, captured **atomically at an epoch boundary** by
+/// [`ServedGraph::checkpoint_state`] and turned back into a live graph by
+/// [`GraphRegistry::restore`]. By linearity, a graph restored from this
+/// state and fed the remaining stream answers exactly like one that never
+/// stopped — `dsg-store` builds its checkpoint files around this struct.
+#[derive(Debug, Clone)]
+pub struct PersistedGraph {
+    /// The epoch counter at the capture point (capture advances an epoch,
+    /// so this is also the epoch of the published snapshot).
+    pub epoch: u64,
+    /// Updates ingested up to the capture point.
+    pub total_updates: u64,
+    /// Every shard's sketch, forked exactly at the capture point (in
+    /// shard order).
+    pub shards: Vec<AgmSketch>,
+    /// The frozen update log up to the capture point, flattened.
+    pub log: Vec<StreamUpdate>,
+}
+
+/// Folds shard forks into one sketch while cloning only the first —
+/// linear merges take `&other`, so the remaining forks merge by
+/// reference instead of duplicating the whole shard fleet. Bit-identical
+/// to any other merge order by linearity (counter addition commutes).
+fn merge_forks(forks: &[AgmSketch]) -> AgmSketch {
+    let (first, rest) = forks.split_first().expect("engine has at least one shard");
+    let mut merged = first.clone();
+    for fork in rest {
+        dsg_sketch::LinearSketch::merge(&mut merged, fork);
+    }
+    merged
+}
+
 /// One tenant graph: a live ingest engine plus the current epoch snapshot.
 pub struct ServedGraph {
     name: String,
@@ -187,6 +221,63 @@ impl ServedGraph {
         snap
     }
 
+    /// Advances an epoch and captures the state a durability layer must
+    /// persist, **atomically**: under one ingest-lock hold, every shard is
+    /// forked at the same stream position, the forks are merged and
+    /// published as the new epoch, and the forks themselves plus the
+    /// (now fully sealed) update log are returned. A graph restored from
+    /// the result — [`GraphRegistry::restore`] — serves the same answers,
+    /// bit for bit, as this one did at the capture point.
+    pub fn checkpoint_state(&self) -> PersistedGraph {
+        let mut st = self.ingest.lock().expect("ingest lock poisoned");
+        let forks = st.engine.snapshot_shards();
+        let merged = merge_forks(&forks);
+        let snap = self.publish(&mut st, merged);
+        let log: Vec<StreamUpdate> = st.sealed.iter().flat_map(|c| c.iter().copied()).collect();
+        PersistedGraph {
+            epoch: snap.epoch(),
+            total_updates: st.engine.pushed(),
+            shards: forks,
+            log,
+        }
+    }
+
+    /// Rebuilds a served graph from persisted state: the engine resumes
+    /// from the per-shard sketches (workers spawn pre-loaded), and the
+    /// capture-point epoch is republished as the current snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.shards.len() != config.shards` — a checkpoint can
+    /// only restore into the topology it was taken from.
+    fn restore(name: String, config: GraphConfig, state: PersistedGraph) -> Self {
+        let engine_cfg = EngineConfig::new(config.shards).batch_size(config.batch_size);
+        let merged = merge_forks(&state.shards);
+        let engine = ShardedEngine::restore(engine_cfg, state.shards, state.total_updates);
+        let sealed = if state.log.is_empty() {
+            Vec::new()
+        } else {
+            vec![Arc::new(state.log)]
+        };
+        let snap = EpochSnapshot::new(
+            state.epoch,
+            config,
+            merged,
+            sealed.clone(),
+            state.total_updates,
+        );
+        Self {
+            name,
+            config,
+            ingest: Mutex::new(IngestState {
+                engine,
+                sealed,
+                active: Vec::new(),
+            }),
+            current: RwLock::new(Arc::new(snap)),
+        }
+    }
+
     /// The current epoch snapshot (an `Arc` clone; readers keep querying
     /// it even after later epochs are published).
     pub fn snapshot(&self) -> Arc<EpochSnapshot> {
@@ -237,6 +328,35 @@ impl GraphRegistry {
         Ok(graph)
     }
 
+    /// Re-registers a graph from persisted state (see
+    /// [`ServedGraph::checkpoint_state`]): the recovery path of a durable
+    /// registry. The restored graph's engine resumes from the checkpoint's
+    /// shard sketches; replaying the post-checkpoint update tail through
+    /// [`ServedGraph::apply`] then brings it to the durable stream
+    /// position.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateGraph`] if the name is taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.shards.len() != config.shards`.
+    pub fn restore(
+        &self,
+        name: &str,
+        config: GraphConfig,
+        state: PersistedGraph,
+    ) -> Result<Arc<ServedGraph>, ServiceError> {
+        let mut graphs = self.graphs.write().expect("registry lock poisoned");
+        if graphs.contains_key(name) {
+            return Err(ServiceError::DuplicateGraph(name.to_string()));
+        }
+        let graph = Arc::new(ServedGraph::restore(name.to_string(), config, state));
+        graphs.insert(name.to_string(), Arc::clone(&graph));
+        Ok(graph)
+    }
+
     /// Looks up a graph by name.
     ///
     /// # Errors
@@ -253,8 +373,10 @@ impl GraphRegistry {
     }
 
     /// Unregisters a graph. Existing `Arc` handles (and in-flight
-    /// queries) stay valid; the engine shuts down when the last handle
-    /// drops.
+    /// queries) stay valid; when the last handle drops, the engine's
+    /// shard workers are joined deterministically (not detached), so a
+    /// durable close can flush and delete the tenant's files immediately
+    /// after without racing a straggler thread.
     ///
     /// # Errors
     ///
@@ -349,6 +471,44 @@ mod tests {
         ));
         // Nothing from the bad batch landed.
         assert_eq!(g.advance_epoch().total_updates(), 0);
+    }
+
+    #[test]
+    fn checkpoint_state_restores_bit_identically() {
+        let n = 24;
+        let g0 = gen::erdos_renyi(n, 0.2, 21);
+        let stream = GraphStream::with_churn(&g0, 1.0, 22);
+        let updates = stream.updates();
+        let cut = updates.len() / 2;
+        let config = GraphConfig::new(n).seed(9).shards(3).batch_size(8);
+
+        let reg = GraphRegistry::new();
+        let live = reg.create("live", config).unwrap();
+        live.apply(&updates[..cut]).unwrap();
+        let state = live.checkpoint_state();
+        assert_eq!(state.total_updates, cut as u64);
+        assert_eq!(state.log.len(), cut);
+        assert_eq!(state.shards.len(), 3);
+
+        // Restore into a second registry and feed both the same tail.
+        let reg2 = GraphRegistry::new();
+        let back = reg2.restore("live", config, state).unwrap();
+        assert_eq!(back.snapshot().epoch(), live.snapshot().epoch());
+        live.apply(&updates[cut..]).unwrap();
+        back.apply(&updates[cut..]).unwrap();
+        let sa = live.advance_epoch();
+        let sb = back.advance_epoch();
+        assert_eq!(
+            dsg_sketch::LinearSketch::to_bytes(sa.sketch()),
+            dsg_sketch::LinearSketch::to_bytes(sb.sketch()),
+            "restored graph diverged from the uninterrupted one"
+        );
+        assert_eq!(sa.forest().result.edges, sb.forest().result.edges);
+        assert_eq!(sa.total_updates(), sb.total_updates());
+        assert!(matches!(
+            reg2.restore("live", config, back.checkpoint_state()),
+            Err(ServiceError::DuplicateGraph(_))
+        ));
     }
 
     #[test]

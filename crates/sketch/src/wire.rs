@@ -40,6 +40,7 @@
 //! | 6 | [`crate::GuardedSketch`] |
 //! | 7 | [`crate::VectorFingerprint`] |
 //! | 8 | `dsg_agm::AgmSketch` (reserved here, implemented in `dsg-agm`) |
+//! | 9 | `dsg_store` checkpoint (a frame *of* frames: per-shard snapshots plus engine/WAL metadata; reserved here, implemented in `dsg-store`) |
 
 /// Frame magic: identifies a dynamic-stream-graph wire snapshot.
 pub const MAGIC: [u8; 4] = *b"DSGW";
@@ -67,6 +68,12 @@ pub const KIND_GUARDED: u16 = 6;
 pub const KIND_FINGERPRINT: u16 = 7;
 /// Kind tag of `dsg_agm::AgmSketch` (reserved; the impl lives in dsg-agm).
 pub const KIND_AGM: u16 = 8;
+/// Kind tag of a `dsg_store` checkpoint file (reserved; the impl lives in
+/// dsg-store). Checkpoints reuse the sketch frame discipline — magic,
+/// version, kind, length, FNV-1a checksum — so a corrupt or truncated
+/// checkpoint is rejected by the same [`open_frame`] validation path as
+/// any shard snapshot.
+pub const KIND_CHECKPOINT: u16 = 9;
 
 /// Why a snapshot could not be decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -281,6 +288,12 @@ impl<'a> ByteReader<'a> {
     /// Reads a length-prefixed nested byte block (a full inner frame).
     pub fn block(&mut self) -> Result<&'a [u8], WireError> {
         let n = self.read_len()?;
+        self.take(n)
+    }
+
+    /// Reads exactly `n` raw bytes — for fixed-width records whose layout
+    /// a caller owns (e.g. the store's 17-byte `StreamUpdate` encoding).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         self.take(n)
     }
 }

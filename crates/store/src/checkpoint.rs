@@ -1,0 +1,295 @@
+//! Sketch checkpoints: the full durable state of one tenant in one
+//! atomically-renamed file.
+//!
+//! A checkpoint is a `dsg_sketch::wire` frame of kind
+//! [`wire::KIND_CHECKPOINT`] — a frame *of* frames. Its payload holds the
+//! graph's configuration, the epoch counter, the WAL position the
+//! checkpoint covers, the frozen update log, and every shard's sketch as
+//! a nested [`LinearSketch::to_bytes`] frame:
+//!
+//! ```text
+//! n, seed, shards, batch_size, spanner_k (u64 each), cut_eps (f64 bits)
+//! epoch, total_updates (u64 each)
+//! wal segment, wal offset (u64 each)
+//! log: count (u64) + 17-byte StreamUpdate records (the WAL encoding)
+//! shard frames: count (u64) + length-prefixed AGM snapshot frames
+//! ```
+//!
+//! Because linear sketches *are* the stream state, this file plus the WAL
+//! tail after [`Checkpoint::wal_pos`] reconstructs the tenant exactly —
+//! recovery feeds the tail through the restored engine and, by linearity,
+//! lands bit-identically where an uninterrupted run would be.
+//!
+//! The frozen log rides along because the service's multi-pass epoch
+//! artifacts (spanner oracle, KP12 sparsifier) rebuild from the stream,
+//! not the sketch — so checkpoint size is O(live stream length), same as
+//! the in-memory sealed log it mirrors (see DESIGN.md, "Known cost:
+//! checkpoints carry the frozen log").
+//!
+//! **Atomicity.** [`write_checkpoint`] writes `checkpoint.tmp`, fsyncs
+//! it, renames it over [`CHECKPOINT_FILE`], and fsyncs the directory — a
+//! crash leaves either the old checkpoint or the new one, never a torn
+//! hybrid. Corruption on the read side is caught by the frame checksum
+//! (and the nested per-shard frame checksums) through the same
+//! [`wire::open_frame`] validation path as any shard snapshot.
+
+use crate::wal::{self, WalPosition};
+use crate::StoreError;
+use dsg_agm::AgmSketch;
+use dsg_graph::StreamUpdate;
+use dsg_service::GraphConfig;
+use dsg_sketch::{wire, LinearSketch, WireError};
+use std::fs::File;
+use std::path::Path;
+
+/// File name of a tenant's checkpoint inside its directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.dsg";
+
+/// Temporary name a checkpoint is staged under before the atomic rename.
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// The durable state of one tenant at a capture point: everything
+/// [`read_checkpoint`] needs to rebuild the graph, plus the WAL position
+/// from which replay must continue.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The graph's configuration (also the restore topology: one sketch
+    /// per configured shard).
+    pub config: GraphConfig,
+    /// Epoch counter at the capture point.
+    pub epoch: u64,
+    /// Updates ingested up to the capture point.
+    pub total_updates: u64,
+    /// WAL records strictly before this position are covered by the
+    /// checkpoint; replay resumes here.
+    pub wal_pos: WalPosition,
+    /// The frozen update log up to the capture point.
+    pub log: Vec<StreamUpdate>,
+    /// Every shard's sketch at the capture point, in shard order.
+    pub shards: Vec<AgmSketch>,
+}
+
+/// Serializes a checkpoint into its wire frame.
+fn encode(cp: &Checkpoint) -> Vec<u8> {
+    let mut payload = Vec::new();
+    wire::put_u64(&mut payload, cp.config.n as u64);
+    wire::put_u64(&mut payload, cp.config.seed);
+    wire::put_u64(&mut payload, cp.config.shards as u64);
+    wire::put_u64(&mut payload, cp.config.batch_size as u64);
+    wire::put_u64(&mut payload, cp.config.spanner_k as u64);
+    wire::put_u64(&mut payload, cp.config.cut_eps.to_bits());
+    wire::put_u64(&mut payload, cp.epoch);
+    wire::put_u64(&mut payload, cp.total_updates);
+    wire::put_u64(&mut payload, cp.wal_pos.segment);
+    wire::put_u64(&mut payload, cp.wal_pos.offset);
+    wire::put_len(&mut payload, cp.log.len());
+    for up in &cp.log {
+        wal::put_update(&mut payload, up);
+    }
+    wire::put_len(&mut payload, cp.shards.len());
+    for shard in &cp.shards {
+        wire::put_block(&mut payload, &shard.snapshot());
+    }
+    wire::finish_frame(wire::KIND_CHECKPOINT, payload)
+}
+
+/// Decodes and validates a checkpoint frame. Every structural violation —
+/// a config that would panic the service constructors, a shard count that
+/// disagrees with the config, a malformed update — is a [`WireError`],
+/// never a panic: checkpoint bytes are untrusted input.
+fn decode(bytes: &[u8]) -> Result<Checkpoint, WireError> {
+    let mut r = wire::open_frame(wire::KIND_CHECKPOINT, bytes)?;
+    let n = r.u64()? as usize;
+    let seed = r.u64()?;
+    let shards = r.u64()? as usize;
+    let batch_size = r.u64()? as usize;
+    let spanner_k = r.u64()? as usize;
+    let cut_eps = f64::from_bits(r.u64()?);
+    // Validate before calling the panicking GraphConfig builders.
+    if n < 2 {
+        return Err(WireError::Malformed("checkpoint n below 2"));
+    }
+    if shards == 0 || batch_size == 0 || spanner_k == 0 {
+        return Err(WireError::Malformed("zero shard/batch/spanner parameter"));
+    }
+    if !(cut_eps > 0.0 && cut_eps < 1.0) {
+        return Err(WireError::Malformed("cut_eps outside (0, 1)"));
+    }
+    let config = GraphConfig::new(n)
+        .seed(seed)
+        .shards(shards)
+        .batch_size(batch_size)
+        .spanner_k(spanner_k)
+        .cut_eps(cut_eps);
+    let epoch = r.u64()?;
+    let total_updates = r.u64()?;
+    let wal_pos = WalPosition {
+        segment: r.u64()?,
+        offset: r.u64()?,
+    };
+    let log_len = r.read_len()?;
+    let mut log = Vec::with_capacity(log_len.min(1 << 20));
+    for _ in 0..log_len {
+        let chunk = r.bytes(wal::UPDATE_BYTES)?;
+        log.push(wal::get_update(chunk).ok_or(WireError::Malformed("malformed stream update"))?);
+    }
+    if log.len() as u64 != total_updates {
+        return Err(WireError::Malformed("log length disagrees with counter"));
+    }
+    let shard_count = r.read_len()?;
+    if shard_count != shards {
+        return Err(WireError::Malformed("shard frames disagree with config"));
+    }
+    let mut shard_sketches = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        // Nested frames re-run the full AGM validation (magic, version,
+        // kind, checksum, structure).
+        shard_sketches.push(AgmSketch::from_bytes(r.block()?)?);
+    }
+    r.expect_end()?;
+    Ok(Checkpoint {
+        config,
+        epoch,
+        total_updates,
+        wal_pos,
+        log,
+        shards: shard_sketches,
+    })
+}
+
+/// Writes `cp` to `dir/checkpoint.dsg` atomically: stage to a temp file,
+/// fsync, rename over the old checkpoint, fsync the directory.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on any filesystem failure; the previous checkpoint
+/// (if any) survives every failure mode.
+pub fn write_checkpoint(dir: &Path, cp: &Checkpoint) -> Result<(), StoreError> {
+    let bytes = encode(cp);
+    let tmp = dir.join(CHECKPOINT_TMP);
+    std::fs::write(&tmp, &bytes)?;
+    File::open(&tmp)?.sync_all()?;
+    std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
+    // POSIX: the rename itself must be made durable via the directory.
+    wal::fsync_dir(dir)?;
+    Ok(())
+}
+
+/// Reads and validates `dir/checkpoint.dsg`.
+///
+/// # Errors
+///
+/// [`StoreError::MissingCheckpoint`] if the file does not exist,
+/// [`StoreError::Io`] on read failures, [`StoreError::Frame`] if the
+/// frame fails validation (bad magic/version/kind, checksum mismatch,
+/// or a structurally invalid payload) — a damaged checkpoint is rejected
+/// whole, never half-loaded.
+pub fn read_checkpoint(dir: &Path) -> Result<Checkpoint, StoreError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    if !path.exists() {
+        return Err(StoreError::MissingCheckpoint(path));
+    }
+    let bytes = std::fs::read(&path)?;
+    Ok(decode(&bytes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code may unwrap freely
+
+    use super::*;
+    use crate::ScratchDir;
+    use dsg_sketch::LinearSketch;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let config = GraphConfig::new(12).seed(7).shards(3).batch_size(16);
+        let mut shards: Vec<AgmSketch> = (0..3).map(|_| AgmSketch::new(12, 7)).collect();
+        let log: Vec<StreamUpdate> = (0..9u32).map(|v| StreamUpdate::insert(v, v + 1)).collect();
+        for (i, up) in log.iter().enumerate() {
+            shards[i % 3].update(up.edge, up.delta as i128);
+        }
+        Checkpoint {
+            config,
+            epoch: 4,
+            total_updates: 9,
+            wal_pos: WalPosition {
+                segment: 2,
+                offset: 0,
+            },
+            log,
+            shards,
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let dir = ScratchDir::new("cp-roundtrip");
+        let cp = sample_checkpoint();
+        write_checkpoint(dir.path(), &cp).unwrap();
+        let back = read_checkpoint(dir.path()).unwrap();
+        assert_eq!(back.config, cp.config);
+        assert_eq!(back.epoch, 4);
+        assert_eq!(back.total_updates, 9);
+        assert_eq!(back.wal_pos, cp.wal_pos);
+        assert_eq!(back.log, cp.log);
+        for (a, b) in back.shards.iter().zip(&cp.shards) {
+            assert_eq!(a.to_bytes(), b.to_bytes(), "shard frame diverged");
+        }
+    }
+
+    #[test]
+    fn rewrite_is_atomic_replacement() {
+        let dir = ScratchDir::new("cp-rewrite");
+        let mut cp = sample_checkpoint();
+        write_checkpoint(dir.path(), &cp).unwrap();
+        cp.epoch = 5;
+        write_checkpoint(dir.path(), &cp).unwrap();
+        assert_eq!(read_checkpoint(dir.path()).unwrap().epoch, 5);
+        // No stray temp file stays behind.
+        assert!(!dir.path().join(CHECKPOINT_TMP).exists());
+    }
+
+    #[test]
+    fn missing_checkpoint_is_typed() {
+        let dir = ScratchDir::new("cp-missing");
+        assert!(matches!(
+            read_checkpoint(dir.path()),
+            Err(StoreError::MissingCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_or_truncated_checkpoints_are_rejected() {
+        let dir = ScratchDir::new("cp-corrupt");
+        write_checkpoint(dir.path(), &sample_checkpoint()).unwrap();
+        let path = dir.path().join(CHECKPOINT_FILE);
+        let good = std::fs::read(&path).unwrap();
+        // Truncation at any of a few depths: Truncated, never a panic.
+        for cut in [0, 3, wire::HEADER_BYTES - 1, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(
+                matches!(
+                    read_checkpoint(dir.path()),
+                    Err(StoreError::Frame(WireError::Truncated))
+                ),
+                "cut at {cut} must read as truncation"
+            );
+        }
+        // A flipped payload byte fails the checksum.
+        let mut bad = good.clone();
+        bad[wire::HEADER_BYTES + 5] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_checkpoint(dir.path()),
+            Err(StoreError::Frame(WireError::BadChecksum))
+        ));
+        // Wrong magic is not a checkpoint at all.
+        let mut bad = good;
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_checkpoint(dir.path()),
+            Err(StoreError::Frame(WireError::BadMagic))
+        ));
+    }
+}

@@ -1,0 +1,218 @@
+//! # dsg-store — durability by linearity
+//!
+//! The engine (`dsg-engine`) sharded the write path and the service
+//! (`dsg-service`) built the read path, but both are memory-only: kill the
+//! process and every tenant's graph is gone. This crate is the durability
+//! subsystem, and it leans on the same property as everything else in the
+//! workspace — **linearity**. Because the entire stream state is a small
+//! linear summary (Goel–Kapralov–Post's single-pass sparsification and the
+//! KLMMS spectral line make the same observation), a checkpoint is just
+//! the existing versioned wire frames of every shard's sketch, and
+//! recovery is *restore checkpoint + replay WAL tail* — provably
+//! bit-identical to an uninterrupted run, because a linear sketch does not
+//! care how its stream was partitioned across process lifetimes.
+//!
+//! Three layers:
+//!
+//! * [`wal`] — a segmented **write-ahead log** of `StreamUpdate` batches:
+//!   length-prefixed, FNV-1a-checksummed records (the framing discipline
+//!   of `dsg_sketch::wire`), buffered writes, a configurable
+//!   [`SyncPolicy`], and torn-tail handling that truncates a partial
+//!   final record instead of erroring.
+//! * [`checkpoint`] — atomically-renamed checkpoint files holding every
+//!   shard's sketch as `LinearSketch::to_bytes` frames plus the graph
+//!   config, epoch counter, frozen log, and WAL position; once a
+//!   checkpoint lands, older WAL segments are compacted away.
+//! * [`durable`] — [`DurableGraph`] / [`DurableRegistry`], the persistent
+//!   mode of the service layer: `create` / `apply` / `advance_epoch` /
+//!   `remove` persist, and reopening the registry recovers every tenant
+//!   to answers bit-identical to the durable prefix.
+//!
+//! ```
+//! use dsg_service::{GraphConfig, Query, Response};
+//! use dsg_store::{DurableRegistry, ScratchDir, StoreOptions};
+//!
+//! let dir = ScratchDir::new("doc-durable");
+//! let registry = DurableRegistry::open(dir.path(), StoreOptions::default()).unwrap();
+//! let g = registry.create("social", GraphConfig::new(6)).unwrap();
+//! g.insert(0, 1).unwrap();
+//! g.insert(1, 2).unwrap();
+//! g.advance_epoch().unwrap();
+//! drop((g, registry)); // "crash"
+//!
+//! let registry = DurableRegistry::open(dir.path(), StoreOptions::default()).unwrap();
+//! let g = registry.get("social").unwrap(); // recovered from WAL
+//! match g.query(&Query::SameComponent(0, 2)).unwrap() {
+//!     Response::SameComponent(connected) => assert!(connected),
+//!     other => panic!("unexpected response {other:?}"),
+//! }
+//! ```
+
+// Durability code must not `unwrap()` on I/O paths: every filesystem
+// failure is a recoverable `StoreError`, never a panic. (CI enforces this
+// with a clippy gate scoped to this crate; `expect` on poisoned locks is
+// deliberate — a poisoned lock *is* a programming error.)
+#![deny(clippy::unwrap_used)]
+
+pub mod checkpoint;
+pub mod durable;
+pub mod wal;
+
+pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint, CHECKPOINT_FILE};
+pub use durable::{CheckpointStats, DurableGraph, DurableRegistry, StoreOptions, TenantRecovery};
+pub use wal::{SyncPolicy, Wal, WalConfig, WalPosition, WalRecord};
+
+use dsg_service::ServiceError;
+use dsg_sketch::WireError;
+use std::path::PathBuf;
+
+/// Why a durability operation failed. I/O paths never panic: every
+/// filesystem or validation failure surfaces here.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A checkpoint frame failed wire validation (bad magic, version,
+    /// checksum, or a structurally invalid payload) — the checkpoint is
+    /// rejected, never half-loaded.
+    Frame(WireError),
+    /// A WAL record that is fully present on disk failed validation —
+    /// corruption in the log body, as opposed to a torn tail (which is
+    /// silently truncated).
+    CorruptLog {
+        /// Segment sequence number of the bad record.
+        segment: u64,
+        /// Byte offset of the bad record within its segment.
+        offset: u64,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// The service layer rejected an operation (unknown graph, duplicate
+    /// name, out-of-range vertex, …).
+    Service(ServiceError),
+    /// A tenant directory already holds a checkpoint — refusing to
+    /// overwrite an existing graph's durable state.
+    TenantExists(String),
+    /// No checkpoint file found where one was required.
+    MissingCheckpoint(PathBuf),
+    /// A graph name unusable as a directory name (durable tenants map to
+    /// subdirectories; names are restricted to `[A-Za-z0-9_.-]`, no
+    /// leading dot).
+    InvalidName(String),
+    /// A batch contained an update the WAL decoder would refuse at
+    /// recovery time (delta not ±1, non-finite weight, degenerate edge):
+    /// rejected before anything is written, so the log never holds a
+    /// record its own replay calls corruption.
+    InvalidUpdate(&'static str),
+    /// The tenant was durably removed; surviving handles can still read
+    /// from memory but can no longer write.
+    TenantRemoved(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Frame(e) => write!(f, "bad checkpoint frame: {e}"),
+            StoreError::CorruptLog {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt WAL record in segment {segment} at offset {offset}: {reason}"
+            ),
+            StoreError::Service(e) => write!(f, "service rejected durable operation: {e}"),
+            StoreError::TenantExists(name) => {
+                write!(f, "tenant '{name}' already has durable state")
+            }
+            StoreError::MissingCheckpoint(path) => {
+                write!(f, "missing checkpoint file {}", path.display())
+            }
+            StoreError::InvalidName(name) => {
+                write!(f, "graph name '{name}' is not usable as a directory name")
+            }
+            StoreError::InvalidUpdate(reason) => {
+                write!(f, "update would not survive WAL replay: {reason}")
+            }
+            StoreError::TenantRemoved(name) => {
+                write!(
+                    f,
+                    "tenant '{name}' was durably removed; handle is read-only"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Frame(e) => Some(e),
+            StoreError::Service(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<WireError> for StoreError {
+    fn from(e: WireError) -> Self {
+        StoreError::Frame(e)
+    }
+}
+
+impl From<ServiceError> for StoreError {
+    fn from(e: ServiceError) -> Self {
+        StoreError::Service(e)
+    }
+}
+
+/// A unique scratch directory under the system temp dir, removed on drop.
+///
+/// Tests, benches, and examples across the workspace need short-lived
+/// store directories and the build has no `tempfile` dependency; this is
+/// the minimal shared stand-in. Uniqueness comes from the process id plus
+/// a global counter, so parallel tests never collide.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Creates a fresh empty directory tagged with `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — scratch space is a
+    /// precondition of the tests that use this, not a recoverable state.
+    pub fn new(label: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("dsg-store-{label}-{}-{id}", std::process::id()));
+        // A stale dir from a crashed earlier run with the same pid+id is
+        // possible in principle; start clean either way.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("failed to create scratch dir");
+        Self { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

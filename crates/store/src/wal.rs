@@ -1,0 +1,955 @@
+//! The segmented write-ahead log.
+//!
+//! Durability point of the store: an update batch is recoverable once its
+//! WAL record is on disk. The log is a directory of segment files
+//! (`wal-00000042.seg`), each a run of self-delimiting records reusing the
+//! framing discipline of `dsg_sketch::wire` — length-prefixed payloads
+//! guarded by an FNV-1a checksum:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     record magic "DSGR"
+//! 4       4     payload length in bytes (little-endian u32)
+//! 8       8     FNV-1a checksum of bytes 0..8 (header guard, little-endian u64)
+//! 16      8     FNV-1a checksum of the payload (little-endian u64)
+//! 24      …     payload
+//! ```
+//!
+//! The header guard exists so a corrupted *length* field cannot be
+//! mistaken for a torn tail: without it, a bit flip in `length` that
+//! makes the declared payload run past end-of-file would look exactly
+//! like a half-written record and be silently truncated — along with
+//! every durable record after it. With the guard, a record whose first
+//! 16 bytes are present but inconsistent is *corruption* (loud error);
+//! only a record whose header guard validates (or whose header is
+//! itself cut short) can be classified as torn.
+//!
+//! The payload's first byte is a record kind: `1` = update batch (count +
+//! fixed 17-byte encoded [`StreamUpdate`]s), `2` = epoch-advance marker
+//! (the epoch number it produced). All integers little-endian.
+//!
+//! **Torn tails.** A crash mid-append leaves a partial final record. Both
+//! the read path ([`Wal::replay`]) and the append path ([`Wal::open`])
+//! recognize an *incomplete* trailing record in the **last** segment —
+//! header cut short, or a declared payload extending past end-of-file —
+//! and truncate it (logically for replay, physically for open) instead of
+//! erroring: the record never became durable, so dropping it recovers
+//! exactly the durable prefix. A record that is fully present but fails
+//! its checksum (or decodes to garbage) is *corruption*, not a torn
+//! write, and is reported as [`StoreError::CorruptLog`] — silently
+//! skipping it could resurface a stream the sketches never saw.
+//!
+//! **Sync policy.** Appends go through a buffered writer;
+//! [`SyncPolicy`] decides when the buffer is flushed and fsync'd:
+//! every batch (strongest, slowest), every N batches (bounded loss
+//! window), or manually (fastest; the caller owns the loss window via
+//! [`Wal::sync`]).
+
+use crate::StoreError;
+use dsg_graph::{Edge, StreamUpdate};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Record magic: identifies a dynamic-stream-graph WAL record.
+pub const RECORD_MAGIC: [u8; 4] = *b"DSGR";
+
+/// Size of the fixed record header in bytes.
+pub const RECORD_HEADER_BYTES: usize = 24;
+
+/// Prefix of the header covered by the header guard (magic + length).
+const RECORD_GUARD_BYTES: usize = 16;
+
+/// Payload kind tag of an update-batch record.
+const KIND_BATCH: u8 = 1;
+/// Payload kind tag of an epoch-advance marker record.
+const KIND_EPOCH: u8 = 2;
+
+/// Bytes of one encoded [`StreamUpdate`]: u (u32), v (u32), delta (i8),
+/// weight (f64 bits).
+pub(crate) const UPDATE_BYTES: usize = 17;
+
+/// When the WAL flushes and fsyncs its buffered appends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Flush + fsync after every appended record: nothing acknowledged is
+    /// ever lost, at one fsync per batch.
+    EveryBatch,
+    /// Flush + fsync after every `N` appended records: at most `N - 1`
+    /// acknowledged batches can be lost to a crash.
+    EveryN(u32),
+    /// Only on explicit [`Wal::sync`], rotation, or close: the caller
+    /// owns the loss window.
+    Manual,
+}
+
+/// Shape of the log: sync cadence and segment rollover size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// When appends are made durable.
+    pub sync: SyncPolicy,
+    /// Rotate to a fresh segment once the current one reaches this many
+    /// bytes (checked before each append; records are never split across
+    /// segments).
+    pub segment_bytes: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            sync: SyncPolicy::EveryBatch,
+            segment_bytes: 4 << 20,
+        }
+    }
+}
+
+/// A position in the log: everything strictly before it is a durable
+/// prefix. Ordered lexicographically (segment, then offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WalPosition {
+    /// Segment sequence number.
+    pub segment: u64,
+    /// Byte offset within that segment.
+    pub offset: u64,
+}
+
+impl WalPosition {
+    /// The very start of the log.
+    pub const START: WalPosition = WalPosition {
+        segment: 0,
+        offset: 0,
+    };
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An ingested update batch.
+    Batch(Vec<StreamUpdate>),
+    /// An epoch advance, carrying the epoch number it produced (an
+    /// integrity cross-check for replay).
+    EpochAdvance(u64),
+}
+
+/// What a replay saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Complete, valid records delivered to the callback.
+    pub records: usize,
+    /// Where the replayed prefix ends.
+    pub end: WalPosition,
+    /// Whether a torn (incomplete) final record was dropped.
+    pub torn_tail: bool,
+}
+
+/// The append handle to a segmented write-ahead log directory.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    config: WalConfig,
+    writer: BufWriter<File>,
+    segment: u64,
+    offset: u64,
+    appends_since_sync: u32,
+}
+
+/// Segment file name for sequence number `seq`.
+fn segment_name(seq: u64) -> String {
+    format!("wal-{seq:08}.seg")
+}
+
+/// Parses a segment file name back to its sequence number.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Lists the segment files in `dir`, sorted by sequence number.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_name) {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort_unstable();
+    Ok(segments)
+}
+
+/// Directory fsync, so segment creations and renames are themselves
+/// durable (POSIX requires syncing the parent directory). Shared with
+/// the checkpoint module's atomic rename. Platforms that cannot *open*
+/// a directory for syncing are tolerated; a failed `sync_all` on an
+/// opened directory is a real durability failure and is surfaced —
+/// swallowing it would let a checkpoint report success and compact away
+/// segments whose covering rename may never reach disk.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    if let Ok(d) = File::open(dir) {
+        d.sync_all()?;
+    }
+    Ok(())
+}
+
+/// FNV-1a, identical to `dsg_sketch::wire::checksum` (re-exported through
+/// it so WAL records and sketch frames share one corruption detector).
+fn checksum(bytes: &[u8]) -> u64 {
+    dsg_sketch::wire::checksum(bytes)
+}
+
+/// Encodes one update into the fixed 17-byte layout. Shared with the
+/// checkpoint module, so the WAL and the checkpoint's frozen log use one
+/// encoding.
+pub(crate) fn put_update(out: &mut Vec<u8>, up: &StreamUpdate) {
+    out.extend_from_slice(&up.edge.u().to_le_bytes());
+    out.extend_from_slice(&up.edge.v().to_le_bytes());
+    out.push(up.delta as u8);
+    out.extend_from_slice(&up.weight.to_bits().to_le_bytes());
+}
+
+/// The single source of truth for what the log accepts: the write side
+/// ([`crate::DurableGraph::apply`]) refuses anything this refuses, so the
+/// log can never hold a record its own replay calls corruption.
+pub(crate) fn is_replayable(up: &StreamUpdate) -> bool {
+    up.edge.u() < up.edge.v() && (up.delta == 1 || up.delta == -1) && up.weight.is_finite()
+}
+
+/// Decodes one update; `None` on a structural violation (the caller turns
+/// that into a [`StoreError::CorruptLog`] with position info).
+pub(crate) fn get_update(bytes: &[u8]) -> Option<StreamUpdate> {
+    let u = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    let v = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    if u >= v {
+        return None; // Edge::new would swap/assert; reject before it
+    }
+    let delta = bytes[8] as i8;
+    let weight = f64::from_bits(u64::from_le_bytes(bytes[9..17].try_into().ok()?));
+    let up = StreamUpdate {
+        edge: Edge::new(u, v),
+        delta,
+        weight,
+    };
+    if !is_replayable(&up) {
+        return None;
+    }
+    Some(up)
+}
+
+/// Builds the full on-disk bytes of one record (header + payload).
+fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&RECORD_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let guard = checksum(&out[0..8]);
+    out.extend_from_slice(&guard.to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes a batch record payload.
+fn encode_batch(updates: &[StreamUpdate]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + 4 + updates.len() * UPDATE_BYTES);
+    payload.push(KIND_BATCH);
+    payload.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+    for up in updates {
+        put_update(&mut payload, up);
+    }
+    payload
+}
+
+/// Encodes an epoch-marker record payload.
+fn encode_epoch(epoch: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(9);
+    payload.push(KIND_EPOCH);
+    payload.extend_from_slice(&epoch.to_le_bytes());
+    payload
+}
+
+/// Decodes a (checksum-verified) record payload.
+fn decode_payload(payload: &[u8]) -> Result<WalRecord, &'static str> {
+    match payload.first().copied() {
+        Some(KIND_BATCH) => {
+            if payload.len() < 5 {
+                return Err("batch record shorter than its count field");
+            }
+            let count = u32::from_le_bytes(payload[1..5].try_into().map_err(|_| "bad count field")?)
+                as usize;
+            let body = &payload[5..];
+            if body.len() != count * UPDATE_BYTES {
+                return Err("batch body length disagrees with its count");
+            }
+            let mut updates = Vec::with_capacity(count);
+            for chunk in body.chunks_exact(UPDATE_BYTES) {
+                updates.push(get_update(chunk).ok_or("malformed stream update")?);
+            }
+            Ok(WalRecord::Batch(updates))
+        }
+        Some(KIND_EPOCH) => {
+            if payload.len() != 9 {
+                return Err("epoch marker has wrong length");
+            }
+            let epoch =
+                u64::from_le_bytes(payload[1..9].try_into().map_err(|_| "bad epoch field")?);
+            Ok(WalRecord::EpochAdvance(epoch))
+        }
+        Some(_) => Err("unknown record kind"),
+        None => Err("empty record payload"),
+    }
+}
+
+/// How a scan classified the bytes at one offset of a segment.
+enum Scanned {
+    /// A complete, valid record of the given total on-disk length.
+    Record(WalRecord, usize),
+    /// The bytes cannot be a complete record (header or payload cut off
+    /// by end-of-file) — a torn tail if this is the last segment.
+    Incomplete,
+    /// A complete record that fails validation: corruption.
+    Corrupt(&'static str),
+}
+
+/// Classifies the bytes starting at `at` inside a fully read segment.
+fn scan_record(bytes: &[u8], at: usize) -> Scanned {
+    let rest = &bytes[at..];
+    // Fewer than 16 bytes cannot even be judged: the header guard is
+    // not fully on disk, so this can only be a torn header.
+    if rest.len() < RECORD_GUARD_BYTES {
+        return Scanned::Incomplete;
+    }
+    if rest[0..4] != RECORD_MAGIC {
+        // A run of zeros to end-of-file is the classic crash artifact of
+        // a size-extending append whose data blocks never hit disk (the
+        // inode grew, the bytes did not): no record was ever there, so
+        // this is a torn tail, not corruption. Anything non-zero under a
+        // wrong magic IS corruption.
+        if rest.iter().all(|&b| b == 0) {
+            return Scanned::Incomplete;
+        }
+        return Scanned::Corrupt("bad record magic");
+    }
+    // Validate the header guard BEFORE trusting the length field: a
+    // flipped length bit must read as corruption, not as a torn tail
+    // (truncating at it would silently drop durable records behind it).
+    let guard = u64::from_le_bytes([
+        rest[8], rest[9], rest[10], rest[11], rest[12], rest[13], rest[14], rest[15],
+    ]);
+    if checksum(&rest[0..8]) != guard {
+        return Scanned::Corrupt("header checksum mismatch");
+    }
+    if rest.len() < RECORD_HEADER_BYTES {
+        return Scanned::Incomplete;
+    }
+    let len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]) as usize;
+    let Some(payload) = rest.get(RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + len) else {
+        // The (guarded, trustworthy) length runs past end-of-file: a
+        // genuinely half-written payload.
+        return Scanned::Incomplete;
+    };
+    let sum = u64::from_le_bytes([
+        rest[16], rest[17], rest[18], rest[19], rest[20], rest[21], rest[22], rest[23],
+    ]);
+    if checksum(payload) != sum {
+        return Scanned::Corrupt("payload checksum mismatch");
+    }
+    match decode_payload(payload) {
+        Ok(record) => Scanned::Record(record, RECORD_HEADER_BYTES + len),
+        Err(reason) => Scanned::Corrupt(reason),
+    }
+}
+
+impl Wal {
+    /// Opens (or creates) the log directory for appending. If the last
+    /// segment ends in a torn record — a partial append from a crash —
+    /// the tail is **physically truncated** to the last complete record
+    /// before the append handle is positioned, so new records never land
+    /// after garbage.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures;
+    /// [`StoreError::CorruptLog`] if the last segment contains a fully
+    /// present but invalid record (corruption is never silently dropped).
+    pub fn open(dir: &Path, config: WalConfig) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let segments = list_segments(dir)?;
+        let (segment, path) = match segments.last() {
+            Some((seq, path)) => (*seq, path.clone()),
+            None => {
+                let path = dir.join(segment_name(0));
+                File::create(&path)?.sync_all()?;
+                fsync_dir(dir)?;
+                (0, path)
+            }
+        };
+        // Scan the last segment for a torn tail and truncate it away.
+        let bytes = std::fs::read(&path)?;
+        let mut at = 0usize;
+        loop {
+            match scan_record(&bytes, at) {
+                Scanned::Record(_, len) => at += len,
+                Scanned::Incomplete => break,
+                Scanned::Corrupt(reason) => {
+                    return Err(StoreError::CorruptLog {
+                        segment,
+                        offset: at as u64,
+                        reason,
+                    })
+                }
+            }
+            if at == bytes.len() {
+                break;
+            }
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        if at < bytes.len() {
+            file.set_len(at as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(at as u64))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            config,
+            writer: BufWriter::new(file),
+            segment,
+            offset: at as u64,
+            appends_since_sync: 0,
+        })
+    }
+
+    /// The position right after the last appended record — the next
+    /// record will start here.
+    pub fn position(&self) -> WalPosition {
+        WalPosition {
+            segment: self.segment,
+            offset: self.offset,
+        }
+    }
+
+    /// The log's configuration.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+
+    /// Appends an update-batch record; durable according to the
+    /// [`SyncPolicy`]. Returns the position right after the record.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the write or sync fails.
+    pub fn append_batch(&mut self, updates: &[StreamUpdate]) -> Result<WalPosition, StoreError> {
+        self.append_payload(&encode_batch(updates))
+    }
+
+    /// Appends an epoch-advance marker; durable according to the
+    /// [`SyncPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the write or sync fails.
+    pub fn append_epoch_marker(&mut self, epoch: u64) -> Result<WalPosition, StoreError> {
+        self.append_payload(&encode_epoch(epoch))
+    }
+
+    fn append_payload(&mut self, payload: &[u8]) -> Result<WalPosition, StoreError> {
+        if self.offset >= self.config.segment_bytes {
+            self.rotate()?;
+        }
+        let record = encode_record(payload);
+        self.writer.write_all(&record)?;
+        self.offset += record.len() as u64;
+        self.appends_since_sync += 1;
+        match self.config.sync {
+            SyncPolicy::EveryBatch => self.sync()?,
+            SyncPolicy::EveryN(n) => {
+                if self.appends_since_sync >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Manual => {}
+        }
+        Ok(self.position())
+    }
+
+    /// Flushes buffered appends and fsyncs the current segment — the
+    /// manual durability point.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the flush or sync fails.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Syncs and closes the current segment and starts a fresh one.
+    /// Returns the start position of the new segment — the natural WAL
+    /// position for a checkpoint, because compaction can then drop every
+    /// earlier segment whole.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if closing the old segment or creating the new
+    /// one fails.
+    pub fn rotate(&mut self) -> Result<WalPosition, StoreError> {
+        self.sync()?;
+        // Create the new segment BEFORE mutating any position state: a
+        // failed create must leave the handle appending to (and
+        // reporting positions in) the old, still-existing segment.
+        let next = self.segment + 1;
+        let path = self.dir.join(segment_name(next));
+        let file = File::create(&path)?;
+        file.sync_all()?;
+        fsync_dir(&self.dir)?;
+        self.writer = BufWriter::new(file);
+        self.segment = next;
+        self.offset = 0;
+        Ok(self.position())
+    }
+
+    /// Deletes every segment strictly older than `pos.segment` — the
+    /// compaction step after a checkpoint at `pos` lands: those records
+    /// are covered by the checkpoint and replay will never read them.
+    /// Returns how many segment files were removed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if listing or deleting fails.
+    pub fn compact_before(&mut self, pos: WalPosition) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        for (seq, path) in list_segments(&self.dir)? {
+            if seq < pos.segment {
+                std::fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            fsync_dir(&self.dir)?;
+        }
+        Ok(removed)
+    }
+
+    /// Replays every complete record at or after `from`, in order,
+    /// calling `f` on each together with the record's start position (so
+    /// callers can report accurate positions in their own errors).
+    /// Read-only: the directory is not modified. An incomplete trailing
+    /// record in the last segment is dropped (see the module docs on torn
+    /// tails) and reported via [`ReplaySummary::torn_tail`]; anything
+    /// else invalid is [`StoreError::CorruptLog`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`], [`StoreError::CorruptLog`], or the first error
+    /// returned by `f` (which aborts the replay).
+    pub fn replay<F>(dir: &Path, from: WalPosition, mut f: F) -> Result<ReplaySummary, StoreError>
+    where
+        F: FnMut(WalRecord, WalPosition) -> Result<(), StoreError>,
+    {
+        let segments = list_segments(dir)?;
+        let mut records = 0usize;
+        let mut end = from;
+        let mut torn_tail = false;
+        let last_seq = segments.last().map(|(seq, _)| *seq);
+        // The replayed range must exist and be gap-free: a missing
+        // segment holds durable records, and skipping it would silently
+        // reconstruct a wrong prefix (the one failure class this module
+        // promises to make loud).
+        let mut expected = from.segment;
+        for (seq, path) in &segments {
+            if *seq < from.segment {
+                continue;
+            }
+            if *seq != expected {
+                return Err(StoreError::CorruptLog {
+                    segment: expected,
+                    offset: 0,
+                    reason: "missing WAL segment in replay range",
+                });
+            }
+            expected += 1;
+            let is_last = Some(*seq) == last_seq;
+            let bytes = read_file(path)?;
+            let mut at = if *seq == from.segment {
+                from.offset as usize
+            } else {
+                0
+            };
+            if at > bytes.len() {
+                return Err(StoreError::CorruptLog {
+                    segment: *seq,
+                    offset: at as u64,
+                    reason: "replay start position past end of segment",
+                });
+            }
+            while at < bytes.len() {
+                match scan_record(&bytes, at) {
+                    Scanned::Record(record, len) => {
+                        f(
+                            record,
+                            WalPosition {
+                                segment: *seq,
+                                offset: at as u64,
+                            },
+                        )?;
+                        records += 1;
+                        at += len;
+                        end = WalPosition {
+                            segment: *seq,
+                            offset: at as u64,
+                        };
+                    }
+                    Scanned::Incomplete if is_last => {
+                        torn_tail = true;
+                        break;
+                    }
+                    Scanned::Incomplete => {
+                        return Err(StoreError::CorruptLog {
+                            segment: *seq,
+                            offset: at as u64,
+                            reason: "incomplete record before the last segment",
+                        })
+                    }
+                    Scanned::Corrupt(reason) => {
+                        return Err(StoreError::CorruptLog {
+                            segment: *seq,
+                            offset: at as u64,
+                            reason,
+                        })
+                    }
+                }
+            }
+            if end.segment < *seq {
+                // An empty (or fully skipped) later segment still moves the
+                // end position forward.
+                end = WalPosition {
+                    segment: *seq,
+                    offset: at as u64,
+                };
+            }
+        }
+        if expected == from.segment {
+            // Nothing at or after `from` existed at all — the segment a
+            // checkpoint points at is created (and fsync'd) before the
+            // checkpoint lands, so its absence is damage, not emptiness.
+            return Err(StoreError::CorruptLog {
+                segment: from.segment,
+                offset: 0,
+                reason: "replay start segment does not exist",
+            });
+        }
+        Ok(ReplaySummary {
+            records,
+            end,
+            torn_tail,
+        })
+    }
+}
+
+/// Reads a whole file (replay is per-segment and segments are bounded by
+/// `segment_bytes`, so this is fine).
+fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+impl Drop for Wal {
+    /// Best-effort final flush: a clean process exit should not lose
+    /// buffered records just because the policy was [`SyncPolicy::Manual`].
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code may unwrap freely
+
+    use super::*;
+    use crate::ScratchDir;
+
+    fn batch(range: std::ops::Range<u32>) -> Vec<StreamUpdate> {
+        range.map(|v| StreamUpdate::insert(v, v + 1)).collect()
+    }
+
+    fn collect(dir: &Path, from: WalPosition) -> (Vec<WalRecord>, ReplaySummary) {
+        let mut records = Vec::new();
+        let summary = Wal::replay(dir, from, |r, _| {
+            records.push(r);
+            Ok(())
+        })
+        .unwrap();
+        (records, summary)
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let dir = ScratchDir::new("wal-roundtrip");
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        wal.append_batch(&batch(0..5)).unwrap();
+        wal.append_epoch_marker(1).unwrap();
+        wal.append_batch(&batch(5..7)).unwrap();
+        drop(wal);
+        let (records, summary) = collect(dir.path(), WalPosition::START);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], WalRecord::Batch(batch(0..5)));
+        assert_eq!(records[1], WalRecord::EpochAdvance(1));
+        assert_eq!(records[2], WalRecord::Batch(batch(5..7)));
+        assert!(!summary.torn_tail);
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let dir = ScratchDir::new("wal-reopen");
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        wal.append_batch(&batch(0..3)).unwrap();
+        drop(wal);
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        wal.append_batch(&batch(3..6)).unwrap();
+        drop(wal);
+        let (records, _) = collect(dir.path(), WalPosition::START);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], WalRecord::Batch(batch(3..6)));
+    }
+
+    #[test]
+    fn rotation_and_replay_from_position() {
+        let dir = ScratchDir::new("wal-rotate");
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        wal.append_batch(&batch(0..4)).unwrap();
+        let pos = wal.rotate().unwrap();
+        assert_eq!(
+            pos,
+            WalPosition {
+                segment: 1,
+                offset: 0
+            }
+        );
+        wal.append_batch(&batch(4..8)).unwrap();
+        drop(wal);
+        let (records, _) = collect(dir.path(), pos);
+        assert_eq!(records, vec![WalRecord::Batch(batch(4..8))]);
+    }
+
+    #[test]
+    fn tiny_segments_rotate_automatically() {
+        let dir = ScratchDir::new("wal-tinysegs");
+        let config = WalConfig {
+            segment_bytes: 64,
+            ..WalConfig::default()
+        };
+        let mut wal = Wal::open(dir.path(), config).unwrap();
+        for i in 0..10u32 {
+            wal.append_batch(&batch(i..i + 1)).unwrap();
+        }
+        drop(wal);
+        assert!(
+            list_segments(dir.path()).unwrap().len() > 1,
+            "64-byte segments must have rotated"
+        );
+        let (records, _) = collect(dir.path(), WalPosition::START);
+        assert_eq!(records.len(), 10);
+    }
+
+    #[test]
+    fn compaction_drops_segments_before_position() {
+        let dir = ScratchDir::new("wal-compact");
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        wal.append_batch(&batch(0..4)).unwrap();
+        wal.rotate().unwrap();
+        wal.append_batch(&batch(4..6)).unwrap();
+        let pos = wal.rotate().unwrap();
+        wal.append_batch(&batch(6..9)).unwrap();
+        let removed = wal.compact_before(pos).unwrap();
+        drop(wal);
+        assert_eq!(removed, 2);
+        let (records, _) = collect(dir.path(), pos);
+        assert_eq!(records, vec![WalRecord::Batch(batch(6..9))]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_an_error() {
+        let dir = ScratchDir::new("wal-torn");
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        wal.append_batch(&batch(0..4)).unwrap();
+        let before = wal.position();
+        wal.append_batch(&batch(4..9)).unwrap();
+        drop(wal);
+        // Tear the final record: chop 3 bytes off the segment.
+        let (_, path) = list_segments(dir.path()).unwrap().pop().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        // Replay drops the torn record and reports it.
+        let (records, summary) = collect(dir.path(), WalPosition::START);
+        assert_eq!(records, vec![WalRecord::Batch(batch(0..4))]);
+        assert!(summary.torn_tail);
+        assert_eq!(summary.end, before);
+        // Re-opening truncates physically and appends continue cleanly.
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        assert_eq!(wal.position(), before);
+        wal.append_batch(&batch(9..11)).unwrap();
+        drop(wal);
+        let (records, summary) = collect(dir.path(), WalPosition::START);
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Batch(batch(0..4)),
+                WalRecord::Batch(batch(9..11))
+            ]
+        );
+        assert!(!summary.torn_tail);
+    }
+
+    #[test]
+    fn complete_but_corrupt_record_is_an_error() {
+        let dir = ScratchDir::new("wal-corrupt");
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        wal.append_batch(&batch(0..4)).unwrap();
+        wal.append_batch(&batch(4..8)).unwrap();
+        drop(wal);
+        // Flip one payload byte of the FIRST record: fully present, bad sum.
+        let (_, path) = list_segments(dir.path()).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[RECORD_HEADER_BYTES + 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Wal::replay(dir.path(), WalPosition::START, |_, _| Ok(())).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptLog { offset: 0, .. }));
+        // Opening for append refuses too: appends must not land after
+        // corruption.
+        assert!(matches!(
+            Wal::open(dir.path(), WalConfig::default()),
+            Err(StoreError::CorruptLog { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_filled_tail_is_a_torn_tail_not_corruption() {
+        let dir = ScratchDir::new("wal-zerotail");
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        wal.append_batch(&batch(0..4)).unwrap();
+        wal.append_batch(&batch(4..7)).unwrap();
+        let before = wal.position();
+        drop(wal);
+        // Crash artifact: the inode grew but the appended data blocks
+        // never hit disk — the file ends in zeros.
+        let (_, path) = list_segments(dir.path()).unwrap().pop().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len + 64)
+            .unwrap();
+        let (records, summary) = collect(dir.path(), WalPosition::START);
+        assert_eq!(records.len(), 2, "both real records survive");
+        assert!(summary.torn_tail, "zero run reads as a torn tail");
+        assert_eq!(summary.end, before);
+        // Re-opening truncates the zeros and appends continue cleanly.
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        assert_eq!(wal.position(), before);
+        wal.append_batch(&batch(7..9)).unwrap();
+        drop(wal);
+        let (records, summary) = collect(dir.path(), WalPosition::START);
+        assert_eq!(records.len(), 3);
+        assert!(!summary.torn_tail);
+    }
+
+    #[test]
+    fn missing_segments_fail_replay_loudly() {
+        let dir = ScratchDir::new("wal-gap");
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        wal.append_batch(&batch(0..3)).unwrap();
+        wal.rotate().unwrap();
+        wal.append_batch(&batch(3..6)).unwrap();
+        wal.rotate().unwrap();
+        wal.append_batch(&batch(6..9)).unwrap();
+        drop(wal);
+        // Delete the MIDDLE segment: its durable records must not be
+        // silently skipped.
+        let segments = list_segments(dir.path()).unwrap();
+        std::fs::remove_file(&segments[1].1).unwrap();
+        let err = Wal::replay(dir.path(), WalPosition::START, |_, _| Ok(())).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::CorruptLog {
+                segment: 1,
+                reason: "missing WAL segment in replay range",
+                ..
+            }
+        ));
+        // A replay whose start segment does not exist at all is equally
+        // loud (a checkpoint's segment is created before it lands).
+        let err = Wal::replay(
+            dir.path(),
+            WalPosition {
+                segment: 9,
+                offset: 0,
+            },
+            |_, _| Ok(()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::CorruptLog { segment: 9, .. }));
+    }
+
+    #[test]
+    fn corrupt_length_field_is_an_error_not_a_torn_tail() {
+        let dir = ScratchDir::new("wal-lenflip");
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        wal.append_batch(&batch(0..4)).unwrap();
+        wal.append_batch(&batch(4..8)).unwrap();
+        drop(wal);
+        // Flip a LENGTH byte of the first record so its declared payload
+        // would run past end-of-file. Without the header guard this
+        // would be misread as a torn tail and the second (perfectly
+        // durable) record silently truncated away with it.
+        let (_, path) = list_segments(dir.path()).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[5] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Wal::replay(dir.path(), WalPosition::START, |_, _| Ok(())).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptLog { offset: 0, .. }));
+        assert!(matches!(
+            Wal::open(dir.path(), WalConfig::default()),
+            Err(StoreError::CorruptLog { .. })
+        ));
+    }
+
+    #[test]
+    fn manual_sync_policy_flushes_on_drop_and_demand() {
+        let dir = ScratchDir::new("wal-manual");
+        let config = WalConfig {
+            sync: SyncPolicy::Manual,
+            ..WalConfig::default()
+        };
+        let mut wal = Wal::open(dir.path(), config).unwrap();
+        wal.append_batch(&batch(0..2)).unwrap();
+        wal.sync().unwrap();
+        wal.append_batch(&batch(2..4)).unwrap();
+        drop(wal); // drop flushes the second batch
+        let (records, _) = collect(dir.path(), WalPosition::START);
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn weights_and_deletions_survive_the_encoding() {
+        let dir = ScratchDir::new("wal-weights");
+        let mut wal = Wal::open(dir.path(), WalConfig::default()).unwrap();
+        let mut ups = vec![StreamUpdate::insert(3, 9), StreamUpdate::delete(3, 9)];
+        ups[0].weight = 2.5;
+        ups[1].weight = 2.5;
+        wal.append_batch(&ups).unwrap();
+        drop(wal);
+        let (records, _) = collect(dir.path(), WalPosition::START);
+        assert_eq!(records, vec![WalRecord::Batch(ups)]);
+    }
+}

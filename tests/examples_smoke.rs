@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "laplacian_solver",
     "distributed_servers",
     "query_service",
+    "durable_service",
 ];
 
 /// Directory holding compiled example binaries for the active profile.
@@ -80,6 +81,26 @@ fn all_examples_run_to_completion() {
                 assert!(
                     stdout.contains(marker),
                     "distributed_servers output lost its '{marker}' report:\n{stdout}"
+                );
+            }
+        }
+        // The durability example must walk the full crash cycle: create,
+        // checkpoint (with compaction), crash, recover, and prove the
+        // pinned-epoch answers came back bit-identical.
+        if *name == "durable_service" {
+            let stdout = String::from_utf8_lossy(&output.stdout);
+            for marker in [
+                "durable registry",
+                "checkpoint at epoch",
+                "compacted away",
+                "process 'crashed'",
+                "recovered tenant 'social'",
+                "bit-identical",
+                "query pool serves the recovered tenant",
+            ] {
+                assert!(
+                    stdout.contains(marker),
+                    "durable_service output lost its '{marker}' report:\n{stdout}"
                 );
             }
         }
