@@ -75,6 +75,20 @@ fn bench_checkpoint(c: &mut Criterion) {
         drop((g, reg));
         b.iter(|| black_box(read_checkpoint(&tenant).expect("valid checkpoint")));
     });
+    // Same live graph under 4x churn: the v2 compacted-segment format
+    // must checkpoint at the same cost as the churn-free stream (the
+    // segment and canonical shard frames depend only on the net state).
+    let churned = {
+        let g = gen::erdos_renyi(N, 0.15, 2);
+        GraphStream::with_churn(&g, 4.0, 99).updates().to_vec()
+    };
+    group.bench_function("checkpoint_write_4x_churn", |b| {
+        let dir = ScratchDir::new("bench-cp-churn");
+        let reg = DurableRegistry::open(dir.path(), StoreOptions::default()).expect("open");
+        let g = reg.create("t", config()).expect("fresh");
+        g.apply(&churned).expect("in range");
+        b.iter(|| black_box(g.checkpoint().expect("checkpoint")));
+    });
     group.finish();
 }
 

@@ -2,6 +2,7 @@
 //! in `EXPERIMENTS.md`.
 
 pub mod additive_exps;
+pub mod compaction_exps;
 pub mod engine_exps;
 pub mod lowerbound_exps;
 pub mod service_exps;
@@ -34,6 +35,7 @@ pub const ALL: &[&str] = &[
     "engine",
     "service",
     "store",
+    "compaction",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -59,6 +61,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "engine" => engine_exps::engine(scale),
         "service" => service_exps::service(scale),
         "store" => store_exps::store(scale),
+        "compaction" => compaction_exps::compaction(scale),
         _ => return false,
     }
     true

@@ -92,12 +92,60 @@ pub fn store(scale: Scale) {
     let cp = dsg_store::read_checkpoint(&tenant_dir).expect("read back");
     let read_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!(
-        "checkpoint at epoch {}: write {write_ms:.1} ms ({} shard frames, {} log updates), \
+        "checkpoint at epoch {}: write {write_ms:.1} ms ({} shard frames, {} net edges), \
          decode {read_ms:.1} ms, {} WAL segment(s) compacted\n",
         stats.epoch,
         cp.shards.len(),
-        cp.log.len(),
+        cp.net.num_edges(),
         stats.segments_removed,
+    );
+
+    // Checkpoint size vs stream length: the compacted segment is bounded
+    // by the live graph, so on an insert/delete churn workload the file
+    // must stay flat while the raw stream grows 10x. Asserted, not just
+    // printed — this is the whole point of the v2 format.
+    let base = gen::erdos_renyi(n, scale.pick(0.06, 0.1), 23);
+    let mut t = Table::new(&["churn stream", "updates", "live edges", "checkpoint bytes"]);
+    let mut sizes: Vec<(usize, u64)> = Vec::new();
+    for churn in [0.0, 2.0, 4.5] {
+        let s = GraphStream::with_churn(&base, churn, 24);
+        let dir = ScratchDir::new("e20-cpsize");
+        let reg =
+            DurableRegistry::open(dir.path(), StoreOptions::default()).expect("fresh registry");
+        let served = reg
+            .create("size", GraphConfig::new(n).seed(7).batch_size(batch))
+            .expect("fresh tenant");
+        for chunk in s.updates().chunks(batch) {
+            served.apply(chunk).expect("in range");
+        }
+        served.checkpoint().expect("checkpoint");
+        let bytes = std::fs::metadata(served.dir().join(dsg_store::CHECKPOINT_FILE))
+            .expect("checkpoint file")
+            .len();
+        t.add_row(&[
+            format!("churn {churn:.1}"),
+            s.len().to_string(),
+            base.num_edges().to_string(),
+            bytes.to_string(),
+        ]);
+        sizes.push((s.len(), bytes));
+    }
+    println!("{t}");
+    let (len0, bytes0) = sizes[0];
+    let (len2, bytes2) = sizes[sizes.len() - 1];
+    assert!(
+        len2 >= 10 * len0,
+        "churn workload must grow the stream 10x ({len0} -> {len2})"
+    );
+    assert!(
+        bytes2 <= bytes0 + bytes0 / 50 + 1024,
+        "compacted checkpoint must stay flat under churn ({bytes0} -> {bytes2} bytes)"
+    );
+    println!(
+        "checkpoint stays flat: {bytes0} bytes at {len0} updates vs {bytes2} bytes at {len2} \
+         updates (stream {:.1}x, checkpoint {:.2}x)\n",
+        len2 as f64 / len0 as f64,
+        bytes2 as f64 / bytes0 as f64,
     );
 
     // Recovery: full-log replay vs checkpoint + tail, same durable state.

@@ -201,6 +201,37 @@ impl EngineBuilder {
         self.ingest_merged(stream, |_| AgmSketch::new(n, seed))
     }
 
+    /// Sharded AGM ingest of a **net edge multiset**: each net edge is
+    /// one engine update carrying its whole multiplicity (the engine's
+    /// deltas are `i128`, so a compacted segment needs no re-expansion).
+    /// By linearity the merged sketch is bit-identical to
+    /// [`agm_sketch`](EngineBuilder::agm_sketch) over any raw stream with
+    /// the same net effect — the warm-start path a server takes when it
+    /// rebuilds ingest state from a compacted checkpoint segment.
+    pub fn agm_sketch_net<M>(&self, net: &M) -> AgmSketch
+    where
+        M: dsg_graph::EdgeMultiset + ?Sized,
+    {
+        assert_eq!(net.num_vertices(), self.n, "vertex count mismatch");
+        let (n, seed) = (self.n, self.seed);
+        let mut engine = ShardedEngine::start(self.config(), |_| AgmSketch::new(n, seed));
+        net.for_each_net_edge(&mut |e| {
+            engine.push(EdgeUpdate::new(e.edge.index(n), e.multiplicity as i128));
+        });
+        engine
+            .finish()
+            .merged()
+            .expect("engine has at least one shard")
+    }
+
+    /// Sharded net-multiset ingest → merged sketch → spanning forest.
+    pub fn spanning_forest_net<M>(&self, net: &M) -> ForestResult
+    where
+        M: dsg_graph::EdgeMultiset + ?Sized,
+    {
+        self.agm_sketch_net(net).spanning_forest()
+    }
+
     /// Sharded AGM ingest that ships **wire snapshots** shard→coordinator
     /// (serialize, checksum-verify, deserialize, merge-tree) — the path a
     /// real multi-server deployment exercises. Answers identically to
@@ -287,6 +318,24 @@ mod tests {
         let f1 = base.clone().spanning_forest(&stream);
         let f4 = base.clone().shards(4).spanning_forest(&stream);
         assert_eq!(f1.edges, f4.edges);
+    }
+
+    #[test]
+    fn net_ingest_matches_stream_ingest_bit_for_bit() {
+        let g = gen::erdos_renyi(40, 0.15, 5);
+        let stream = GraphStream::with_churn(&g, 2.0, 6);
+        let b = EngineBuilder::new(40).shards(3).seed(8);
+        let from_stream = b.agm_sketch(&stream);
+        let from_net = b.agm_sketch_net(&stream.net_multiset());
+        assert_eq!(
+            dsg_sketch::LinearSketch::to_bytes(&from_stream),
+            dsg_sketch::LinearSketch::to_bytes(&from_net),
+            "net warm-start diverged from raw-stream ingest"
+        );
+        assert_eq!(
+            b.spanning_forest(&stream).edges,
+            b.spanning_forest_net(&stream.net_multiset()).edges,
+        );
     }
 
     #[test]

@@ -20,8 +20,11 @@
 //!   churn generators that interleave insertions with deletions, and
 //!   weighted streams where deletions remove a known weight (the model the
 //!   paper adopts for weighted graphs);
+//! * [`multiset`] — the order-free **net edge multiset** a stream leaves
+//!   behind ([`NetMultiset`]), the O(current edges) input every linear
+//!   algorithm can be rebuilt from;
 //! * [`pass`] — the multi-pass driver trait tying streaming algorithms to
-//!   streams.
+//!   streams (and, via [`pass::run_multiset`], to net multisets).
 //!
 //! # Examples
 //!
@@ -41,10 +44,12 @@ pub mod gen;
 pub mod graph;
 pub mod ids;
 pub mod mst;
+pub mod multiset;
 pub mod pass;
 pub mod stream;
 
 pub use graph::{Graph, WeightedGraph};
 pub use ids::{index_to_pair, pair_to_index, Edge, Vertex};
+pub use multiset::{EdgeMultiset, NetEdge, NetMultiset};
 pub use pass::StreamAlgorithm;
 pub use stream::{GraphStream, StreamUpdate};

@@ -1,0 +1,269 @@
+//! Net edge multisets — the order-free summary a dynamic stream leaves
+//! behind.
+//!
+//! The defining property of the paper's linear-sketch toolkit is that
+//! every sketch of a dynamic stream is a function of the stream's **net
+//! edge multiset** alone: insertions and deletions of the same pair
+//! cancel, and neither update order nor stream length is observable.
+//! [`NetMultiset`] is the canonical materialization of that multiset — a
+//! sorted vector of [`NetEdge`] entries with strictly positive net
+//! multiplicity — and [`EdgeMultiset`] is the view trait multi-pass
+//! algorithms accept instead of a materialized [`GraphStream`], so their
+//! inputs can be rebuilt in O(current edges) rather than O(stream
+//! length).
+//!
+//! Rebuilding from the net multiset is *exact*, not approximate: each
+//! pass of a two-pass algorithm keeps stream-facing state that is a
+//! linear function of the updates, so feeding one `+1` update per unit of
+//! net multiplicity reproduces the pass state bit for bit (the property
+//! `crates/spanner` and `crates/sparsifier` test against raw-stream
+//! replay).
+
+use crate::graph::{Graph, WeightedGraph};
+use crate::ids::Edge;
+use crate::stream::{GraphStream, StreamUpdate};
+use std::collections::HashMap;
+
+/// One entry of a net edge multiset: the pair, its weight, and its net
+/// multiplicity (always ≥ 1 inside a [`NetMultiset`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetEdge {
+    /// The vertex pair.
+    pub edge: Edge,
+    /// The edge weight (`1.0` for unweighted streams; per the model a
+    /// deletion carries its insertion's weight, so the surviving weight
+    /// is well defined).
+    pub weight: f64,
+    /// Net multiplicity: insertions minus deletions, strictly positive.
+    pub multiplicity: u32,
+}
+
+/// A view of a graph as a net edge multiset — the generalized input of
+/// the multi-pass entry points ([`crate::pass::run_multiset`],
+/// `dsg_spanner::twopass::run_two_pass_net`,
+/// `dsg_sparsifier::pipeline::run_sparsifier_net`). Implementors promise
+/// to visit each distinct pair at most once, with multiplicity ≥ 1, in a
+/// deterministic order.
+pub trait EdgeMultiset {
+    /// Number of vertices of the underlying graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Visits every net edge once.
+    fn for_each_net_edge(&self, f: &mut dyn FnMut(NetEdge));
+}
+
+/// The canonical materialized net edge multiset: entries sorted by edge,
+/// every multiplicity strictly positive. Two streams with the same net
+/// effect produce the same `NetMultiset` — and therefore the same
+/// canonical bytes wherever it is serialized.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{gen, GraphStream};
+///
+/// let g = gen::erdos_renyi(30, 0.2, 3);
+/// // Two very different streams (order, churn volume) with one net effect:
+/// let a = GraphStream::with_churn(&g, 0.5, 4).net_multiset();
+/// let b = GraphStream::with_churn(&g, 2.0, 5).net_multiset();
+/// assert_eq!(a.entries(), b.entries());
+/// assert_eq!(a.final_graph(), g);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetMultiset {
+    n: usize,
+    entries: Vec<NetEdge>,
+}
+
+impl NetMultiset {
+    /// An empty multiset over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds the canonical form from unordered entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry has multiplicity 0, an endpoint out of range,
+    /// or the same pair appears twice — callers hold the "net" invariant.
+    pub fn from_entries(n: usize, mut entries: Vec<NetEdge>) -> Self {
+        entries.sort_unstable_by_key(|e| e.edge);
+        for pair in entries.windows(2) {
+            assert!(
+                pair[0].edge < pair[1].edge,
+                "duplicate pair {}",
+                pair[1].edge
+            );
+        }
+        for e in &entries {
+            assert!(e.multiplicity > 0, "zero multiplicity for {}", e.edge);
+            assert!((e.edge.v() as usize) < n, "edge {} out of range", e.edge);
+        }
+        Self { n, entries }
+    }
+
+    /// The net multiset of an update sequence. Pairs whose insertions and
+    /// deletions cancel vanish; the tracked weight is the last weight an
+    /// update carried for the pair (well defined in the model, where a
+    /// deletion repeats its insertion's weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some pair's net multiplicity is negative — such a
+    /// sequence is outside the dynamic-stream model.
+    pub fn from_updates<'a, I>(n: usize, updates: I) -> Self
+    where
+        I: IntoIterator<Item = &'a StreamUpdate>,
+    {
+        let mut net: HashMap<Edge, (i64, f64)> = HashMap::new();
+        for up in updates {
+            let entry = net.entry(up.edge).or_insert((0, up.weight));
+            entry.0 += up.delta as i64;
+            entry.1 = up.weight;
+        }
+        let entries = net
+            .into_iter()
+            .map(|(edge, (m, weight))| {
+                assert!(m >= 0, "negative net multiplicity for {edge}");
+                (edge, m, weight)
+            })
+            .filter(|&(_, m, _)| m > 0)
+            .map(|(edge, m, weight)| NetEdge {
+                edge,
+                weight,
+                multiplicity: m as u32,
+            })
+            .collect();
+        Self::from_entries(n, entries)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct live pairs.
+    pub fn num_edges(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pair is live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of multiplicities (the minimum update count any stream with
+    /// this net effect must contain).
+    pub fn total_multiplicity(&self) -> u64 {
+        self.entries.iter().map(|e| e.multiplicity as u64).sum()
+    }
+
+    /// The sorted entries.
+    pub fn entries(&self) -> &[NetEdge] {
+        &self.entries
+    }
+
+    /// The live graph (every pair with positive multiplicity).
+    pub fn final_graph(&self) -> Graph {
+        Graph::from_edges(self.n, self.entries.iter().map(|e| e.edge))
+    }
+
+    /// The live weighted graph.
+    pub fn final_weighted_graph(&self) -> WeightedGraph {
+        WeightedGraph::from_edges(self.n, self.entries.iter().map(|e| (e.edge, e.weight)))
+    }
+
+    /// An insertion-only stream with this net effect (one `+1` update per
+    /// unit of multiplicity, in canonical order) — the bridge back to
+    /// stream-shaped APIs for callers that still need one.
+    pub fn to_stream(&self) -> GraphStream {
+        let mut updates = Vec::with_capacity(self.total_multiplicity() as usize);
+        self.for_each_net_edge(&mut |e| {
+            for _ in 0..e.multiplicity {
+                updates.push(StreamUpdate {
+                    edge: e.edge,
+                    delta: 1,
+                    weight: e.weight,
+                });
+            }
+        });
+        GraphStream::new(self.n, updates)
+    }
+}
+
+impl EdgeMultiset for NetMultiset {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn for_each_net_edge(&self, f: &mut dyn FnMut(NetEdge)) {
+        for e in &self.entries {
+            f(*e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn net_of_stream_matches_final_graph() {
+        let g = gen::erdos_renyi(25, 0.2, 1);
+        let s = GraphStream::with_churn(&g, 2.0, 2);
+        let net = s.net_multiset();
+        assert_eq!(net.final_graph(), g);
+        assert!(net.num_edges() < s.len(), "compaction must shrink churn");
+        assert!(net.entries().iter().all(|e| e.multiplicity == 1));
+    }
+
+    #[test]
+    fn net_is_order_free() {
+        let g = gen::erdos_renyi(20, 0.3, 3);
+        let a = GraphStream::with_churn(&g, 1.0, 4).net_multiset();
+        let b = GraphStream::with_churn(&g, 3.0, 5).net_multiset();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn entries_are_sorted_and_canonical() {
+        let g = gen::erdos_renyi(20, 0.3, 6);
+        let net = GraphStream::insert_only(&g, 7).net_multiset();
+        assert!(net.entries().windows(2).all(|w| w[0].edge < w[1].edge));
+        assert_eq!(net.total_multiplicity(), g.num_edges() as u64);
+    }
+
+    #[test]
+    fn multiplicities_above_one_survive() {
+        let ups = vec![
+            StreamUpdate::insert(0, 1),
+            StreamUpdate::insert(0, 1),
+            StreamUpdate::insert(1, 2),
+            StreamUpdate::delete(1, 2),
+        ];
+        let net = NetMultiset::from_updates(4, &ups);
+        assert_eq!(net.num_edges(), 1);
+        assert_eq!(net.entries()[0].multiplicity, 2);
+        let back = net.to_stream();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.net_multiset(), net);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative net multiplicity")]
+    fn negative_net_rejected() {
+        NetMultiset::from_updates(3, &[StreamUpdate::delete(0, 1)]);
+    }
+
+    #[test]
+    fn weighted_net_keeps_weights() {
+        let g = gen::with_random_weights(&gen::cycle(12), 1.0, 4.0, 8);
+        let s = GraphStream::weighted_with_churn(&g, 1.0, 9);
+        assert_eq!(s.net_multiset().final_weighted_graph(), g);
+    }
+}

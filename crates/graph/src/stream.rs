@@ -275,6 +275,14 @@ impl GraphStream {
     pub fn num_deletions(&self) -> usize {
         self.updates.iter().filter(|u| u.delta < 0).count()
     }
+
+    /// The canonical net edge multiset this stream leaves behind —
+    /// insertions and deletions cancelled, order forgotten. Every linear
+    /// algorithm over this stream is a function of the result alone (see
+    /// [`crate::multiset`]).
+    pub fn net_multiset(&self) -> crate::multiset::NetMultiset {
+        crate::multiset::NetMultiset::from_updates(self.n, &self.updates)
+    }
 }
 
 fn shuffle<T>(items: &mut [T], seed: u64) {

@@ -2,20 +2,31 @@
 //!
 //! An [`EpochSnapshot`] is the unit of snapshot isolation: it owns the
 //! merged coordinator sketch frozen at one stream position, plus the
-//! frozen update log prefix (as shared chunks — sealing an epoch never
-//! copies the log). Readers query it freely while ingest continues on the
-//! engine; nothing in a snapshot is ever mutated after publication except
-//! the one-shot initialization of its artifact cells.
+//! **compacted net edge segment** sealed at the same position (a
+//! [`NetMultiset`] — O(current edges), never O(stream length); see
+//! [`crate::compact`]). Readers query it freely while ingest continues on
+//! the engine; nothing in a snapshot is ever mutated after publication
+//! except the one-shot initialization of its artifact cells.
 //!
 //! Artifacts are cached per epoch in [`OnceLock`]s:
 //!
 //! * **spanning forest + component labels** — decoded from the AGM sketch
 //!   (Theorem 10); backs connectivity and same-component queries;
 //! * **distance oracle** — the two-pass `2^k`-spanner (Theorem 1) rebuilt
-//!   over the frozen prefix, wrapped in the memoizing
+//!   from the compacted segment, wrapped in the memoizing
 //!   [`DistanceOracle`]; backs distance and far/near queries;
-//! * **cut sparsifier** — the KP12 pipeline (Corollary 2) over the frozen
-//!   prefix, reduced to its [`Laplacian`]; backs cut-value estimates.
+//! * **cut sparsifier** — the KP12 pipeline (Corollary 2) over the
+//!   compacted segment, reduced to its [`Laplacian`]; backs cut-value
+//!   estimates.
+//!
+//! Both multi-pass builders consume the **same** sealed segment (one
+//! `Arc`, built once at epoch advance) through the multiset entry points
+//! `run_two_pass_net` / `run_sparsifier_net` — no per-artifact log
+//! materialization. Rebuilding from the net multiset is bit-identical to
+//! replaying the raw log, because each pass's stream-facing state is
+//! linear in the updates and everything between passes is a deterministic
+//! function of that state; `crates/service/tests/net_props.rs` asserts
+//! the order-insensitivity end to end.
 //!
 //! `OnceLock::get_or_init` guarantees each artifact is built exactly once
 //! per epoch no matter how many readers race for it; advancing the epoch
@@ -26,10 +37,10 @@ use crate::{GraphConfig, ServiceError};
 use dsg_agm::forest::ForestResult;
 use dsg_agm::AgmSketch;
 use dsg_graph::components::UnionFind;
-use dsg_graph::{GraphStream, StreamUpdate, Vertex};
+use dsg_graph::{NetMultiset, Vertex};
 use dsg_spanner::oracle::DistanceOracle;
 use dsg_spanner::twopass;
-use dsg_sparsifier::pipeline::run_sparsifier;
+use dsg_sparsifier::pipeline::run_sparsifier_net;
 use dsg_sparsifier::Laplacian;
 use std::sync::{Arc, OnceLock};
 
@@ -73,9 +84,10 @@ pub struct EpochSnapshot {
     config: GraphConfig,
     total_updates: u64,
     sketch: AgmSketch,
-    /// The frozen update log, as the sealed chunks the registry
-    /// accumulated — shared, never copied on epoch advance.
-    chunks: Vec<Arc<Vec<StreamUpdate>>>,
+    /// The compacted net edge segment sealed at the epoch boundary — the
+    /// single shared multi-pass input both the oracle and the cut
+    /// builders rebuild from (O(current edges), order-free).
+    net: Arc<NetMultiset>,
     forest: OnceLock<Arc<ForestData>>,
     oracle: OnceLock<Arc<DistanceOracle>>,
     cut: OnceLock<Arc<CutData>>,
@@ -88,7 +100,7 @@ impl EpochSnapshot {
         epoch: u64,
         config: GraphConfig,
         sketch: AgmSketch,
-        chunks: Vec<Arc<Vec<StreamUpdate>>>,
+        net: Arc<NetMultiset>,
         total_updates: u64,
     ) -> Self {
         Self {
@@ -96,7 +108,7 @@ impl EpochSnapshot {
             config,
             total_updates,
             sketch,
-            chunks,
+            net,
             forest: OnceLock::new(),
             oracle: OnceLock::new(),
             cut: OnceLock::new(),
@@ -137,14 +149,11 @@ impl EpochSnapshot {
         }
     }
 
-    /// Materializes the frozen stream prefix (for multi-pass artifact
-    /// builds and offline verification).
-    pub fn frozen_stream(&self) -> GraphStream {
-        let mut updates = Vec::with_capacity(self.total_updates as usize);
-        for chunk in &self.chunks {
-            updates.extend_from_slice(chunk);
-        }
-        GraphStream::new(self.config.n, updates)
+    /// The compacted net edge segment frozen into this snapshot — the
+    /// shared multi-pass artifact input, and (for offline verification)
+    /// an exact order-free summary of the frozen prefix.
+    pub fn net_edges(&self) -> &Arc<NetMultiset> {
+        &self.net
     }
 
     /// The forest artifact, built on first use (one sketch decode).
@@ -165,21 +174,22 @@ impl EpochSnapshot {
         }))
     }
 
-    /// The distance-oracle artifact, built on first use by re-running the
-    /// two-pass spanner over the frozen prefix (deterministic in the
-    /// graph seed, so every rebuild of the same epoch agrees).
+    /// The distance-oracle artifact, built on first use by running the
+    /// two-pass spanner over the shared compacted segment (deterministic
+    /// in the graph seed, so every rebuild of the same epoch agrees, and
+    /// bit-identical to a raw-log replay by pass linearity).
     pub fn oracle(&self) -> Arc<DistanceOracle> {
         Arc::clone(self.oracle.get_or_init(|| {
-            let out = twopass::run_two_pass(&self.frozen_stream(), self.config.oracle_params());
+            let out = twopass::run_two_pass_net(self.net.as_ref(), self.config.oracle_params());
             Arc::new(DistanceOracle::new(out.spanner, 1 << self.config.spanner_k))
         }))
     }
 
     /// The cut artifact, built on first use by running KP12 over the
-    /// frozen prefix.
+    /// same shared compacted segment the oracle consumes.
     pub fn cut_data(&self) -> Arc<CutData> {
         Arc::clone(self.cut.get_or_init(|| {
-            let out = run_sparsifier(&self.frozen_stream(), self.config.cut_params());
+            let out = run_sparsifier_net(self.net.as_ref(), self.config.cut_params());
             Arc::new(CutData {
                 laplacian: Laplacian::from_weighted(&out.sparsifier),
                 sparsifier_edges: out.sparsifier.num_edges(),
@@ -256,8 +266,10 @@ impl EpochSnapshot {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // test code may unwrap freely
+
     use super::*;
-    use dsg_graph::gen;
+    use dsg_graph::{gen, GraphStream};
 
     fn snapshot_for(n: usize, seed: u64) -> (dsg_graph::Graph, EpochSnapshot) {
         let g = gen::erdos_renyi(n, 0.15, seed);
@@ -267,9 +279,9 @@ mod tests {
         for up in stream.updates() {
             sketch.update(up.edge, up.delta as i128);
         }
-        let chunks = vec![Arc::new(stream.updates().to_vec())];
+        let net = Arc::new(stream.net_multiset());
         let total = stream.len() as u64;
-        (g, EpochSnapshot::new(1, config, sketch, chunks, total))
+        (g, EpochSnapshot::new(1, config, sketch, net, total))
     }
 
     #[test]

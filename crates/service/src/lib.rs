@@ -47,18 +47,26 @@
 //! [`Arc`]: std::sync::Arc
 //! [`ShardedEngine`]: dsg_engine::ShardedEngine
 
+// Serving code must not `unwrap()` on request paths: failures surface as
+// typed `ServiceError`s, never panics. (CI enforces this with a clippy
+// gate shared with dsg-store; `expect` on poisoned locks is deliberate —
+// a poisoned lock *is* a programming error.)
+#![deny(clippy::unwrap_used)]
+
+pub mod compact;
 mod epoch;
 mod query;
 mod registry;
 mod workload;
 
+pub use compact::CompactedLog;
 pub use epoch::{ArtifactStatus, CutData, EpochSnapshot, ForestData};
 pub use query::{GraphStats, Query, QueryService, QueryTicket, Response};
 pub use registry::{GraphRegistry, PersistedGraph, ServedGraph};
 pub use workload::{LoadGen, QueryMix};
 
 use dsg_core::engine::EngineBuilder;
-use dsg_graph::Vertex;
+use dsg_graph::{Edge, Vertex};
 use dsg_sketch::WireError;
 use dsg_spanner::SpannerParams;
 use dsg_sparsifier::SparsifierParams;
@@ -205,6 +213,19 @@ pub enum ServiceError {
         /// The registered graph's vertex count.
         n: usize,
     },
+    /// An update carried a delta outside ±1 — not a dynamic-stream
+    /// update at all.
+    InvalidDelta {
+        /// The offending delta.
+        delta: i8,
+    },
+    /// A deletion would drive some pair's net multiplicity below zero —
+    /// outside the dynamic-stream model, and the one thing the compacted
+    /// log cannot represent. The whole batch is rejected atomically.
+    NegativeMultiplicity {
+        /// The pair the deletion would over-delete.
+        edge: Edge,
+    },
     /// An incoming snapshot frame failed validation (header peek or full
     /// decode).
     BadFrame(WireError),
@@ -219,6 +240,15 @@ impl std::fmt::Display for ServiceError {
             ServiceError::DuplicateGraph(name) => write!(f, "graph '{name}' already exists"),
             ServiceError::VertexOutOfRange { vertex, n } => {
                 write!(f, "vertex {vertex} out of range for n = {n}")
+            }
+            ServiceError::InvalidDelta { delta } => {
+                write!(f, "update delta {delta} is not ±1")
+            }
+            ServiceError::NegativeMultiplicity { edge } => {
+                write!(
+                    f,
+                    "deletion of {edge} would drive its net multiplicity below zero"
+                )
             }
             ServiceError::BadFrame(err) => write!(f, "bad snapshot frame: {err}"),
             ServiceError::PoolShutDown => write!(f, "query pool has shut down"),

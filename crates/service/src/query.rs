@@ -211,6 +211,8 @@ impl Drop for QueryService {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // test code may unwrap freely
+
     use super::*;
     use crate::GraphConfig;
     use dsg_graph::StreamUpdate;

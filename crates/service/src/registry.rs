@@ -7,31 +7,34 @@
 //! between the two sides: it forks every shard's state between batches
 //! (workers keep running), merges the forks, and publishes the result.
 //!
-//! The update log is kept as *sealed chunks* (`Arc<Vec<StreamUpdate>>`):
-//! advancing an epoch seals the active chunk and shares all sealed chunks
-//! with the new snapshot — epoch advance is O(shards · sketch size), never
-//! O(stream length).
+//! The update log is kept **compacted** ([`CompactedLog`]): insertions
+//! and deletions of the same pair cancel at ingest, so writer-side state
+//! is O(current edges) — never O(stream length) — and advancing an epoch
+//! seals the net edge segment (O(current edges)) alongside the sketch
+//! forks. Multi-pass epoch artifacts rebuild from the sealed segment,
+//! bit-identically to a raw-log replay, by pass linearity.
 
+use crate::compact::CompactedLog;
 use crate::epoch::EpochSnapshot;
 use crate::query::{Query, Response};
 use crate::{GraphConfig, ServiceError};
 use dsg_agm::AgmSketch;
 use dsg_engine::{merge_tree, reduce_snapshots, EdgeUpdate, EngineConfig, ShardedEngine};
-use dsg_graph::{StreamUpdate, Vertex};
+use dsg_graph::{NetMultiset, StreamUpdate, Vertex};
 use dsg_sketch::wire;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
-/// Writer-side state: the live engine plus the chunked update log.
+/// Writer-side state: the live engine plus the compacted update log.
 struct IngestState {
     engine: ShardedEngine<AgmSketch>,
-    sealed: Vec<Arc<Vec<StreamUpdate>>>,
-    active: Vec<StreamUpdate>,
+    live: CompactedLog,
 }
 
 /// Everything a durability layer must persist to bring a [`ServedGraph`]
 /// back bit-identically after a crash: the per-shard sketches and the
-/// frozen update log, captured **atomically at an epoch boundary** by
+/// compacted net edge segment, captured **atomically at an epoch
+/// boundary** by
 /// [`ServedGraph::checkpoint_state`] and turned back into a live graph by
 /// [`GraphRegistry::restore`]. By linearity, a graph restored from this
 /// state and fed the remaining stream answers exactly like one that never
@@ -43,11 +46,20 @@ pub struct PersistedGraph {
     pub epoch: u64,
     /// Updates ingested up to the capture point.
     pub total_updates: u64,
-    /// Every shard's sketch, forked exactly at the capture point (in
-    /// shard order).
+    /// The per-shard sketches a restored engine resumes from, in shard
+    /// order — in **canonical factorization**: the merged capture-point
+    /// summary in shard 0, zero sketches elsewhere. Only the shard *sum*
+    /// is observable (every read path merges before decoding), so this
+    /// loses nothing, while the raw forks it replaces grew with stream
+    /// churn: round-robin routing splits an edge's insertion and
+    /// deletion across shards, so cancellation happens only in the sum.
+    /// Canonical shards make persisted bytes a deterministic function of
+    /// the net stream state, bounded by the live graph.
     pub shards: Vec<AgmSketch>,
-    /// The frozen update log up to the capture point, flattened.
-    pub log: Vec<StreamUpdate>,
+    /// The compacted net edge segment sealed at the capture point —
+    /// O(current edges), the whole multi-pass state a restore needs
+    /// (every artifact is a function of the net multiset by linearity).
+    pub net: NetMultiset,
 }
 
 /// Folds shard forks into one sketch while cloning only the first —
@@ -86,14 +98,19 @@ impl ServedGraph {
         let (n, seed) = (config.n, config.seed);
         let engine_cfg = EngineConfig::new(config.shards).batch_size(config.batch_size);
         let engine = ShardedEngine::start(engine_cfg, |_| AgmSketch::new(n, seed));
-        let epoch0 = EpochSnapshot::new(0, config, AgmSketch::new(n, seed), Vec::new(), 0);
+        let epoch0 = EpochSnapshot::new(
+            0,
+            config,
+            AgmSketch::new(n, seed),
+            Arc::new(NetMultiset::empty(n)),
+            0,
+        );
         Self {
             name,
             config,
             ingest: Mutex::new(IngestState {
                 engine,
-                sealed: Vec::new(),
-                active: Vec::new(),
+                live: CompactedLog::new(n),
             }),
             current: RwLock::new(Arc::new(epoch0)),
         }
@@ -110,14 +127,55 @@ impl ServedGraph {
     }
 
     /// Appends a batch of stream updates to the live engine (and the
-    /// frozen-log tail). Returns the total updates ingested so far.
+    /// compacted log). Returns the total updates ingested so far.
     ///
     /// # Errors
     ///
     /// [`ServiceError::VertexOutOfRange`] if any update names a vertex
-    /// outside `[0, n)`; the whole batch is rejected before any of it is
-    /// applied, so a bad batch never half-lands.
+    /// outside `[0, n)`, [`ServiceError::InvalidDelta`] for a delta
+    /// outside ±1, [`ServiceError::NegativeMultiplicity`] if a deletion
+    /// would drive some pair's net multiplicity below zero (the
+    /// dynamic-stream model's own precondition, and the ground on which
+    /// the compacted log may cancel updates). The whole batch is rejected
+    /// before any of it is applied, so a bad batch never half-lands.
     pub fn apply(&self, updates: &[StreamUpdate]) -> Result<u64, ServiceError> {
+        self.apply_logged(updates, || Ok(()))
+    }
+
+    /// Like [`apply`](ServedGraph::apply), but runs `log` between
+    /// validation and the in-memory apply, **all under one ingest-lock
+    /// hold** — the hook a durability layer uses for its WAL append.
+    /// Because validation, `log`, and the apply share the critical
+    /// section, the state that was validated is exactly the state the
+    /// batch lands on: no concurrent writer (not even one bypassing
+    /// durability through a raw [`ServedGraph`] handle) can interleave a
+    /// mutation that would make memory refuse a batch the log already
+    /// acknowledged. If `log` fails, nothing lands.
+    ///
+    /// # Errors
+    ///
+    /// As [`apply`](ServedGraph::apply), through `E: From<ServiceError>`,
+    /// plus whatever `log` returns.
+    pub fn apply_logged<E, F>(&self, updates: &[StreamUpdate], log: F) -> Result<u64, E>
+    where
+        E: From<ServiceError>,
+        F: FnOnce() -> Result<(), E>,
+    {
+        let n = self.config.n;
+        self.check_vertices(updates).map_err(E::from)?;
+        let mut st = self.ingest.lock().expect("ingest lock poisoned");
+        st.live.check_batch(updates).map_err(E::from)?;
+        log()?;
+        for up in updates {
+            st.engine
+                .push(EdgeUpdate::new(up.edge.index(n), up.delta as i128));
+            st.live.apply(up);
+        }
+        Ok(st.engine.pushed())
+    }
+
+    /// The shared stateless range check of every batch entry point.
+    fn check_vertices(&self, updates: &[StreamUpdate]) -> Result<(), ServiceError> {
         let n = self.config.n;
         for up in updates {
             let big = up.edge.v(); // canonical order: v is the larger endpoint
@@ -125,13 +183,7 @@ impl ServedGraph {
                 return Err(ServiceError::VertexOutOfRange { vertex: big, n });
             }
         }
-        let mut st = self.ingest.lock().expect("ingest lock poisoned");
-        for up in updates {
-            st.engine
-                .push(EdgeUpdate::new(up.edge.index(n), up.delta as i128));
-            st.active.push(*up);
-        }
-        Ok(st.engine.pushed())
+        Ok(())
     }
 
     /// Convenience: applies one edge insertion.
@@ -201,20 +253,18 @@ impl ServedGraph {
         self.publish(&mut st, merged)
     }
 
-    /// Seals the active log chunk and swaps in the new snapshot. Must be
-    /// called with the ingest lock held (enforced by the `&mut` borrow).
+    /// Seals the compacted log into its canonical net edge segment and
+    /// swaps in the new snapshot. Must be called with the ingest lock
+    /// held (enforced by the `&mut` borrow). O(current edges) — bounded
+    /// by the live graph no matter how long the stream has run.
     fn publish(&self, st: &mut IngestState, merged: AgmSketch) -> Arc<EpochSnapshot> {
-        if !st.active.is_empty() {
-            let chunk = std::mem::take(&mut st.active);
-            st.sealed.push(Arc::new(chunk));
-        }
         let total = st.engine.pushed();
         let next_epoch = self.snapshot().epoch() + 1;
         let snap = Arc::new(EpochSnapshot::new(
             next_epoch,
             self.config,
             merged,
-            st.sealed.clone(),
+            Arc::new(st.live.seal()),
             total,
         ));
         *self.current.write().expect("epoch lock poisoned") = Arc::clone(&snap);
@@ -232,13 +282,20 @@ impl ServedGraph {
         let mut st = self.ingest.lock().expect("ingest lock poisoned");
         let forks = st.engine.snapshot_shards();
         let merged = merge_forks(&forks);
+        let (n, seed) = (self.config.n, self.config.seed);
+        // Canonical factorization (see the `shards` field docs): persist
+        // the merged summary plus zero shards instead of the raw forks,
+        // whose bytes grow with churn residue rather than the live graph.
+        let mut shards = Vec::with_capacity(forks.len());
+        shards.push(merged.clone());
+        shards.extend((1..forks.len()).map(|_| AgmSketch::new(n, seed)));
         let snap = self.publish(&mut st, merged);
-        let log: Vec<StreamUpdate> = st.sealed.iter().flat_map(|c| c.iter().copied()).collect();
         PersistedGraph {
             epoch: snap.epoch(),
             total_updates: st.engine.pushed(),
-            shards: forks,
-            log,
+            shards,
+            // The segment the snapshot just sealed — shared, not resealed.
+            net: (**snap.net_edges()).clone(),
         }
     }
 
@@ -254,26 +311,19 @@ impl ServedGraph {
         let engine_cfg = EngineConfig::new(config.shards).batch_size(config.batch_size);
         let merged = merge_forks(&state.shards);
         let engine = ShardedEngine::restore(engine_cfg, state.shards, state.total_updates);
-        let sealed = if state.log.is_empty() {
-            Vec::new()
-        } else {
-            vec![Arc::new(state.log)]
-        };
+        let net = Arc::new(state.net);
+        let live = CompactedLog::from_net(&net);
         let snap = EpochSnapshot::new(
             state.epoch,
             config,
             merged,
-            sealed.clone(),
+            Arc::clone(&net),
             state.total_updates,
         );
         Self {
             name,
             config,
-            ingest: Mutex::new(IngestState {
-                engine,
-                sealed,
-                active: Vec::new(),
-            }),
+            ingest: Mutex::new(IngestState { engine, live }),
             current: RwLock::new(Arc::new(snap)),
         }
     }
@@ -417,6 +467,8 @@ impl GraphRegistry {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // test code may unwrap freely
+
     use super::*;
     use dsg_graph::gen;
     use dsg_graph::GraphStream;
@@ -487,7 +539,11 @@ mod tests {
         live.apply(&updates[..cut]).unwrap();
         let state = live.checkpoint_state();
         assert_eq!(state.total_updates, cut as u64);
-        assert_eq!(state.log.len(), cut);
+        assert_eq!(
+            state.net,
+            GraphStream::new(n, updates[..cut].to_vec()).net_multiset(),
+            "persisted segment must be the net of the durable prefix"
+        );
         assert_eq!(state.shards.len(), 3);
 
         // Restore into a second registry and feed both the same tail.

@@ -1,0 +1,165 @@
+//! Order-insensitivity: the correctness ground of log compaction.
+//!
+//! Every epoch artifact is a function of the stream's **net edge
+//! multiset** — never of update order, interleaving, or stream length.
+//! These properties pit streams with wildly different shapes (pure
+//! permutations; insert/delete interleavings at different churn volumes)
+//! but equal net effect against each other and demand bit-identical
+//! epochs: sketch bytes, sealed segments, forest edges, component labels,
+//! oracle distances, and (deterministically) KP12 cut estimates. Plus the
+//! guard rail that makes cancellation sound: a deletion below net
+//! multiplicity zero is a typed, whole-batch-atomic error.
+
+use dsg_graph::{gen, GraphStream, StreamUpdate, Vertex};
+use dsg_service::{GraphConfig, GraphRegistry, Query, Response, ServiceError};
+use dsg_sketch::LinearSketch;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Ingests a full stream into a fresh served graph and advances one
+/// epoch.
+fn epoch_of(config: GraphConfig, updates: &[StreamUpdate]) -> Arc<dsg_service::EpochSnapshot> {
+    let reg = GraphRegistry::new();
+    let served = reg.create("g", config).unwrap();
+    served.apply(updates).unwrap();
+    served.advance_epoch()
+}
+
+proptest! {
+    /// Permutations: two insertion-only deliveries of the same edge set
+    /// in different orders produce bit-identical epochs.
+    #[test]
+    fn artifacts_invariant_under_permutation(
+        graph_seed in 0u64..30,
+        order_a in 0u64..1000,
+        order_b in 0u64..1000,
+        shards in 1usize..4,
+    ) {
+        let n = 24;
+        let g = gen::erdos_renyi(n, 0.18, graph_seed);
+        let config = GraphConfig::new(n).seed(5).shards(shards).batch_size(8);
+        let ea = epoch_of(config, GraphStream::insert_only(&g, order_a).updates());
+        let eb = epoch_of(config, GraphStream::insert_only(&g, order_b).updates());
+        prop_assert_eq!(
+            LinearSketch::to_bytes(ea.sketch()),
+            LinearSketch::to_bytes(eb.sketch()),
+            "sketch bytes diverged under permutation"
+        );
+        prop_assert_eq!(ea.net_edges().entries(), eb.net_edges().entries());
+        prop_assert_eq!(&ea.forest().result.edges, &eb.forest().result.edges);
+        prop_assert_eq!(&ea.forest().labels, &eb.forest().labels);
+        let (oa, ob) = (ea.oracle(), eb.oracle());
+        for u in 0..n as Vertex {
+            prop_assert_eq!(oa.estimate(u, (u + 5) % n as Vertex),
+                ob.estimate(u, (u + 5) % n as Vertex));
+        }
+    }
+
+    /// Interleavings: insert/delete schedules at different churn volumes
+    /// (1x vs 3x the live edges, different shuffles, different deletion
+    /// placements) with equal net effect produce bit-identical epochs —
+    /// even though one stream is several times the other's length.
+    #[test]
+    fn artifacts_invariant_under_churn_interleavings(
+        graph_seed in 0u64..30,
+        churn_seed_a in 0u64..500,
+        churn_seed_b in 0u64..500,
+        shards in 1usize..4,
+    ) {
+        let n = 24;
+        let g = gen::erdos_renyi(n, 0.18, graph_seed);
+        let config = GraphConfig::new(n).seed(7).shards(shards).batch_size(8);
+        let sa = GraphStream::with_churn(&g, 1.0, churn_seed_a);
+        let sb = GraphStream::with_churn(&g, 3.0, churn_seed_b);
+        let ea = epoch_of(config, sa.updates());
+        let eb = epoch_of(config, sb.updates());
+        prop_assert_eq!(
+            LinearSketch::to_bytes(ea.sketch()),
+            LinearSketch::to_bytes(eb.sketch()),
+            "sketch bytes diverged under interleaving"
+        );
+        prop_assert_eq!(ea.net_edges().entries(), eb.net_edges().entries());
+        prop_assert_eq!(&ea.forest().result.edges, &eb.forest().result.edges);
+        prop_assert_eq!(ea.forest().num_components, eb.forest().num_components);
+        let (oa, ob) = (ea.oracle(), eb.oracle());
+        for u in 0..n as Vertex {
+            prop_assert_eq!(oa.estimate(3, u), ob.estimate(3, u));
+        }
+    }
+
+    /// The guard rail: a deletion that would drive net multiplicity below
+    /// zero is rejected with a typed error, whole-batch-atomically, at
+    /// any position in the batch.
+    #[test]
+    fn deletions_below_zero_are_guarded(
+        graph_seed in 0u64..30,
+        bad_at in 0usize..6,
+    ) {
+        let n = 16;
+        let g = gen::erdos_renyi(n, 0.3, graph_seed);
+        let stream = GraphStream::insert_only(&g, graph_seed ^ 0x5A);
+        let reg = GraphRegistry::new();
+        let served = reg.create("g", GraphConfig::new(n).seed(1)).unwrap();
+        served.apply(stream.updates()).unwrap();
+
+        // A batch that is fine up to `bad_at`, then over-deletes a pair
+        // that was already deleted once.
+        let victim = stream.updates()[0].edge;
+        let mut batch: Vec<StreamUpdate> = (0..bad_at)
+            .map(|i| StreamUpdate::insert((i % 3) as Vertex, 10 + (i % 5) as Vertex))
+            .collect();
+        batch.push(StreamUpdate::delete(victim.u(), victim.v())); // legal: live
+        batch.push(StreamUpdate::delete(victim.u(), victim.v())); // below zero
+        let before = served.advance_epoch();
+        match served.apply(&batch) {
+            Err(ServiceError::NegativeMultiplicity { edge }) => {
+                prop_assert_eq!(edge, victim);
+            }
+            other => prop_assert!(false, "expected NegativeMultiplicity, got {:?}", other),
+        }
+        // Atomic: nothing from the bad batch landed — not even its legal
+        // prefix.
+        let after = served.advance_epoch();
+        prop_assert_eq!(after.total_updates(), before.total_updates());
+        prop_assert_eq!(
+            LinearSketch::to_bytes(after.sketch()),
+            LinearSketch::to_bytes(before.sketch())
+        );
+    }
+}
+
+/// Cut estimates join the invariance contract: KP12 over the sealed
+/// segment is deterministic, so two interleavings with one net effect
+/// serve identical cut values. One deterministic case (KP12 is too heavy
+/// for a 96-case property run).
+#[test]
+fn cut_estimates_invariant_under_interleavings() {
+    let n = 28;
+    let g = gen::erdos_renyi(n, 0.2, 11);
+    let config = GraphConfig::new(n).seed(13).shards(2);
+    let ea = epoch_of(config, GraphStream::with_churn(&g, 0.5, 12).updates());
+    let eb = epoch_of(config, GraphStream::with_churn(&g, 2.5, 13).updates());
+    let side: Vec<Vertex> = (0..n as Vertex).filter(|v| v % 3 == 0).collect();
+    let Response::CutEstimate(a) = ea.execute(&Query::CutEstimate(side.clone())).unwrap() else {
+        panic!("wrong variant");
+    };
+    let Response::CutEstimate(b) = eb.execute(&Query::CutEstimate(side)).unwrap() else {
+        panic!("wrong variant");
+    };
+    assert_eq!(a, b, "cut estimate diverged across interleavings");
+}
+
+/// Invalid deltas are typed errors too (the compacted log can only cancel
+/// ±1 steps).
+#[test]
+fn invalid_deltas_are_typed_errors() {
+    let reg = GraphRegistry::new();
+    let served = reg.create("g", GraphConfig::new(8)).unwrap();
+    let mut up = StreamUpdate::insert(0, 1);
+    up.delta = 3;
+    assert!(matches!(
+        served.apply(&[up]),
+        Err(ServiceError::InvalidDelta { delta: 3 })
+    ));
+    assert_eq!(served.advance_epoch().total_updates(), 0);
+}

@@ -40,7 +40,8 @@
 //! | 6 | [`crate::GuardedSketch`] |
 //! | 7 | [`crate::VectorFingerprint`] |
 //! | 8 | `dsg_agm::AgmSketch` (reserved here, implemented in `dsg-agm`) |
-//! | 9 | `dsg_store` checkpoint (a frame *of* frames: per-shard snapshots plus engine/WAL metadata; reserved here, implemented in `dsg-store`) |
+//! | 9 | `dsg_store` checkpoint, legacy raw-log format (retired: carried the full O(stream) update log; readers reject it with a typed error) |
+//! | 10 | `dsg_store` checkpoint v2 (a frame *of* frames: per-shard snapshots plus the compacted net-edge segment and engine/WAL metadata; reserved here, implemented in `dsg-store`) |
 
 /// Frame magic: identifies a dynamic-stream-graph wire snapshot.
 pub const MAGIC: [u8; 4] = *b"DSGW";
@@ -68,12 +69,20 @@ pub const KIND_GUARDED: u16 = 6;
 pub const KIND_FINGERPRINT: u16 = 7;
 /// Kind tag of `dsg_agm::AgmSketch` (reserved; the impl lives in dsg-agm).
 pub const KIND_AGM: u16 = 8;
-/// Kind tag of a `dsg_store` checkpoint file (reserved; the impl lives in
-/// dsg-store). Checkpoints reuse the sketch frame discipline — magic,
-/// version, kind, length, FNV-1a checksum — so a corrupt or truncated
-/// checkpoint is rejected by the same [`open_frame`] validation path as
-/// any shard snapshot.
+/// Kind tag of the **retired** raw-log `dsg_store` checkpoint format. Its
+/// payload nested the full update log — O(stream length) on disk — and no
+/// reader remains: `dsg-store` rejects frames of this kind with a loud
+/// typed error rather than misreading them under the v2 layout.
 pub const KIND_CHECKPOINT: u16 = 9;
+/// Kind tag of a `dsg_store` checkpoint file, format v2 (reserved; the
+/// impl lives in dsg-store). The payload nests per-shard snapshot frames
+/// plus the **compacted net-edge segment** in canonical sorted order, so
+/// checkpoint bytes are bounded by the live graph and deterministic.
+/// Checkpoints reuse the sketch frame discipline — magic, version, kind,
+/// length, FNV-1a checksum — so a corrupt or truncated checkpoint is
+/// rejected by the same [`open_frame`] validation path as any shard
+/// snapshot.
+pub const KIND_CHECKPOINT_V2: u16 = 10;
 
 /// Why a snapshot could not be decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -498,6 +498,40 @@ pub fn run_two_pass(stream: &dsg_graph::GraphStream, params: SpannerParams) -> T
     alg.into_output().expect("both passes completed")
 }
 
+/// Runs the two-pass spanner over a **net edge multiset** view instead of
+/// a materialized stream — the generalized entry point compacted serving
+/// and durability layers rebuild epoch artifacts from.
+///
+/// Each pass costs O(current edges) rather than O(stream length), and the
+/// output is bit-identical to [`run_two_pass`] on any raw stream with the
+/// same net effect: within a pass the algorithm's stream-facing state is
+/// linear in the updates, and everything between passes is a
+/// deterministic function of that state, so only the net multiset can be
+/// observed. `net_rebuild_matches_stream_replay` (and the service layer's
+/// property tests) assert the equivalence end to end.
+///
+/// # Examples
+///
+/// ```
+/// use dsg_graph::{gen, GraphStream};
+/// use dsg_spanner::{twopass, SpannerParams};
+///
+/// let g = gen::erdos_renyi(50, 0.2, 1);
+/// let stream = GraphStream::with_churn(&g, 2.0, 2);
+/// let params = SpannerParams::new(2, 3);
+/// let raw = twopass::run_two_pass(&stream, params);
+/// let net = twopass::run_two_pass_net(&stream.net_multiset(), params);
+/// assert_eq!(raw.spanner.edges(), net.spanner.edges());
+/// ```
+pub fn run_two_pass_net<M>(view: &M, params: SpannerParams) -> TwoPassOutput
+where
+    M: dsg_graph::EdgeMultiset + ?Sized,
+{
+    let mut alg = TwoPassSpanner::new(view.num_vertices(), params);
+    dsg_graph::pass::run_multiset(&mut alg, view);
+    alg.into_output().expect("both passes completed")
+}
+
 /// The worst-case space bound of Theorem 1 in bytes, for context in
 /// experiment tables: `~O(k · n^{1+1/k} · log^3 n)` words.
 pub fn theorem1_space_bound_bytes(n: usize, k: usize) -> f64 {
@@ -559,6 +593,28 @@ mod tests {
         let stream = GraphStream::with_churn(&g, 3.0, 10);
         let out = run_two_pass(&stream, SpannerParams::new(2, 11));
         assert!(verify::is_subgraph(&g, &out.spanner));
+    }
+
+    #[test]
+    fn net_rebuild_matches_stream_replay() {
+        // The compaction correctness ground: rebuilding both passes from
+        // the net edge multiset is bit-identical to replaying the raw
+        // churn stream — spanner edges, observed edges, forest shape.
+        for seed in [31u64, 32, 33] {
+            let g = gen::erdos_renyi(40, 0.2, seed);
+            let stream = GraphStream::with_churn(&g, 2.0, seed ^ 0x9E37);
+            let params = SpannerParams::new(2, seed);
+            let raw = run_two_pass(&stream, params);
+            let net = run_two_pass_net(&stream.net_multiset(), params);
+            assert_eq!(raw.spanner.edges(), net.spanner.edges(), "seed {seed}");
+            assert_eq!(raw.observed_edges, net.observed_edges, "seed {seed}");
+            assert_eq!(
+                raw.forest.witness_edges(),
+                net.forest.witness_edges(),
+                "seed {seed}"
+            );
+            assert_eq!(raw.stats.num_terminals, net.stats.num_terminals);
+        }
     }
 
     #[test]

@@ -324,6 +324,24 @@ pub fn run_sparsifier(stream: &GraphStream, params: SparsifierParams) -> Pipelin
     alg.into_output().expect("both passes completed")
 }
 
+/// Runs the streaming sparsifier over a **net edge multiset** view — the
+/// generalized entry point the epoch/durability layers rebuild cut
+/// artifacts from in O(current edges) per pass.
+///
+/// Bit-identical to [`run_sparsifier`] on any raw stream with the same
+/// net effect: the pipeline is a bank of two-pass spanners behind
+/// deterministic subsample filters, so its per-pass state is linear
+/// exactly when theirs is, and the post-pass weighting (Algorithm 6) is a
+/// deterministic function of that state.
+pub fn run_sparsifier_net<M>(view: &M, params: SparsifierParams) -> PipelineOutput
+where
+    M: dsg_graph::EdgeMultiset + ?Sized,
+{
+    let mut alg = TwoPassSparsifier::new(view.num_vertices(), params);
+    dsg_graph::pass::run_multiset(&mut alg, view);
+    alg.into_output().expect("both passes completed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +392,20 @@ mod tests {
             "eps={} (disconnection-level error)",
             q.epsilon
         );
+    }
+
+    #[test]
+    fn net_rebuild_matches_stream_replay() {
+        // The compaction correctness ground for cut artifacts: the whole
+        // pipeline, rebuilt from the net edge multiset, produces the same
+        // weighted sparsifier as a raw churn-stream replay.
+        let g = gen::erdos_renyi(26, 0.3, 13);
+        let stream = GraphStream::with_churn(&g, 1.5, 14);
+        let params = small_params(15);
+        let raw = run_sparsifier(&stream, params);
+        let net = run_sparsifier_net(&stream.net_multiset(), params);
+        assert_eq!(raw.sparsifier, net.sparsifier);
+        assert_eq!(raw.stats.observed_candidates, net.stats.observed_candidates);
     }
 
     #[test]

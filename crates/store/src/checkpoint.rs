@@ -2,29 +2,35 @@
 //! atomically-renamed file.
 //!
 //! A checkpoint is a `dsg_sketch::wire` frame of kind
-//! [`wire::KIND_CHECKPOINT`] — a frame *of* frames. Its payload holds the
-//! graph's configuration, the epoch counter, the WAL position the
-//! checkpoint covers, the frozen update log, and every shard's sketch as
-//! a nested [`LinearSketch::to_bytes`] frame:
+//! [`wire::KIND_CHECKPOINT_V2`] — a frame *of* frames. Its payload holds
+//! the graph's configuration, the epoch counter, the WAL position the
+//! checkpoint covers, the **compacted net-edge segment**, and every
+//! shard's sketch as a nested [`LinearSketch::to_bytes`] frame:
 //!
 //! ```text
 //! n, seed, shards, batch_size, spanner_k (u64 each), cut_eps (f64 bits)
 //! epoch, total_updates (u64 each)
 //! wal segment, wal offset (u64 each)
-//! log: count (u64) + 17-byte StreamUpdate records (the WAL encoding)
+//! net segment: count (u64) + 20-byte entries (u, v: u32; multiplicity:
+//!     u32; weight: f64 bits), strictly sorted by edge
 //! shard frames: count (u64) + length-prefixed AGM snapshot frames
 //! ```
 //!
 //! Because linear sketches *are* the stream state, this file plus the WAL
 //! tail after [`Checkpoint::wal_pos`] reconstructs the tenant exactly —
 //! recovery feeds the tail through the restored engine and, by linearity,
-//! lands bit-identically where an uninterrupted run would be.
+//! lands bit-identically where an uninterrupted run would be. The net
+//! segment rides along because the service's multi-pass epoch artifacts
+//! (spanner oracle, KP12 sparsifier) rebuild from the stream's net edge
+//! multiset — which, again by linearity, is *all* of the stream they can
+//! observe. Checkpoint size is therefore O(live graph), not O(stream
+//! length) (see DESIGN.md, "Log compaction by linearity"), and the
+//! sorted-entry encoding makes equal states produce equal bytes.
 //!
-//! The frozen log rides along because the service's multi-pass epoch
-//! artifacts (spanner oracle, KP12 sparsifier) rebuild from the stream,
-//! not the sketch — so checkpoint size is O(live stream length), same as
-//! the in-memory sealed log it mirrors (see DESIGN.md, "Known cost:
-//! checkpoints carry the frozen log").
+//! The retired kind-9 layout nested the raw update log instead; frames of
+//! that kind are rejected with the loud, typed
+//! [`StoreError::LegacyCheckpoint`] — never misread, never silently
+//! skipped.
 //!
 //! **Atomicity.** [`write_checkpoint`] writes `checkpoint.tmp`, fsyncs
 //! it, renames it over [`CHECKPOINT_FILE`], and fsyncs the directory — a
@@ -36,7 +42,7 @@
 use crate::wal::{self, WalPosition};
 use crate::StoreError;
 use dsg_agm::AgmSketch;
-use dsg_graph::StreamUpdate;
+use dsg_graph::{Edge, NetEdge, NetMultiset};
 use dsg_service::GraphConfig;
 use dsg_sketch::{wire, LinearSketch, WireError};
 use std::fs::File;
@@ -63,13 +69,20 @@ pub struct Checkpoint {
     /// WAL records strictly before this position are covered by the
     /// checkpoint; replay resumes here.
     pub wal_pos: WalPosition,
-    /// The frozen update log up to the capture point.
-    pub log: Vec<StreamUpdate>,
+    /// The compacted net-edge segment sealed at the capture point —
+    /// O(live graph), the whole multi-pass state a restore needs.
+    pub net: NetMultiset,
     /// Every shard's sketch at the capture point, in shard order.
     pub shards: Vec<AgmSketch>,
 }
 
-/// Serializes a checkpoint into its wire frame.
+/// On-disk size of one net-segment entry: two `u32` endpoints, a `u32`
+/// multiplicity, and the `f64` weight bits.
+const NET_ENTRY_BYTES: usize = 20;
+
+/// Serializes a checkpoint into its wire frame. The net segment is
+/// already canonically sorted ([`NetMultiset`] invariant), so equal
+/// states produce equal bytes.
 fn encode(cp: &Checkpoint) -> Vec<u8> {
     let mut payload = Vec::new();
     wire::put_u64(&mut payload, cp.config.n as u64);
@@ -82,23 +95,26 @@ fn encode(cp: &Checkpoint) -> Vec<u8> {
     wire::put_u64(&mut payload, cp.total_updates);
     wire::put_u64(&mut payload, cp.wal_pos.segment);
     wire::put_u64(&mut payload, cp.wal_pos.offset);
-    wire::put_len(&mut payload, cp.log.len());
-    for up in &cp.log {
-        wal::put_update(&mut payload, up);
+    wire::put_len(&mut payload, cp.net.num_edges());
+    for e in cp.net.entries() {
+        wire::put_u32(&mut payload, e.edge.u());
+        wire::put_u32(&mut payload, e.edge.v());
+        wire::put_u32(&mut payload, e.multiplicity);
+        wire::put_u64(&mut payload, e.weight.to_bits());
     }
     wire::put_len(&mut payload, cp.shards.len());
     for shard in &cp.shards {
         wire::put_block(&mut payload, &shard.snapshot());
     }
-    wire::finish_frame(wire::KIND_CHECKPOINT, payload)
+    wire::finish_frame(wire::KIND_CHECKPOINT_V2, payload)
 }
 
 /// Decodes and validates a checkpoint frame. Every structural violation —
 /// a config that would panic the service constructors, a shard count that
-/// disagrees with the config, a malformed update — is a [`WireError`],
-/// never a panic: checkpoint bytes are untrusted input.
+/// disagrees with the config, a malformed or mis-sorted net entry — is a
+/// [`WireError`], never a panic: checkpoint bytes are untrusted input.
 fn decode(bytes: &[u8]) -> Result<Checkpoint, WireError> {
-    let mut r = wire::open_frame(wire::KIND_CHECKPOINT, bytes)?;
+    let mut r = wire::open_frame(wire::KIND_CHECKPOINT_V2, bytes)?;
     let n = r.u64()? as usize;
     let seed = r.u64()?;
     let shards = r.u64()? as usize;
@@ -127,15 +143,50 @@ fn decode(bytes: &[u8]) -> Result<Checkpoint, WireError> {
         segment: r.u64()?,
         offset: r.u64()?,
     };
-    let log_len = r.read_len()?;
-    let mut log = Vec::with_capacity(log_len.min(1 << 20));
-    for _ in 0..log_len {
-        let chunk = r.bytes(wal::UPDATE_BYTES)?;
-        log.push(wal::get_update(chunk).ok_or(WireError::Malformed("malformed stream update"))?);
+    let net_len = r.read_len()?;
+    let mut entries: Vec<NetEdge> = Vec::with_capacity(net_len.min(1 << 20));
+    let mut total_multiplicity = 0u64;
+    for _ in 0..net_len {
+        let chunk = r.bytes(NET_ENTRY_BYTES)?;
+        let u = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+        let multiplicity = u32::from_le_bytes(chunk[8..12].try_into().expect("4 bytes"));
+        let weight = f64::from_bits(u64::from_le_bytes(
+            chunk[12..20].try_into().expect("8 bytes"),
+        ));
+        if u >= v {
+            return Err(WireError::Malformed("net entry endpoints not canonical"));
+        }
+        if v as usize >= n {
+            return Err(WireError::Malformed("net entry endpoint out of range"));
+        }
+        if multiplicity == 0 {
+            return Err(WireError::Malformed("net entry with zero multiplicity"));
+        }
+        if !weight.is_finite() {
+            return Err(WireError::Malformed("net entry with non-finite weight"));
+        }
+        let edge = Edge::new(u, v);
+        if let Some(prev) = entries.last() {
+            if prev.edge >= edge {
+                return Err(WireError::Malformed("net entries out of canonical order"));
+            }
+        }
+        total_multiplicity += multiplicity as u64;
+        entries.push(NetEdge {
+            edge,
+            weight,
+            multiplicity,
+        });
     }
-    if log.len() as u64 != total_updates {
-        return Err(WireError::Malformed("log length disagrees with counter"));
+    // Each unit of net multiplicity needs at least one insertion, so the
+    // segment can never outweigh the update counter.
+    if total_multiplicity > total_updates {
+        return Err(WireError::Malformed(
+            "net multiplicity exceeds update counter",
+        ));
     }
+    let net = NetMultiset::from_entries(n, entries);
     let shard_count = r.read_len()?;
     if shard_count != shards {
         return Err(WireError::Malformed("shard frames disagree with config"));
@@ -152,7 +203,7 @@ fn decode(bytes: &[u8]) -> Result<Checkpoint, WireError> {
         epoch,
         total_updates,
         wal_pos,
-        log,
+        net,
         shards: shard_sketches,
     })
 }
@@ -180,16 +231,28 @@ pub fn write_checkpoint(dir: &Path, cp: &Checkpoint) -> Result<(), StoreError> {
 /// # Errors
 ///
 /// [`StoreError::MissingCheckpoint`] if the file does not exist,
-/// [`StoreError::Io`] on read failures, [`StoreError::Frame`] if the
-/// frame fails validation (bad magic/version/kind, checksum mismatch,
-/// or a structurally invalid payload) — a damaged checkpoint is rejected
-/// whole, never half-loaded.
+/// [`StoreError::Io`] on read failures,
+/// [`StoreError::LegacyCheckpoint`] if the frame carries the retired
+/// raw-log kind (9) — rejected loudly, never misread under the v2
+/// layout — and [`StoreError::Frame`] if the frame fails validation
+/// (bad magic/version/kind, checksum mismatch, or a structurally invalid
+/// payload) — a damaged checkpoint is rejected whole, never half-loaded.
 pub fn read_checkpoint(dir: &Path) -> Result<Checkpoint, StoreError> {
     let path = dir.join(CHECKPOINT_FILE);
     if !path.exists() {
         return Err(StoreError::MissingCheckpoint(path));
     }
     let bytes = std::fs::read(&path)?;
+    // Header-only peek first: a retired-format frame deserves its own
+    // loud error, not a generic kind mismatch.
+    if let Ok(header) = wire::peek_kind(&bytes) {
+        if header.kind == wire::KIND_CHECKPOINT {
+            return Err(StoreError::LegacyCheckpoint {
+                path,
+                kind: header.kind,
+            });
+        }
+    }
     Ok(decode(&bytes)?)
 }
 
@@ -204,8 +267,10 @@ mod tests {
     fn sample_checkpoint() -> Checkpoint {
         let config = GraphConfig::new(12).seed(7).shards(3).batch_size(16);
         let mut shards: Vec<AgmSketch> = (0..3).map(|_| AgmSketch::new(12, 7)).collect();
-        let log: Vec<StreamUpdate> = (0..9u32).map(|v| StreamUpdate::insert(v, v + 1)).collect();
-        for (i, up) in log.iter().enumerate() {
+        let updates: Vec<dsg_graph::StreamUpdate> = (0..9u32)
+            .map(|v| dsg_graph::StreamUpdate::insert(v, v + 1))
+            .collect();
+        for (i, up) in updates.iter().enumerate() {
             shards[i % 3].update(up.edge, up.delta as i128);
         }
         Checkpoint {
@@ -216,7 +281,7 @@ mod tests {
                 segment: 2,
                 offset: 0,
             },
-            log,
+            net: NetMultiset::from_updates(12, &updates),
             shards,
         }
     }
@@ -231,10 +296,91 @@ mod tests {
         assert_eq!(back.epoch, 4);
         assert_eq!(back.total_updates, 9);
         assert_eq!(back.wal_pos, cp.wal_pos);
-        assert_eq!(back.log, cp.log);
+        assert_eq!(back.net, cp.net);
         for (a, b) in back.shards.iter().zip(&cp.shards) {
             assert_eq!(a.to_bytes(), b.to_bytes(), "shard frame diverged");
         }
+    }
+
+    #[test]
+    fn checkpoint_bytes_are_canonical() {
+        // Two tenants whose streams differ wildly in order and churn but
+        // share a net effect must checkpoint to byte-identical net
+        // segments (the shard frames differ only if the sketches do —
+        // and by linearity they don't).
+        let g = dsg_graph::gen::erdos_renyi(12, 0.3, 5);
+        let a = dsg_graph::GraphStream::with_churn(&g, 1.0, 6);
+        let b = dsg_graph::GraphStream::with_churn(&g, 3.0, 7);
+        let make = |stream: &dsg_graph::GraphStream, total: u64| {
+            let mut sk = AgmSketch::new(12, 7);
+            for up in stream.updates() {
+                sk.update(up.edge, up.delta as i128);
+            }
+            encode(&Checkpoint {
+                config: GraphConfig::new(12).seed(7).shards(1).batch_size(16),
+                epoch: 1,
+                total_updates: total,
+                wal_pos: WalPosition::START,
+                net: stream.net_multiset(),
+                shards: vec![sk],
+            })
+        };
+        // Same update counter on both sides so the only variable is the
+        // stream shape.
+        let total = (a.len().max(b.len())) as u64;
+        assert_eq!(
+            make(&a, total),
+            make(&b, total),
+            "equal net states must produce equal checkpoint bytes"
+        );
+    }
+
+    #[test]
+    fn legacy_kind_is_a_typed_loud_error() {
+        let dir = ScratchDir::new("cp-legacy");
+        let cp = sample_checkpoint();
+        write_checkpoint(dir.path(), &cp).unwrap();
+        let path = dir.path().join(CHECKPOINT_FILE);
+        // Rewrite the header's kind tag to the retired raw-log kind 9.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[6..8].copy_from_slice(&wire::KIND_CHECKPOINT.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match read_checkpoint(dir.path()) {
+            Err(StoreError::LegacyCheckpoint { kind, .. }) => {
+                assert_eq!(kind, wire::KIND_CHECKPOINT);
+            }
+            other => panic!("expected LegacyCheckpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mis_sorted_or_invalid_net_entries_rejected() {
+        let cp = sample_checkpoint();
+        let good = encode(&cp);
+        // Locate the first net entry (10 u64 header fields + count).
+        let entry0 = wire::HEADER_BYTES + 10 * 8 + 8;
+        // Swap entry 0 and entry 1: out of canonical order.
+        let mut bad = good.clone();
+        let (a, b) = (entry0, entry0 + NET_ENTRY_BYTES);
+        for i in 0..NET_ENTRY_BYTES {
+            bad.swap(a + i, b + i);
+        }
+        // Re-checksum so only the ordering violation is on trial.
+        let sum = wire::checksum(&bad[wire::HEADER_BYTES..]);
+        bad[16..24].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode(&bad),
+            Err(WireError::Malformed("net entries out of canonical order"))
+        ));
+        // Zero multiplicity is structural, too.
+        let mut bad = good;
+        bad[entry0 + 8..entry0 + 12].copy_from_slice(&0u32.to_le_bytes());
+        let sum = wire::checksum(&bad[wire::HEADER_BYTES..]);
+        bad[16..24].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode(&bad),
+            Err(WireError::Malformed("net entry with zero multiplicity"))
+        ));
     }
 
     #[test]

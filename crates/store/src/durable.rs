@@ -158,15 +158,15 @@ impl DurableGraph {
     /// # Errors
     ///
     /// [`StoreError::Service`] if any update names a vertex outside
-    /// `[0, n)`, [`StoreError::InvalidUpdate`] if an update would be
-    /// refused by the WAL decoder at recovery time (delta not ±1,
-    /// non-finite weight, degenerate edge) — both rejected before
+    /// `[0, n)`, drives a pair's net multiplicity below zero, or carries
+    /// a delta outside ±1; [`StoreError::InvalidUpdate`] if an update
+    /// would be refused by the WAL decoder at recovery time (delta not
+    /// ±1, non-finite weight, degenerate edge) — all rejected before
     /// anything is written, so the log never holds a record replay
     /// cannot accept and the WAL and engine never diverge.
     /// [`StoreError::Io`] if the append fails,
     /// [`StoreError::TenantRemoved`] after a durable remove.
     pub fn apply(&self, updates: &[StreamUpdate]) -> Result<u64, StoreError> {
-        let n = self.graph.config().n;
         for up in updates {
             // The log's own acceptance predicate: anything replay would
             // call corruption is refused here, while the operation can
@@ -176,18 +176,17 @@ impl DurableGraph {
                     "delta must be ±1, weight finite, edge endpoints distinct",
                 ));
             }
-            let big = up.edge.v(); // canonical order: v is the larger endpoint
-            if big as usize >= n {
-                return Err(StoreError::Service(ServiceError::VertexOutOfRange {
-                    vertex: big,
-                    n,
-                }));
-            }
         }
         let mut wal = self.wal.lock().expect("wal lock poisoned");
         self.ensure_open()?;
-        wal.append_batch(updates)?;
-        Ok(self.graph.apply(updates)?)
+        // Validation (vertex range + net-multiplicity non-negativity),
+        // the WAL append, and the in-memory apply all run under ONE
+        // ingest-lock hold inside apply_logged, so the state checked is
+        // exactly the state the batch lands on — the log never
+        // acknowledges a record memory would refuse, even against
+        // writers bypassing durability through `served()`.
+        self.graph
+            .apply_logged(updates, || wal.append_batch(updates).map(|_| ()))
     }
 
     /// Durably applies one edge insertion.
@@ -261,7 +260,7 @@ impl DurableGraph {
             epoch: state.epoch,
             total_updates: state.total_updates,
             wal_pos,
-            log: state.log,
+            net: state.net,
             shards: state.shards,
         };
         write_checkpoint(&self.dir, &cp)?;
@@ -411,7 +410,7 @@ impl DurableRegistry {
                 epoch: cp.epoch,
                 total_updates: cp.total_updates,
                 shards: cp.shards,
-                log: cp.log,
+                net: cp.net,
             },
         )?;
         // Replay first (read-only: a torn tail is dropped logically and
@@ -512,7 +511,7 @@ impl DurableRegistry {
                 epoch: 0,
                 total_updates: 0,
                 wal_pos: wal.position(),
-                log: Vec::new(),
+                net: dsg_graph::NetMultiset::empty(config.n),
                 shards: (0..config.shards)
                     .map(|_| AgmSketch::new(config.n, config.seed))
                     .collect(),

@@ -19,10 +19,13 @@
 //!   of `dsg_sketch::wire`), buffered writes, a configurable
 //!   [`SyncPolicy`], and torn-tail handling that truncates a partial
 //!   final record instead of erroring.
-//! * [`checkpoint`] — atomically-renamed checkpoint files holding every
-//!   shard's sketch as `LinearSketch::to_bytes` frames plus the graph
-//!   config, epoch counter, frozen log, and WAL position; once a
-//!   checkpoint lands, older WAL segments are compacted away.
+//! * [`checkpoint`] — atomically-renamed checkpoint files (wire kind 10,
+//!   format v2) holding the canonical per-shard sketch frames plus the
+//!   graph config, epoch counter, **compacted net-edge segment**, and
+//!   WAL position — O(live graph) bytes, not O(stream); once a
+//!   checkpoint lands, older WAL segments are compacted away. The
+//!   retired kind-9 raw-log format is rejected with a typed
+//!   [`StoreError::LegacyCheckpoint`].
 //! * [`durable`] — [`DurableGraph`] / [`DurableRegistry`], the persistent
 //!   mode of the service layer: `create` / `apply` / `advance_epoch` /
 //!   `remove` persist, and reopening the registry recovers every tenant
@@ -90,6 +93,17 @@ pub enum StoreError {
     /// The service layer rejected an operation (unknown graph, duplicate
     /// name, out-of-range vertex, …).
     Service(ServiceError),
+    /// The checkpoint file is a retired format this build no longer
+    /// reads: wire kind 9, the raw-log layout whose payload nested the
+    /// full O(stream) update log. Rejected loudly — re-checkpoint from a
+    /// build that still reads it — never misread under the v2 layout or
+    /// silently skipped.
+    LegacyCheckpoint {
+        /// The offending checkpoint file.
+        path: PathBuf,
+        /// The legacy kind tag found in the frame header.
+        kind: u16,
+    },
     /// A tenant directory already holds a checkpoint — refusing to
     /// overwrite an existing graph's durable state.
     TenantExists(String),
@@ -123,6 +137,14 @@ impl std::fmt::Display for StoreError {
                 "corrupt WAL record in segment {segment} at offset {offset}: {reason}"
             ),
             StoreError::Service(e) => write!(f, "service rejected durable operation: {e}"),
+            StoreError::LegacyCheckpoint { path, kind } => {
+                write!(
+                    f,
+                    "checkpoint {} uses retired wire kind {kind} (raw-log format); \
+                     this build reads only the v2 compacted-segment format",
+                    path.display()
+                )
+            }
             StoreError::TenantExists(name) => {
                 write!(f, "tenant '{name}' already has durable state")
             }

@@ -200,9 +200,8 @@ fn checksum(bytes: &[u8]) -> u64 {
     dsg_sketch::wire::checksum(bytes)
 }
 
-/// Encodes one update into the fixed 17-byte layout. Shared with the
-/// checkpoint module, so the WAL and the checkpoint's frozen log use one
-/// encoding.
+/// Encodes one update into the fixed 17-byte layout of WAL batch
+/// records.
 pub(crate) fn put_update(out: &mut Vec<u8>, up: &StreamUpdate) {
     out.extend_from_slice(&up.edge.u().to_le_bytes());
     out.extend_from_slice(&up.edge.v().to_le_bytes());

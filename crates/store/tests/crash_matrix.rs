@@ -11,10 +11,12 @@
 //!
 //! Alongside the matrix: checkpoint-corruption rejection properties
 //! mirroring `crates/sketch/tests/wire_props.rs` (any bit flip or
-//! truncation of the checkpoint file is a typed [`StoreError::Frame`],
-//! never a panic or a silent half-load), and WAL mid-log corruption
-//! (a fully present record with a bad body is [`StoreError::CorruptLog`],
-//! never silently skipped).
+//! truncation of the v2 checkpoint file — compacted net-edge segment
+//! included — is a typed [`StoreError::Frame`], never a panic or a
+//! silent half-load), a retired-format guard (a kind-9 raw-log frame is
+//! the loud, typed [`StoreError::LegacyCheckpoint`], not a panic or a
+//! silent skip), and WAL mid-log corruption (a fully present record with
+//! a bad body is [`StoreError::CorruptLog`], never silently skipped).
 
 use dsg_graph::{gen, GraphStream, StreamUpdate};
 use dsg_service::{GraphConfig, GraphRegistry, Query, Response};
@@ -254,9 +256,12 @@ proptest! {
         prop_assert_eq!(recovered, reference(&updates[..durable]));
     }
 
-    /// Any single bit flip anywhere in a checkpoint file is rejected as a
-    /// typed frame error — mirroring the corruption properties the sketch
-    /// wire format is tested under.
+    /// Any single bit flip anywhere in a v2 checkpoint file — the header,
+    /// the compacted net-edge segment, the nested shard frames — is
+    /// rejected as a typed frame error, mirroring the corruption
+    /// properties the sketch wire format is tested under. The churn
+    /// prefix guarantees the checkpoint carries a nonempty compacted
+    /// segment whose encoding the flips land in.
     #[test]
     fn checkpoint_bit_flips_are_rejected(byte_seed in 0usize..1000, bit in 0u8..8) {
         let scratch = ScratchDir::new("cp-flip");
@@ -301,6 +306,41 @@ proptest! {
             Err(StoreError::Frame(_))
         ));
     }
+}
+
+/// A checkpoint in the retired raw-log format (wire kind 9) must fail
+/// recovery with the loud, typed [`StoreError::LegacyCheckpoint`] — not a
+/// panic, not a generic frame error, and certainly not a silent skip
+/// that would "clean up" a tenant whose data is merely old.
+#[test]
+fn legacy_kind_checkpoint_fails_loudly() {
+    let scratch = ScratchDir::new("cp-legacy-kind");
+    let reg = DurableRegistry::open(scratch.path(), StoreOptions::default()).unwrap();
+    let g = reg.create("t", config()).unwrap();
+    g.apply(&stream(9)[..20]).unwrap();
+    g.checkpoint().unwrap();
+    let dir = g.dir().to_path_buf();
+    drop((g, reg));
+
+    // Rewrite the frame header's kind tag to the retired kind 9 (the
+    // payload checksum does not cover the header, so the frame is
+    // otherwise pristine — exactly what a real v1 file would look like
+    // to the header peek).
+    let path = dir.join(dsg_store::CHECKPOINT_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[6..8].copy_from_slice(&9u16.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    match DurableRegistry::open(scratch.path(), StoreOptions::default()) {
+        Err(StoreError::LegacyCheckpoint { kind, path }) => {
+            assert_eq!(kind, 9);
+            assert!(path.ends_with(dsg_store::CHECKPOINT_FILE));
+        }
+        Err(other) => panic!("wrong error class for a legacy checkpoint: {other}"),
+        Ok(_) => panic!("legacy checkpoint accepted"),
+    }
+    // The refusal must leave the tenant's files untouched.
+    assert!(dir.join(dsg_store::CHECKPOINT_FILE).exists());
 }
 
 /// A fully present WAL record with a corrupt body must fail recovery
