@@ -1,0 +1,72 @@
+//! Partitioned-ingest benchmarks: what hash-routing by edge identity
+//! costs and buys on churn-heavy streams.
+//!
+//! `fork_*` measures the epoch-advance primitive — forking every shard's
+//! live sketch between batches — at 1x vs ~10x churn over the same live
+//! graph. Under hash-partitioning the forked state is the shard's live
+//! subgraph, so the two should cost the same; a router blind to edge
+//! identity forks churn residue instead, and its cost tracks the stream.
+//! `routed_ingest` is the end-to-end push/dispatch/merge cycle at the
+//! production shard count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsg_agm::AgmSketch;
+use dsg_engine::{EdgeUpdate, EngineConfig, ShardedEngine};
+use dsg_graph::{gen, GraphStream};
+use std::hint::black_box;
+
+const N: usize = 200;
+const SHARDS: usize = 4;
+
+fn churned_updates(churn: f64) -> Vec<EdgeUpdate> {
+    let g = gen::erdos_renyi(N, 0.05, 7);
+    GraphStream::with_churn(&g, churn, 8)
+        .updates()
+        .iter()
+        .map(|up| EdgeUpdate::new(up.edge.index(N), up.delta as i128))
+        .collect()
+}
+
+fn bench_fork_under_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for (label, churn) in [("1x", 0.0), ("10x", 4.5)] {
+        let updates = churned_updates(churn);
+        // Ingest once; the bench measures only the mid-stream fork.
+        let cfg = EngineConfig::new(SHARDS).batch_size(256);
+        let mut eng = ShardedEngine::start(cfg, |_| AgmSketch::new(N, 42));
+        eng.push_all(&updates);
+        group.bench_with_input(
+            BenchmarkId::new("fork_live_shards", label),
+            &updates.len(),
+            |b, _| {
+                b.iter(|| black_box(eng.snapshot_shards()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_routed_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for (label, churn) in [("1x", 0.0), ("10x", 4.5)] {
+        let updates = churned_updates(churn);
+        group.bench_with_input(
+            BenchmarkId::new("routed_ingest", label),
+            &updates,
+            |b, updates| {
+                b.iter(|| {
+                    let cfg = EngineConfig::new(SHARDS).batch_size(256);
+                    let mut eng = ShardedEngine::start(cfg, |_| AgmSketch::new(N, 42));
+                    eng.push_all(black_box(updates));
+                    black_box(eng.finish().merged().unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fork_under_churn, bench_routed_ingest);
+criterion_main!(benches);

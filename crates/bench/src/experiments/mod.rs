@@ -5,6 +5,7 @@ pub mod additive_exps;
 pub mod compaction_exps;
 pub mod engine_exps;
 pub mod lowerbound_exps;
+pub mod partition_exps;
 pub mod service_exps;
 pub mod sketch_exps;
 pub mod spanner_exps;
@@ -36,6 +37,7 @@ pub const ALL: &[&str] = &[
     "service",
     "store",
     "compaction",
+    "partition",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -62,6 +64,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "service" => service_exps::service(scale),
         "store" => store_exps::store(scale),
         "compaction" => compaction_exps::compaction(scale),
+        "partition" => partition_exps::partition(scale),
         _ => return false,
     }
     true

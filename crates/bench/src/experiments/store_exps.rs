@@ -96,7 +96,7 @@ pub fn store(scale: Scale) {
          decode {read_ms:.1} ms, {} WAL segment(s) compacted\n",
         stats.epoch,
         cp.shards.len(),
-        cp.net.num_edges(),
+        cp.epoch_net().num_edges(),
         stats.segments_removed,
     );
 

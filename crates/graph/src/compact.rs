@@ -1,0 +1,273 @@
+//! The compacted update log: net edge multiplicities maintained
+//! incrementally at ingest.
+//!
+//! A raw update log grows with *stream length* — every insert/delete
+//! churn cycle leaves two updates behind forever, even though every
+//! linear sketch (and every artifact derived from one) is a function of
+//! the stream's **net edge multiset** alone. [`CompactedLog`] is the
+//! write-side fix: a net-multiplicity edge map where an insertion and a
+//! deletion of the same pair cancel on arrival, weights ride along, and
+//! [`seal`](CompactedLog::seal) produces the canonical order-free
+//! [`NetMultiset`] multi-pass artifacts rebuild from. State is O(current
+//! edges), never O(stream length).
+//!
+//! Cancellation is only sound if multiplicities stay non-negative — the
+//! dynamic-stream model's own precondition. The map therefore doubles as
+//! the validator: [`check_batch`](CompactedLog::check_batch) simulates a
+//! batch prefix-wise and rejects (typed, whole-batch-atomically) any
+//! deletion that would drive a pair below zero, before anything reaches
+//! a sketch.
+//!
+//! This module lives in `dsg-graph` (rather than the serving layer that
+//! first needed it) because the map is pure stream semantics: the
+//! sharded engine's per-shard segments, the service's epoch segments,
+//! and the store's checkpoint segments are all [`CompactedLog`]s sealed
+//! at different granularities.
+
+use crate::ids::Edge;
+use crate::multiset::{NetEdge, NetMultiset};
+use crate::stream::StreamUpdate;
+use std::collections::HashMap;
+
+/// Why a batch was refused by the compacted log's validator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactError {
+    /// An update carried a delta outside ±1 — not a dynamic-stream
+    /// update at all.
+    InvalidDelta {
+        /// The offending delta.
+        delta: i8,
+    },
+    /// A deletion would drive some pair's net multiplicity below zero —
+    /// outside the dynamic-stream model, and the one thing a compacted
+    /// log cannot represent. The whole batch is rejected atomically.
+    NegativeMultiplicity {
+        /// The pair the deletion would over-delete.
+        edge: Edge,
+    },
+}
+
+impl std::fmt::Display for CompactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompactError::InvalidDelta { delta } => {
+                write!(f, "update delta {delta} is not ±1")
+            }
+            CompactError::NegativeMultiplicity { edge } => {
+                write!(
+                    f,
+                    "deletion of {edge} would drive its net multiplicity below zero"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompactError {}
+
+/// One live pair's tracked state.
+#[derive(Debug, Clone, Copy)]
+struct LiveEdge {
+    /// Net multiplicity, strictly positive (zero entries are removed).
+    multiplicity: u32,
+    /// Weight of the last update that touched the pair (the model keeps
+    /// this constant while a pair is live: deletions repeat their
+    /// insertion's weight).
+    weight: f64,
+}
+
+/// A net-multiplicity edge map maintained incrementally at ingest —
+/// the write side of log compaction by linearity.
+#[derive(Debug, Clone)]
+pub struct CompactedLog {
+    n: usize,
+    live: HashMap<Edge, LiveEdge>,
+}
+
+impl CompactedLog {
+    /// An empty compacted log over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            live: HashMap::new(),
+        }
+    }
+
+    /// Rebuilds the map from a sealed segment (the restore path).
+    pub fn from_net(net: &NetMultiset) -> Self {
+        let live = net
+            .entries()
+            .iter()
+            .map(|e| {
+                (
+                    e.edge,
+                    LiveEdge {
+                        multiplicity: e.multiplicity,
+                        weight: e.weight,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            n: net.num_vertices(),
+            live,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct live pairs — the O(graph) size everything
+    /// downstream of the log is bounded by.
+    pub fn live_edges(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The current net multiplicity of `edge` (0 if the pair is not
+    /// live).
+    pub fn multiplicity(&self, edge: Edge) -> u32 {
+        self.live.get(&edge).map_or(0, |e| e.multiplicity)
+    }
+
+    /// Validates a whole batch against the current map without mutating
+    /// it: every delta must be ±1 and no prefix of the batch may drive
+    /// any pair's net multiplicity below zero. Callers run this before
+    /// anything lands, so a bad batch never half-applies.
+    ///
+    /// # Errors
+    ///
+    /// [`CompactError::InvalidDelta`] for a delta outside ±1,
+    /// [`CompactError::NegativeMultiplicity`] for a deletion below zero.
+    pub fn check_batch(&self, updates: &[StreamUpdate]) -> Result<(), CompactError> {
+        let mut offsets: HashMap<Edge, i64> = HashMap::new();
+        for up in updates {
+            if up.delta != 1 && up.delta != -1 {
+                return Err(CompactError::InvalidDelta { delta: up.delta });
+            }
+            let off = offsets.entry(up.edge).or_insert(0);
+            *off += up.delta as i64;
+            let base = self.multiplicity(up.edge) as i64;
+            if base + *off < 0 {
+                return Err(CompactError::NegativeMultiplicity { edge: up.edge });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one (already validated) update: insertions and deletions
+    /// of the same pair cancel, and a pair whose multiplicity returns to
+    /// zero leaves the map entirely.
+    pub fn apply(&mut self, up: &StreamUpdate) {
+        debug_assert!(up.delta == 1 || up.delta == -1, "validated upstream");
+        match self.live.entry(up.edge) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let e = o.get_mut();
+                if up.delta > 0 {
+                    e.multiplicity += 1;
+                    e.weight = up.weight;
+                } else {
+                    debug_assert!(e.multiplicity > 0, "validated upstream");
+                    e.multiplicity -= 1;
+                    if e.multiplicity == 0 {
+                        o.remove();
+                    } else {
+                        e.weight = up.weight;
+                    }
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                debug_assert!(up.delta > 0, "validated upstream");
+                v.insert(LiveEdge {
+                    multiplicity: 1,
+                    weight: up.weight,
+                });
+            }
+        }
+    }
+
+    /// Seals the current state into the canonical order-free net edge
+    /// segment — O(current edges), the epoch-advance cost of compaction.
+    pub fn seal(&self) -> NetMultiset {
+        let entries = self
+            .live
+            .iter()
+            .map(|(&edge, e)| NetEdge {
+                edge,
+                weight: e.weight,
+                multiplicity: e.multiplicity,
+            })
+            .collect();
+        NetMultiset::from_entries(self.n, entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancellation_keeps_state_at_live_edges() {
+        let mut log = CompactedLog::new(8);
+        for _ in 0..100 {
+            for up in [StreamUpdate::insert(0, 1), StreamUpdate::delete(0, 1)] {
+                log.check_batch(std::slice::from_ref(&up)).unwrap();
+                log.apply(&up);
+            }
+        }
+        assert_eq!(log.live_edges(), 0);
+        log.apply(&StreamUpdate::insert(2, 3));
+        assert_eq!(log.live_edges(), 1);
+        assert_eq!(log.multiplicity(Edge::new(2, 3)), 1);
+        let net = log.seal();
+        assert_eq!(net.num_edges(), 1);
+        assert_eq!(net.entries()[0].edge, Edge::new(2, 3));
+    }
+
+    #[test]
+    fn deletion_below_zero_is_guarded() {
+        let log = CompactedLog::new(8);
+        assert!(matches!(
+            log.check_batch(&[StreamUpdate::delete(0, 1)]),
+            Err(CompactError::NegativeMultiplicity { edge }) if edge == Edge::new(0, 1)
+        ));
+        // A batch may delete what it inserts, in order…
+        log.check_batch(&[StreamUpdate::insert(0, 1), StreamUpdate::delete(0, 1)])
+            .unwrap();
+        // …but not the other way around (prefix-wise validation).
+        assert!(matches!(
+            log.check_batch(&[StreamUpdate::delete(0, 1), StreamUpdate::insert(0, 1)]),
+            Err(CompactError::NegativeMultiplicity { .. })
+        ));
+    }
+
+    #[test]
+    fn weird_deltas_are_rejected() {
+        let log = CompactedLog::new(4);
+        let mut up = StreamUpdate::insert(0, 1);
+        up.delta = 0;
+        assert!(matches!(
+            log.check_batch(&[up]),
+            Err(CompactError::InvalidDelta { delta: 0 })
+        ));
+    }
+
+    #[test]
+    fn seal_roundtrips_through_from_net() {
+        let mut log = CompactedLog::new(10);
+        for up in [
+            StreamUpdate::insert(0, 1),
+            StreamUpdate::insert(0, 1),
+            StreamUpdate::insert(4, 7),
+            StreamUpdate::delete(0, 1),
+        ] {
+            log.apply(&up);
+        }
+        let net = log.seal();
+        let back = CompactedLog::from_net(&net);
+        assert_eq!(back.seal(), net);
+        assert_eq!(back.live_edges(), 2);
+        assert_eq!(back.multiplicity(Edge::new(0, 1)), 1);
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`multiset`] — the order-free **net edge multiset** a stream leaves
 //!   behind ([`NetMultiset`]), the O(current edges) input every linear
 //!   algorithm can be rebuilt from;
+//! * [`compact`] — the write side of that summary: [`CompactedLog`]
+//!   maintains net multiplicities incrementally at ingest (insert/delete
+//!   churn cancels on arrival) and seals into a [`NetMultiset`];
 //! * [`pass`] — the multi-pass driver trait tying streaming algorithms to
 //!   streams (and, via [`pass::run_multiset`], to net multisets).
 //!
@@ -38,6 +41,7 @@
 //! ```
 
 pub mod bfs;
+pub mod compact;
 pub mod components;
 pub mod dijkstra;
 pub mod gen;
@@ -48,6 +52,7 @@ pub mod multiset;
 pub mod pass;
 pub mod stream;
 
+pub use compact::{CompactError, CompactedLog};
 pub use graph::{Graph, WeightedGraph};
 pub use ids::{index_to_pair, pair_to_index, Edge, Vertex};
 pub use multiset::{EdgeMultiset, NetEdge, NetMultiset};

@@ -177,6 +177,35 @@ impl NetMultiset {
         WeightedGraph::from_edges(self.n, self.entries.iter().map(|e| (e.edge, e.weight)))
     }
 
+    /// Merges multisets over *disjoint* pair sets (e.g. the sealed
+    /// per-shard segments of an edge-partitioned engine, where routing by
+    /// edge identity guarantees disjointness) into one canonical
+    /// multiset. Concatenation is exact: because no pair appears in two
+    /// parts, no multiplicities need combining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a part disagrees on the vertex count or if the same pair
+    /// appears in two parts — both are caller bugs (the parts were not a
+    /// partition).
+    pub fn merge_disjoint<'a, I>(n: usize, parts: I) -> Self
+    where
+        I: IntoIterator<Item = &'a NetMultiset>,
+    {
+        let mut entries = Vec::new();
+        for part in parts {
+            assert_eq!(
+                part.num_vertices(),
+                n,
+                "vertex count mismatch in disjoint merge"
+            );
+            entries.extend_from_slice(part.entries());
+        }
+        // from_entries re-sorts and panics on any duplicate pair, which is
+        // exactly the disjointness check.
+        Self::from_entries(n, entries)
+    }
+
     /// An insertion-only stream with this net effect (one `+1` update per
     /// unit of multiplicity, in canonical order) — the bridge back to
     /// stream-shaped APIs for callers that still need one.

@@ -1,75 +1,81 @@
-//! The compacted update log: net edge multiplicities maintained
-//! incrementally at ingest.
+//! The serving layer's sharded compacted log: one net-multiplicity edge
+//! map per engine shard, partitioned by the engine's own routing
+//! function.
 //!
-//! The raw update log the serving layer used to carry (sealed
-//! `Arc<Vec<StreamUpdate>>` chunks) grew with *stream length* — every
-//! insert/delete churn cycle left two updates behind forever, even though
-//! every artifact the layer serves is a linear function of the stream and
-//! therefore of its **net edge multiset** alone. [`CompactedLog`] is the
-//! write-side replacement: a net-multiplicity edge map where an insertion
-//! and a deletion of the same pair cancel on arrival, weights ride along,
-//! and [`seal`](CompactedLog::seal) produces the canonical order-free
-//! [`NetMultiset`] an epoch snapshot rebuilds its multi-pass artifacts
-//! from. State is O(current edges), never O(stream length).
-//!
-//! Cancellation is only sound if multiplicities stay non-negative — the
-//! dynamic-stream model's own precondition. The map therefore doubles as
-//! the validator: [`check_batch`](CompactedLog::check_batch) simulates a
-//! batch prefix-wise and rejects (typed, whole-batch-atomically) any
-//! deletion that would drive a pair below zero, before anything reaches
-//! the engine.
+//! The cancellation core itself ([`CompactedLog`]) lives in `dsg-graph`
+//! (`dsg_graph::compact`) — it is pure stream semantics. This module
+//! mirrors the edge-partitioned engine on the validation side:
+//! [`ShardedCompactedLog`] keeps one [`CompactedLog`] per shard, routes
+//! every update with [`dsg_engine::shard_for`] exactly as the engine
+//! routes it to a worker, and seals **per-shard net segments** whose
+//! concatenation is the epoch segment. Because routing is by edge
+//! identity, the shard segments are disjoint by construction — assembling
+//! the epoch segment is a concatenation
+//! ([`NetMultiset::merge_disjoint`]), not a multiplicity merge — and each
+//! shard's segment is precisely the net sub-stream its engine worker has
+//! sketched, which is what lets a checkpoint persist true per-shard
+//! frames and re-seed each worker's compacted state on restore.
 
 use crate::ServiceError;
-use dsg_graph::{Edge, NetEdge, NetMultiset, StreamUpdate};
+use dsg_engine::shard_for;
+use dsg_graph::{CompactedLog, Edge, NetMultiset, StreamUpdate};
 use std::collections::HashMap;
 
-/// One live pair's tracked state.
-#[derive(Debug, Clone, Copy)]
-struct LiveEdge {
-    /// Net multiplicity, strictly positive (zero entries are removed).
-    multiplicity: u32,
-    /// Weight of the last update that touched the pair (the model keeps
-    /// this constant while a pair is live: deletions repeat their
-    /// insertion's weight).
-    weight: f64,
-}
-
-/// A net-multiplicity edge map maintained incrementally at ingest —
-/// the write side of log compaction by linearity.
+/// One compacted log per engine shard, partitioned by
+/// [`dsg_engine::shard_for`] over the canonical edge id — the write-side
+/// mirror of the edge-partitioned engine.
 #[derive(Debug, Clone)]
-pub struct CompactedLog {
+pub struct ShardedCompactedLog {
     n: usize,
-    live: HashMap<Edge, LiveEdge>,
+    shards: Vec<CompactedLog>,
 }
 
-impl CompactedLog {
-    /// An empty compacted log over `n` vertices.
-    pub fn new(n: usize) -> Self {
+impl ShardedCompactedLog {
+    /// Empty logs over `n` vertices, one per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(n: usize, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
         Self {
             n,
-            live: HashMap::new(),
+            shards: (0..shards).map(|_| CompactedLog::new(n)).collect(),
         }
     }
 
-    /// Rebuilds the map from a sealed segment (the restore path).
-    pub fn from_net(net: &NetMultiset) -> Self {
-        let live = net
-            .entries()
+    /// Rebuilds the per-shard maps from sealed per-shard segments (the
+    /// restore path of a durability layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets` is empty, if the segments disagree on the vertex
+    /// count, or if some entry is routed to the wrong shard under
+    /// [`shard_for`] — a checkpoint can only restore into the partition
+    /// it was taken from.
+    pub fn from_shard_nets(nets: &[NetMultiset]) -> Self {
+        let n = nets
+            .first()
+            .expect("need at least one shard segment")
+            .num_vertices();
+        let shards: Vec<CompactedLog> = nets
             .iter()
-            .map(|e| {
-                (
-                    e.edge,
-                    LiveEdge {
-                        multiplicity: e.multiplicity,
-                        weight: e.weight,
-                    },
-                )
+            .map(|net| {
+                assert_eq!(net.num_vertices(), n, "shard segment vertex-count mismatch");
+                CompactedLog::from_net(net)
             })
             .collect();
-        Self {
-            n: net.num_vertices(),
-            live,
+        for (i, net) in nets.iter().enumerate() {
+            for e in net.entries() {
+                assert_eq!(
+                    shard_for(e.edge.index(n), nets.len()),
+                    i,
+                    "segment entry {} routed to the wrong shard",
+                    e.edge
+                );
+            }
         }
+        Self { n, shards }
     }
 
     /// Number of vertices.
@@ -77,14 +83,25 @@ impl CompactedLog {
         self.n
     }
 
-    /// Number of distinct live pairs — the O(graph) size the serving and
-    /// durability layers are now bounded by.
-    pub fn live_edges(&self) -> usize {
-        self.live.len()
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Validates a whole batch against the current map without mutating
-    /// it: every delta must be ±1 and no prefix of the batch may drive
+    /// Total distinct live pairs across all shards — the O(graph) size
+    /// the serving and durability layers are bounded by.
+    pub fn live_edges(&self) -> usize {
+        self.shards.iter().map(CompactedLog::live_edges).sum()
+    }
+
+    /// The shard that owns `edge` — by construction the same worker the
+    /// engine routes the edge's updates to.
+    fn shard_of(&self, edge: Edge) -> usize {
+        shard_for(edge.index(self.n), self.shards.len())
+    }
+
+    /// Validates a whole batch against the current maps without mutating
+    /// them: every delta must be ±1 and no prefix of the batch may drive
     /// any pair's net multiplicity below zero. `ServedGraph::apply` calls
     /// this before anything lands, so a bad batch never half-applies.
     ///
@@ -100,7 +117,7 @@ impl CompactedLog {
             }
             let off = offsets.entry(up.edge).or_insert(0);
             *off += up.delta as i64;
-            let base = self.live.get(&up.edge).map_or(0, |e| e.multiplicity as i64);
+            let base = self.shards[self.shard_of(up.edge)].multiplicity(up.edge) as i64;
             if base + *off < 0 {
                 return Err(ServiceError::NegativeMultiplicity { edge: up.edge });
             }
@@ -108,50 +125,25 @@ impl CompactedLog {
         Ok(())
     }
 
-    /// Applies one (already validated) update: insertions and deletions
-    /// of the same pair cancel, and a pair whose multiplicity returns to
-    /// zero leaves the map entirely.
+    /// Applies one (already validated) update to the owning shard's map.
     pub(crate) fn apply(&mut self, up: &StreamUpdate) {
-        debug_assert!(up.delta == 1 || up.delta == -1, "validated upstream");
-        match self.live.entry(up.edge) {
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                let e = o.get_mut();
-                if up.delta > 0 {
-                    e.multiplicity += 1;
-                    e.weight = up.weight;
-                } else {
-                    debug_assert!(e.multiplicity > 0, "validated upstream");
-                    e.multiplicity -= 1;
-                    if e.multiplicity == 0 {
-                        o.remove();
-                    } else {
-                        e.weight = up.weight;
-                    }
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                debug_assert!(up.delta > 0, "validated upstream");
-                v.insert(LiveEdge {
-                    multiplicity: 1,
-                    weight: up.weight,
-                });
-            }
-        }
+        let shard = self.shard_of(up.edge);
+        self.shards[shard].apply(up);
     }
 
-    /// Seals the current state into the canonical order-free net edge
-    /// segment — O(current edges), the epoch-advance cost of compaction.
-    pub fn seal(&self) -> NetMultiset {
-        let entries = self
-            .live
-            .iter()
-            .map(|(&edge, e)| NetEdge {
-                edge,
-                weight: e.weight,
-                multiplicity: e.multiplicity,
-            })
-            .collect();
-        NetMultiset::from_entries(self.n, entries)
+    /// Seals every shard's state into its canonical net segment, in shard
+    /// order — what a checkpoint persists next to the per-shard sketch
+    /// frames. O(current edges) total.
+    pub fn seal_shards(&self) -> Vec<NetMultiset> {
+        self.shards.iter().map(CompactedLog::seal).collect()
+    }
+
+    /// Seals the whole epoch segment by concatenating the (disjoint)
+    /// shard segments — the input every multi-pass epoch artifact
+    /// rebuilds from.
+    pub fn seal_epoch(&self) -> NetMultiset {
+        let shard_nets = self.seal_shards();
+        NetMultiset::merge_disjoint(self.n, &shard_nets)
     }
 }
 
@@ -163,7 +155,7 @@ mod tests {
 
     #[test]
     fn cancellation_keeps_state_at_live_edges() {
-        let mut log = CompactedLog::new(8);
+        let mut log = ShardedCompactedLog::new(8, 3);
         for _ in 0..100 {
             for up in [StreamUpdate::insert(0, 1), StreamUpdate::delete(0, 1)] {
                 log.check_batch(std::slice::from_ref(&up)).unwrap();
@@ -173,14 +165,14 @@ mod tests {
         assert_eq!(log.live_edges(), 0);
         log.apply(&StreamUpdate::insert(2, 3));
         assert_eq!(log.live_edges(), 1);
-        let net = log.seal();
+        let net = log.seal_epoch();
         assert_eq!(net.num_edges(), 1);
         assert_eq!(net.entries()[0].edge, Edge::new(2, 3));
     }
 
     #[test]
     fn deletion_below_zero_is_guarded() {
-        let log = CompactedLog::new(8);
+        let log = ShardedCompactedLog::new(8, 2);
         assert!(matches!(
             log.check_batch(&[StreamUpdate::delete(0, 1)]),
             Err(ServiceError::NegativeMultiplicity { edge }) if edge == Edge::new(0, 1)
@@ -197,7 +189,7 @@ mod tests {
 
     #[test]
     fn weird_deltas_are_rejected() {
-        let log = CompactedLog::new(4);
+        let log = ShardedCompactedLog::new(4, 1);
         let mut up = StreamUpdate::insert(0, 1);
         up.delta = 0;
         assert!(matches!(
@@ -207,19 +199,57 @@ mod tests {
     }
 
     #[test]
-    fn seal_roundtrips_through_from_net() {
-        let mut log = CompactedLog::new(10);
+    fn shard_segments_partition_the_epoch_segment() {
+        let n = 12;
+        let mut log = ShardedCompactedLog::new(n, 3);
+        for u in 0..(n as u32 - 1) {
+            log.apply(&StreamUpdate::insert(u, u + 1));
+        }
+        let shard_nets = log.seal_shards();
+        assert_eq!(shard_nets.len(), 3);
+        // Every sealed entry sits in the shard that owns its edge id.
+        for (i, net) in shard_nets.iter().enumerate() {
+            for e in net.entries() {
+                assert_eq!(shard_for(e.edge.index(n), 3), i);
+            }
+        }
+        // Concatenating the segments reproduces the epoch segment.
+        let total: usize = shard_nets.iter().map(NetMultiset::num_edges).sum();
+        let epoch = log.seal_epoch();
+        assert_eq!(epoch.num_edges(), total);
+        assert_eq!(epoch.num_edges(), n - 1);
+    }
+
+    #[test]
+    fn seal_roundtrips_through_from_shard_nets() {
+        let n = 10;
+        let mut log = ShardedCompactedLog::new(n, 4);
         for up in [
             StreamUpdate::insert(0, 1),
             StreamUpdate::insert(0, 1),
             StreamUpdate::insert(4, 7),
+            StreamUpdate::insert(2, 9),
             StreamUpdate::delete(0, 1),
         ] {
             log.apply(&up);
         }
-        let net = log.seal();
-        let back = CompactedLog::from_net(&net);
-        assert_eq!(back.seal(), net);
-        assert_eq!(back.live_edges(), 2);
+        let shard_nets = log.seal_shards();
+        let back = ShardedCompactedLog::from_shard_nets(&shard_nets);
+        assert_eq!(back.seal_shards(), shard_nets);
+        assert_eq!(back.seal_epoch(), log.seal_epoch());
+        assert_eq!(back.live_edges(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "routed to the wrong shard")]
+    fn mis_routed_segments_are_rejected_on_restore() {
+        let n = 10;
+        let mut log = ShardedCompactedLog::new(n, 4);
+        for u in 0..8 {
+            log.apply(&StreamUpdate::insert(u, u + 1));
+        }
+        let mut nets = log.seal_shards();
+        nets.reverse(); // segments now claim the wrong shards
+        let _ = ShardedCompactedLog::from_shard_nets(&nets);
     }
 }

@@ -59,10 +59,11 @@ mod query;
 mod registry;
 mod workload;
 
-pub use compact::CompactedLog;
+pub use compact::ShardedCompactedLog;
+pub use dsg_graph::{CompactError, CompactedLog};
 pub use epoch::{ArtifactStatus, CutData, EpochSnapshot, ForestData};
 pub use query::{GraphStats, Query, QueryService, QueryTicket, Response};
-pub use registry::{GraphRegistry, PersistedGraph, ServedGraph};
+pub use registry::{GraphRegistry, PersistedGraph, PersistedShard, ServedGraph};
 pub use workload::{LoadGen, QueryMix};
 
 use dsg_core::engine::EngineBuilder;
@@ -268,6 +269,19 @@ impl std::error::Error for ServiceError {
 impl From<WireError> for ServiceError {
     fn from(err: WireError) -> Self {
         ServiceError::BadFrame(err)
+    }
+}
+
+/// The compacted-log core (now in `dsg-graph`) reports model violations
+/// with its own error type; the serving layer surfaces them unchanged.
+impl From<CompactError> for ServiceError {
+    fn from(err: CompactError) -> Self {
+        match err {
+            CompactError::InvalidDelta { delta } => ServiceError::InvalidDelta { delta },
+            CompactError::NegativeMultiplicity { edge } => {
+                ServiceError::NegativeMultiplicity { edge }
+            }
+        }
     }
 }
 

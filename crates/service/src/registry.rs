@@ -7,14 +7,17 @@
 //! between the two sides: it forks every shard's state between batches
 //! (workers keep running), merges the forks, and publishes the result.
 //!
-//! The update log is kept **compacted** ([`CompactedLog`]): insertions
-//! and deletions of the same pair cancel at ingest, so writer-side state
-//! is O(current edges) — never O(stream length) — and advancing an epoch
-//! seals the net edge segment (O(current edges)) alongside the sketch
-//! forks. Multi-pass epoch artifacts rebuild from the sealed segment,
-//! bit-identically to a raw-log replay, by pass linearity.
+//! The update log is kept **compacted and sharded**
+//! ([`ShardedCompactedLog`]): updates route to a per-shard
+//! net-multiplicity map with the same hash the engine routes them to a
+//! worker, insertions and deletions of the same pair cancel at ingest,
+//! and writer-side state is O(current edges) — never O(stream length).
+//! Advancing an epoch seals one net segment per shard and assembles the
+//! epoch segment by concatenating them (disjoint by routing). Multi-pass
+//! epoch artifacts rebuild from the assembled segment, bit-identically to
+//! a raw-log replay, by pass linearity.
 
-use crate::compact::CompactedLog;
+use crate::compact::ShardedCompactedLog;
 use crate::epoch::EpochSnapshot;
 use crate::query::{Query, Response};
 use crate::{GraphConfig, ServiceError};
@@ -25,10 +28,11 @@ use dsg_sketch::wire;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
-/// Writer-side state: the live engine plus the compacted update log.
+/// Writer-side state: the live engine plus the sharded compacted log,
+/// partitioned by the same routing function.
 struct IngestState {
     engine: ShardedEngine<AgmSketch>,
-    live: CompactedLog,
+    live: ShardedCompactedLog,
 }
 
 /// Everything a durability layer must persist to bring a [`ServedGraph`]
@@ -46,20 +50,50 @@ pub struct PersistedGraph {
     pub epoch: u64,
     /// Updates ingested up to the capture point.
     pub total_updates: u64,
-    /// The per-shard sketches a restored engine resumes from, in shard
-    /// order — in **canonical factorization**: the merged capture-point
-    /// summary in shard 0, zero sketches elsewhere. Only the shard *sum*
-    /// is observable (every read path merges before decoding), so this
-    /// loses nothing, while the raw forks it replaces grew with stream
-    /// churn: round-robin routing splits an edge's insertion and
-    /// deletion across shards, so cancellation happens only in the sum.
-    /// Canonical shards make persisted bytes a deterministic function of
-    /// the net stream state, bounded by the live graph.
-    pub shards: Vec<AgmSketch>,
-    /// The compacted net edge segment sealed at the capture point —
-    /// O(current edges), the whole multi-pass state a restore needs
-    /// (every artifact is a function of the net multiset by linearity).
+    /// One [`PersistedShard`] per engine shard, in shard order: the
+    /// worker's true capture-point sketch next to its sealed net segment.
+    /// With hash-partitioned routing the raw forks **are** canonical —
+    /// shard `i`'s sketch is a deterministic function of the net
+    /// sub-stream of the edges `shard_for` assigns it, bounded by the
+    /// live subgraph the shard owns, no matter how much churn flowed
+    /// through. (The previous round-robin engine needed a "canonical
+    /// factorization" workaround here — merged summary in shard 0, zero
+    /// sketches elsewhere — because raw round-robin forks grew with churn
+    /// residue. Edge partitioning made that workaround unnecessary and it
+    /// has been deleted.)
+    pub shards: Vec<PersistedShard>,
+}
+
+/// One engine shard's persisted state: its capture-point sketch and the
+/// sealed net segment of the edges it owns. The two sides are views of
+/// the same sub-stream — the sketch is what the worker resumes ingest
+/// from, the segment is what re-seeds its compacted log and, concatenated
+/// across shards, rebuilds the epoch's multi-pass artifacts.
+#[derive(Debug, Clone)]
+pub struct PersistedShard {
+    /// The shard worker's sketch at the capture point.
+    pub sketch: AgmSketch,
+    /// The sealed net segment of the edges this shard owns.
     pub net: NetMultiset,
+}
+
+impl PersistedGraph {
+    /// Assembles the epoch-wide net segment by concatenating the
+    /// (disjoint, routing-partitioned) shard segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard segments are not disjoint or disagree on the
+    /// vertex count — persisted state from a correct capture always is.
+    pub fn epoch_net(&self) -> NetMultiset {
+        let n = self
+            .shards
+            .first()
+            .expect("persisted graph has at least one shard")
+            .net
+            .num_vertices();
+        NetMultiset::merge_disjoint(n, self.shards.iter().map(|s| &s.net))
+    }
 }
 
 /// Folds shard forks into one sketch while cloning only the first —
@@ -110,7 +144,7 @@ impl ServedGraph {
             config,
             ingest: Mutex::new(IngestState {
                 engine,
-                live: CompactedLog::new(n),
+                live: ShardedCompactedLog::new(n, config.shards),
             }),
             current: RwLock::new(Arc::new(epoch0)),
         }
@@ -253,7 +287,8 @@ impl ServedGraph {
         self.publish(&mut st, merged)
     }
 
-    /// Seals the compacted log into its canonical net edge segment and
+    /// Seals every shard's compacted log and assembles the epoch's net
+    /// edge segment by concatenating the (disjoint) shard segments, then
     /// swaps in the new snapshot. Must be called with the ingest lock
     /// held (enforced by the `&mut` borrow). O(current edges) — bounded
     /// by the live graph no matter how long the stream has run.
@@ -264,7 +299,7 @@ impl ServedGraph {
             next_epoch,
             self.config,
             merged,
-            Arc::new(st.live.seal()),
+            Arc::new(st.live.seal_epoch()),
             total,
         ));
         *self.current.write().expect("epoch lock poisoned") = Arc::clone(&snap);
@@ -274,45 +309,51 @@ impl ServedGraph {
     /// Advances an epoch and captures the state a durability layer must
     /// persist, **atomically**: under one ingest-lock hold, every shard is
     /// forked at the same stream position, the forks are merged and
-    /// published as the new epoch, and the forks themselves plus the
-    /// (now fully sealed) update log are returned. A graph restored from
-    /// the result — [`GraphRegistry::restore`] — serves the same answers,
-    /// bit for bit, as this one did at the capture point.
+    /// published as the new epoch, and each shard's true fork is returned
+    /// next to its sealed net segment. With hash-partitioned routing the
+    /// forks need no canonicalization — each is already a deterministic,
+    /// O(live subgraph ∩ shard) function of the net sub-stream the shard
+    /// owns. A graph restored from the result —
+    /// [`GraphRegistry::restore`] — serves the same answers, bit for bit,
+    /// as this one did at the capture point.
     pub fn checkpoint_state(&self) -> PersistedGraph {
         let mut st = self.ingest.lock().expect("ingest lock poisoned");
         let forks = st.engine.snapshot_shards();
         let merged = merge_forks(&forks);
-        let (n, seed) = (self.config.n, self.config.seed);
-        // Canonical factorization (see the `shards` field docs): persist
-        // the merged summary plus zero shards instead of the raw forks,
-        // whose bytes grow with churn residue rather than the live graph.
-        let mut shards = Vec::with_capacity(forks.len());
-        shards.push(merged.clone());
-        shards.extend((1..forks.len()).map(|_| AgmSketch::new(n, seed)));
+        let shard_nets = st.live.seal_shards();
         let snap = self.publish(&mut st, merged);
+        debug_assert_eq!(forks.len(), shard_nets.len(), "one segment per shard");
         PersistedGraph {
             epoch: snap.epoch(),
             total_updates: st.engine.pushed(),
-            shards,
-            // The segment the snapshot just sealed — shared, not resealed.
-            net: (**snap.net_edges()).clone(),
+            shards: forks
+                .into_iter()
+                .zip(shard_nets)
+                .map(|(sketch, net)| PersistedShard { sketch, net })
+                .collect(),
         }
     }
 
-    /// Rebuilds a served graph from persisted state: the engine resumes
-    /// from the per-shard sketches (workers spawn pre-loaded), and the
-    /// capture-point epoch is republished as the current snapshot.
+    /// Rebuilds a served graph from persisted state: each engine worker
+    /// resumes from its own sketch (workers spawn pre-loaded), each
+    /// shard's compacted log is re-seeded from its sealed segment, and the
+    /// capture-point epoch — its net segment assembled by concatenating
+    /// the shard segments — is republished as the current snapshot.
     ///
     /// # Panics
     ///
-    /// Panics if `state.shards.len() != config.shards` — a checkpoint can
-    /// only restore into the topology it was taken from.
+    /// Panics if `state.shards.len() != config.shards`, or if a shard
+    /// segment contains an edge the routing function assigns to a
+    /// different shard — a checkpoint can only restore into the partition
+    /// it was taken from.
     fn restore(name: String, config: GraphConfig, state: PersistedGraph) -> Self {
         let engine_cfg = EngineConfig::new(config.shards).batch_size(config.batch_size);
-        let merged = merge_forks(&state.shards);
-        let engine = ShardedEngine::restore(engine_cfg, state.shards, state.total_updates);
-        let net = Arc::new(state.net);
-        let live = CompactedLog::from_net(&net);
+        let net = Arc::new(state.epoch_net());
+        let (sketches, shard_nets): (Vec<AgmSketch>, Vec<NetMultiset>) =
+            state.shards.into_iter().map(|s| (s.sketch, s.net)).unzip();
+        let merged = merge_forks(&sketches);
+        let engine = ShardedEngine::restore(engine_cfg, sketches, state.total_updates);
+        let live = ShardedCompactedLog::from_shard_nets(&shard_nets);
         let snap = EpochSnapshot::new(
             state.epoch,
             config,
@@ -540,11 +581,30 @@ mod tests {
         let state = live.checkpoint_state();
         assert_eq!(state.total_updates, cut as u64);
         assert_eq!(
-            state.net,
+            state.epoch_net(),
             GraphStream::new(n, updates[..cut].to_vec()).net_multiset(),
-            "persisted segment must be the net of the durable prefix"
+            "assembled shard segments must be the net of the durable prefix"
         );
         assert_eq!(state.shards.len(), 3);
+        // Per-shard canonicity: every persisted segment entry is owned by
+        // the shard that persisted it, and each shard's sketch is exactly
+        // a fresh sketch of its own segment (no churn residue survives).
+        for (i, shard) in state.shards.iter().enumerate() {
+            let mut own = dsg_agm::AgmSketch::new(n, config.seed);
+            for e in shard.net.entries() {
+                assert_eq!(
+                    dsg_engine::shard_for(e.edge.index(n), 3),
+                    i,
+                    "segment entry on the wrong shard"
+                );
+                dsg_sketch::LinearSketch::update(&mut own, e.edge.index(n), e.multiplicity as i128);
+            }
+            assert_eq!(
+                dsg_sketch::LinearSketch::to_bytes(&shard.sketch),
+                dsg_sketch::LinearSketch::to_bytes(&own),
+                "shard {i} fork must be canonical in its own segment"
+            );
+        }
 
         // Restore into a second registry and feed both the same tail.
         let reg2 = GraphRegistry::new();

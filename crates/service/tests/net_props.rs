@@ -87,6 +87,39 @@ proptest! {
         }
     }
 
+    /// Routing invariance up the whole stack: a multi-shard
+    /// hash-partitioned graph and a single-threaded (1-shard) graph fed
+    /// the same churn-heavy stream publish bit-identical epochs — sketch
+    /// bytes, sealed segment, forest, labels, oracle distances. The
+    /// engine's partition of the edge space must be unobservable in every
+    /// served answer.
+    #[test]
+    fn artifacts_invariant_under_shard_topology(
+        graph_seed in 0u64..30,
+        churn_seed in 0u64..500,
+        shards in 2usize..5,
+    ) {
+        let n = 24;
+        let g = gen::erdos_renyi(n, 0.18, graph_seed);
+        let stream = GraphStream::with_churn(&g, 2.0, churn_seed);
+        let base = GraphConfig::new(n).seed(9).batch_size(8);
+        let multi = epoch_of(base.shards(shards), stream.updates());
+        let single = epoch_of(base.shards(1), stream.updates());
+        prop_assert_eq!(
+            LinearSketch::to_bytes(multi.sketch()),
+            LinearSketch::to_bytes(single.sketch()),
+            "sketch bytes diverged across shard topologies"
+        );
+        prop_assert_eq!(multi.net_edges().entries(), single.net_edges().entries());
+        prop_assert_eq!(&multi.forest().result.edges, &single.forest().result.edges);
+        prop_assert_eq!(&multi.forest().labels, &single.forest().labels);
+        let (om, os) = (multi.oracle(), single.oracle());
+        for u in 0..n as Vertex {
+            prop_assert_eq!(om.estimate(u, (u + 7) % n as Vertex),
+                os.estimate(u, (u + 7) % n as Vertex));
+        }
+    }
+
     /// The guard rail: a deletion that would drive net multiplicity below
     /// zero is rejected with a typed error, whole-batch-atomically, at
     /// any position in the batch.
@@ -130,23 +163,33 @@ proptest! {
 
 /// Cut estimates join the invariance contract: KP12 over the sealed
 /// segment is deterministic, so two interleavings with one net effect
-/// serve identical cut values. One deterministic case (KP12 is too heavy
-/// for a 96-case property run).
+/// serve identical cut values — and so do two shard topologies of the
+/// same stream (the assembled epoch segment is canonical regardless of
+/// how the edge space was partitioned). One deterministic case (KP12 is
+/// too heavy for a 96-case property run).
 #[test]
-fn cut_estimates_invariant_under_interleavings() {
+fn cut_estimates_invariant_under_interleavings_and_topology() {
     let n = 28;
     let g = gen::erdos_renyi(n, 0.2, 11);
     let config = GraphConfig::new(n).seed(13).shards(2);
     let ea = epoch_of(config, GraphStream::with_churn(&g, 0.5, 12).updates());
     let eb = epoch_of(config, GraphStream::with_churn(&g, 2.5, 13).updates());
+    let ec = epoch_of(
+        GraphConfig::new(n).seed(13).shards(1),
+        GraphStream::with_churn(&g, 2.5, 13).updates(),
+    );
     let side: Vec<Vertex> = (0..n as Vertex).filter(|v| v % 3 == 0).collect();
     let Response::CutEstimate(a) = ea.execute(&Query::CutEstimate(side.clone())).unwrap() else {
         panic!("wrong variant");
     };
-    let Response::CutEstimate(b) = eb.execute(&Query::CutEstimate(side)).unwrap() else {
+    let Response::CutEstimate(b) = eb.execute(&Query::CutEstimate(side.clone())).unwrap() else {
+        panic!("wrong variant");
+    };
+    let Response::CutEstimate(c) = ec.execute(&Query::CutEstimate(side)).unwrap() else {
         panic!("wrong variant");
     };
     assert_eq!(a, b, "cut estimate diverged across interleavings");
+    assert_eq!(a, c, "cut estimate diverged across shard topologies");
 }
 
 /// Invalid deltas are typed errors too (the compacted log can only cancel

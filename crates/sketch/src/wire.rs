@@ -74,15 +74,26 @@ pub const KIND_AGM: u16 = 8;
 /// reader remains: `dsg-store` rejects frames of this kind with a loud
 /// typed error rather than misreading them under the v2 layout.
 pub const KIND_CHECKPOINT: u16 = 9;
-/// Kind tag of a `dsg_store` checkpoint file, format v2 (reserved; the
-/// impl lives in dsg-store). The payload nests per-shard snapshot frames
-/// plus the **compacted net-edge segment** in canonical sorted order, so
-/// checkpoint bytes are bounded by the live graph and deterministic.
-/// Checkpoints reuse the sketch frame discipline — magic, version, kind,
-/// length, FNV-1a checksum — so a corrupt or truncated checkpoint is
-/// rejected by the same [`open_frame`] validation path as any shard
-/// snapshot.
+/// Kind tag of the **retired** v2 `dsg_store` checkpoint format. Its
+/// payload carried one global compacted net-edge segment next to shard
+/// frames in "canonical factorization" (the merged summary in shard 0,
+/// zero sketches elsewhere) — a workaround for the round-robin engine,
+/// whose raw forks grew with churn residue. The edge-partitioned engine
+/// made true per-shard frames canonical and the layout moved to
+/// [`KIND_CHECKPOINT_V3`]; `dsg-store` rejects v2 frames with a loud
+/// typed error rather than misreading them.
 pub const KIND_CHECKPOINT_V2: u16 = 10;
+/// Kind tag of a `dsg_store` checkpoint file, format v3 (reserved; the
+/// impl lives in dsg-store). The payload nests, **per shard**, the
+/// worker's true sketch frame plus the compacted net-edge segment of the
+/// edges that shard owns under the engine's hash partition, each segment
+/// in canonical sorted order — so checkpoint bytes are bounded by the
+/// live graph, deterministic, and restore can re-seed every worker's
+/// sketch *and* compacted state. Checkpoints reuse the sketch frame
+/// discipline — magic, version, kind, length, FNV-1a checksum — so a
+/// corrupt or truncated checkpoint is rejected by the same
+/// [`open_frame`] validation path as any shard snapshot.
+pub const KIND_CHECKPOINT_V3: u16 = 11;
 
 /// Why a snapshot could not be decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

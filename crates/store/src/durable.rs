@@ -33,8 +33,8 @@ use crate::{StoreError, SyncPolicy};
 use dsg_agm::AgmSketch;
 use dsg_graph::{StreamUpdate, Vertex};
 use dsg_service::{
-    EpochSnapshot, GraphConfig, GraphRegistry, PersistedGraph, Query, Response, ServedGraph,
-    ServiceError,
+    EpochSnapshot, GraphConfig, GraphRegistry, PersistedGraph, PersistedShard, Query, Response,
+    ServedGraph, ServiceError,
 };
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -260,7 +260,6 @@ impl DurableGraph {
             epoch: state.epoch,
             total_updates: state.total_updates,
             wal_pos,
-            net: state.net,
             shards: state.shards,
         };
         write_checkpoint(&self.dir, &cp)?;
@@ -410,7 +409,6 @@ impl DurableRegistry {
                 epoch: cp.epoch,
                 total_updates: cp.total_updates,
                 shards: cp.shards,
-                net: cp.net,
             },
         )?;
         // Replay first (read-only: a torn tail is dropped logically and
@@ -511,9 +509,11 @@ impl DurableRegistry {
                 epoch: 0,
                 total_updates: 0,
                 wal_pos: wal.position(),
-                net: dsg_graph::NetMultiset::empty(config.n),
                 shards: (0..config.shards)
-                    .map(|_| AgmSketch::new(config.n, config.seed))
+                    .map(|_| PersistedShard {
+                        sketch: AgmSketch::new(config.n, config.seed),
+                        net: dsg_graph::NetMultiset::empty(config.n),
+                    })
                     .collect(),
             };
             write_checkpoint(&dir, &cp)?;

@@ -19,12 +19,15 @@
 //!   of `dsg_sketch::wire`), buffered writes, a configurable
 //!   [`SyncPolicy`], and torn-tail handling that truncates a partial
 //!   final record instead of erroring.
-//! * [`checkpoint`] — atomically-renamed checkpoint files (wire kind 10,
-//!   format v2) holding the canonical per-shard sketch frames plus the
-//!   graph config, epoch counter, **compacted net-edge segment**, and
-//!   WAL position — O(live graph) bytes, not O(stream); once a
-//!   checkpoint lands, older WAL segments are compacted away. The
-//!   retired kind-9 raw-log format is rejected with a typed
+//! * [`checkpoint`] — atomically-renamed checkpoint files (wire kind 11,
+//!   format v3) holding, **per ingest shard**, the canonical sketch
+//!   frame plus that shard's compacted net-edge segment, alongside the
+//!   graph config, epoch counter, and WAL position — O(live graph)
+//!   bytes, not O(stream); once a checkpoint lands, older WAL segments
+//!   are compacted away. Recovery re-seeds each hash-partitioned worker
+//!   from its own segment, so replay routes and cancels exactly as the
+//!   original run did. The retired kind-9 (raw-log) and kind-10
+//!   (global-segment) formats are rejected with a typed
 //!   [`StoreError::LegacyCheckpoint`].
 //! * [`durable`] — [`DurableGraph`] / [`DurableRegistry`], the persistent
 //!   mode of the service layer: `create` / `apply` / `advance_epoch` /
@@ -94,10 +97,12 @@ pub enum StoreError {
     /// name, out-of-range vertex, …).
     Service(ServiceError),
     /// The checkpoint file is a retired format this build no longer
-    /// reads: wire kind 9, the raw-log layout whose payload nested the
-    /// full O(stream) update log. Rejected loudly — re-checkpoint from a
-    /// build that still reads it — never misread under the v2 layout or
-    /// silently skipped.
+    /// reads: wire kind 9 (the raw-log layout whose payload nested the
+    /// full O(stream) update log) or wire kind 10 (the global-segment
+    /// layout that stored one epoch-wide net segment and re-factored
+    /// per-shard states on restore). Rejected loudly — re-checkpoint
+    /// from a build that still reads them — never misread under the v3
+    /// layout or silently skipped.
     LegacyCheckpoint {
         /// The offending checkpoint file.
         path: PathBuf,
@@ -140,8 +145,8 @@ impl std::fmt::Display for StoreError {
             StoreError::LegacyCheckpoint { path, kind } => {
                 write!(
                     f,
-                    "checkpoint {} uses retired wire kind {kind} (raw-log format); \
-                     this build reads only the v2 compacted-segment format",
+                    "checkpoint {} uses retired wire kind {kind}; \
+                     this build reads only the v3 per-shard-segment format",
                     path.display()
                 )
             }

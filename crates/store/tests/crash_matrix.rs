@@ -11,12 +11,16 @@
 //!
 //! Alongside the matrix: checkpoint-corruption rejection properties
 //! mirroring `crates/sketch/tests/wire_props.rs` (any bit flip or
-//! truncation of the v2 checkpoint file — compacted net-edge segment
-//! included — is a typed [`StoreError::Frame`], never a panic or a
-//! silent half-load), a retired-format guard (a kind-9 raw-log frame is
-//! the loud, typed [`StoreError::LegacyCheckpoint`], not a panic or a
-//! silent skip), and WAL mid-log corruption (a fully present record with
-//! a bad body is [`StoreError::CorruptLog`], never silently skipped).
+//! truncation of the v3 checkpoint file — every per-shard compacted
+//! segment and sketch frame included — is a typed [`StoreError::Frame`],
+//! never a panic or a silent half-load), cross-shard consistency (the
+//! shard segments a checkpoint persists are disjoint, correctly routed,
+//! and concatenate to exactly the net multiset of the durable prefix), a
+//! retired-format guard (a kind-9 raw-log or kind-10 global-segment
+//! frame is the loud, typed [`StoreError::LegacyCheckpoint`], not a
+//! panic or a silent skip), and WAL mid-log corruption (a fully present
+//! record with a bad body is [`StoreError::CorruptLog`], never silently
+//! skipped).
 
 use dsg_graph::{gen, GraphStream, StreamUpdate};
 use dsg_service::{GraphConfig, GraphRegistry, Query, Response};
@@ -256,12 +260,12 @@ proptest! {
         prop_assert_eq!(recovered, reference(&updates[..durable]));
     }
 
-    /// Any single bit flip anywhere in a v2 checkpoint file — the header,
-    /// the compacted net-edge segment, the nested shard frames — is
-    /// rejected as a typed frame error, mirroring the corruption
+    /// Any single bit flip anywhere in a v3 checkpoint file — the header,
+    /// any shard's compacted net-edge segment, any nested sketch frame —
+    /// is rejected as a typed frame error, mirroring the corruption
     /// properties the sketch wire format is tested under. The churn
-    /// prefix guarantees the checkpoint carries a nonempty compacted
-    /// segment whose encoding the flips land in.
+    /// prefix guarantees every shard's compacted segment is nonempty, so
+    /// the flips have per-shard segment bytes to land in.
     #[test]
     fn checkpoint_bit_flips_are_rejected(byte_seed in 0usize..1000, bit in 0u8..8) {
         let scratch = ScratchDir::new("cp-flip");
@@ -271,6 +275,14 @@ proptest! {
         g.checkpoint().unwrap();
         let dir = g.dir().to_path_buf();
         drop((g, reg));
+
+        let cp = dsg_store::read_checkpoint(&dir).unwrap();
+        for (i, shard) in cp.shards.iter().enumerate() {
+            prop_assert!(
+                shard.net.num_edges() > 0,
+                "shard {i} segment empty — flips would miss per-shard bytes"
+            );
+        }
 
         let path = dir.join(dsg_store::CHECKPOINT_FILE);
         let mut bytes = std::fs::read(&path).unwrap();
@@ -308,39 +320,81 @@ proptest! {
     }
 }
 
-/// A checkpoint in the retired raw-log format (wire kind 9) must fail
-/// recovery with the loud, typed [`StoreError::LegacyCheckpoint`] — not a
-/// panic, not a generic frame error, and certainly not a silent skip
-/// that would "clean up" a tenant whose data is merely old.
+/// Cross-shard consistency of the persisted layout: the per-shard
+/// segments a checkpoint writes must (a) each hold only edges
+/// `shard_for` routes to that shard — so recovery re-seeds every worker
+/// with exactly the edges whose future updates it will see — and
+/// (b) concatenate to exactly the net multiset of the durable prefix,
+/// with no edge dropped, duplicated, or carrying residual churn.
 #[test]
-fn legacy_kind_checkpoint_fails_loudly() {
-    let scratch = ScratchDir::new("cp-legacy-kind");
+fn checkpoint_shard_segments_are_routed_and_sum_to_the_prefix() {
+    let scratch = ScratchDir::new("cp-cross-shard");
+    let shards = 3;
     let reg = DurableRegistry::open(scratch.path(), StoreOptions::default()).unwrap();
-    let g = reg.create("t", config()).unwrap();
-    g.apply(&stream(9)[..20]).unwrap();
+    let g = reg.create("t", config().shards(shards)).unwrap();
+    let updates = stream(8);
+    g.apply(&updates).unwrap();
     g.checkpoint().unwrap();
     let dir = g.dir().to_path_buf();
     drop((g, reg));
 
-    // Rewrite the frame header's kind tag to the retired kind 9 (the
-    // payload checksum does not cover the header, so the frame is
-    // otherwise pristine — exactly what a real v1 file would look like
-    // to the header peek).
-    let path = dir.join(dsg_store::CHECKPOINT_FILE);
-    let mut bytes = std::fs::read(&path).unwrap();
-    bytes[6..8].copy_from_slice(&9u16.to_le_bytes());
-    std::fs::write(&path, &bytes).unwrap();
-
-    match DurableRegistry::open(scratch.path(), StoreOptions::default()) {
-        Err(StoreError::LegacyCheckpoint { kind, path }) => {
-            assert_eq!(kind, 9);
-            assert!(path.ends_with(dsg_store::CHECKPOINT_FILE));
+    let cp = dsg_store::read_checkpoint(&dir).unwrap();
+    assert_eq!(cp.shards.len(), shards);
+    for (i, shard) in cp.shards.iter().enumerate() {
+        assert!(shard.net.num_edges() > 0, "shard {i} segment empty");
+        for entry in shard.net.entries() {
+            assert_eq!(
+                dsg_engine::shard_for(entry.edge.index(N), shards),
+                i,
+                "{} persisted in shard {i}'s segment but routes elsewhere",
+                entry.edge
+            );
         }
-        Err(other) => panic!("wrong error class for a legacy checkpoint: {other}"),
-        Ok(_) => panic!("legacy checkpoint accepted"),
     }
-    // The refusal must leave the tenant's files untouched.
-    assert!(dir.join(dsg_store::CHECKPOINT_FILE).exists());
+    // Σ shard segments = the durable prefix's net multiset, exactly.
+    assert_eq!(
+        cp.epoch_net(),
+        dsg_graph::NetMultiset::from_updates(N, &updates),
+        "concatenated shard segments diverge from the durable prefix"
+    );
+}
+
+/// A checkpoint in either retired format — wire kind 9 (raw log) or
+/// kind 10 (global-segment canonical factorization) — must fail recovery
+/// with the loud, typed [`StoreError::LegacyCheckpoint`] — not a panic,
+/// not a generic frame error, and certainly not a silent skip that would
+/// "clean up" a tenant whose data is merely old.
+#[test]
+fn legacy_kind_checkpoint_fails_loudly() {
+    for retired in [9u16, 10u16] {
+        let scratch = ScratchDir::new(&format!("cp-legacy-kind-{retired}"));
+        let reg = DurableRegistry::open(scratch.path(), StoreOptions::default()).unwrap();
+        let g = reg.create("t", config()).unwrap();
+        g.apply(&stream(9)[..20]).unwrap();
+        g.checkpoint().unwrap();
+        let dir = g.dir().to_path_buf();
+        drop((g, reg));
+
+        // Rewrite the frame header's kind tag to the retired kind (the
+        // payload checksum does not cover the header, so the frame is
+        // otherwise pristine — exactly what a real legacy file would
+        // look like to the header peek).
+        let path = dir.join(dsg_store::CHECKPOINT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[6..8].copy_from_slice(&retired.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        match DurableRegistry::open(scratch.path(), StoreOptions::default()) {
+            Err(StoreError::LegacyCheckpoint { kind, path }) => {
+                assert_eq!(kind, retired);
+                assert!(path.ends_with(dsg_store::CHECKPOINT_FILE));
+            }
+            Err(other) => panic!("wrong error class for a kind-{retired} checkpoint: {other}"),
+            Ok(_) => panic!("kind-{retired} legacy checkpoint accepted"),
+        }
+        // The refusal must leave the tenant's files untouched.
+        assert!(dir.join(dsg_store::CHECKPOINT_FILE).exists());
+    }
 }
 
 /// A fully present WAL record with a corrupt body must fail recovery

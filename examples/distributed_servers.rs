@@ -39,8 +39,9 @@ fn main() {
     }
     let run = engine.finish();
     println!(
-        "shard ingest counts: {:?} (round-robin batches balance the load)",
-        run.per_shard_updates
+        "shard ingest counts: {:?} (hash-partitioned by edge id, max/mean = {:.3})",
+        run.per_shard_updates,
+        run.load_balance()
     );
 
     // Communication: each server ships its wire-format snapshot. The

@@ -99,7 +99,7 @@ fn sharded_sparsifier_equals_single_threaded() {
 
 #[test]
 fn arbitrary_partition_merges_identically() {
-    // Not just the engine's round-robin: ANY assignment of updates to
+    // Not just the engine's hash-partition: ANY assignment of updates to
     // shards must merge to the same sketch (linearity is partition-blind).
     let n = 60;
     let (_, stream) = test_stream(n, 0.1, 8);
@@ -126,11 +126,19 @@ fn engine_reports_balanced_shard_loads() {
     }
     let run = eng.finish();
     assert_eq!(run.total_updates as usize, stream.len());
-    let max = *run.per_shard_updates.iter().max().unwrap() as f64;
-    let min = *run.per_shard_updates.iter().min().unwrap() as f64;
+    // Hash-partitioning routes by edge identity, so shard loads follow
+    // the hash's spread rather than splitting exactly evenly; the
+    // diagnostic ratio (max/mean) must still stay near 1 for a stream of
+    // this many distinct edges, and no shard may starve.
+    let balance = run.load_balance();
     assert!(
-        max - min <= 64.0,
-        "round-robin batches should balance within one batch: {:?}",
+        (1.0..1.5).contains(&balance),
+        "hash partition too skewed (max/mean = {balance:.3}): {:?}",
+        run.per_shard_updates
+    );
+    assert!(
+        run.per_shard_updates.iter().all(|&c| c > 0),
+        "every shard should see some of the stream: {:?}",
         run.per_shard_updates
     );
 }
