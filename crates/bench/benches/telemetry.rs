@@ -1,0 +1,84 @@
+//! Telemetry primitive benchmarks: the per-event cost of the handles the
+//! hot paths touch, active vs no-op, plus snapshot/exposition cost.
+//!
+//! The numbers to watch: an active counter increment is one relaxed
+//! atomic RMW (~1–5 ns), a no-op handle is a branch on an `Option`
+//! (well under 1 ns), and a timed span is dominated by its two
+//! `Instant::now()` reads — which is why the engine times per *batch*
+//! and the store per *append*, never per update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsg_telemetry::{Counter, Histogram, MetricRegistry};
+use std::hint::black_box;
+
+fn bench_handles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    for (mode, active) in [("active", true), ("noop", false)] {
+        let counter = if active {
+            Counter::active()
+        } else {
+            Counter::noop()
+        };
+        group.bench_with_input(BenchmarkId::new("counter_inc", mode), &counter, |b, ctr| {
+            b.iter(|| {
+                for _ in 0..1000 {
+                    black_box(ctr).inc();
+                }
+            });
+        });
+        let hist = if active {
+            Histogram::active()
+        } else {
+            Histogram::noop()
+        };
+        group.bench_with_input(BenchmarkId::new("histogram_record", mode), &hist, |b, h| {
+            b.iter(|| {
+                for v in 0..1000u64 {
+                    black_box(h).record(v * 97);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("timer_span", mode), &hist, |b, h| {
+            b.iter(|| {
+                for _ in 0..1000 {
+                    let _t = black_box(h).start_timer();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    // A realistically sized registry: the series mix of a few live
+    // tenants across all three layers.
+    let reg = MetricRegistry::new();
+    for graph in ["a", "b", "c", "d"] {
+        for series in [
+            "dsg_engine_batches_sent_total",
+            "dsg_store_wal_appended_bytes_total",
+        ] {
+            reg.counter(&format!("{series}{{graph=\"{graph}\"}}"))
+                .add(7);
+        }
+        for series in [
+            "dsg_engine_send_wait_nanos",
+            "dsg_service_query_nanos",
+            "dsg_store_wal_append_nanos",
+        ] {
+            let h = reg.histogram(&format!("{series}{{graph=\"{graph}\"}}"));
+            for v in 0..256u64 {
+                h.record(v * 1013);
+            }
+        }
+    }
+    let mut group = c.benchmark_group("telemetry");
+    group.bench_function("snapshot", |b| b.iter(|| black_box(reg.snapshot())));
+    group.bench_function("render_prometheus", |b| {
+        b.iter(|| black_box(reg.render_prometheus()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_handles, bench_registry);
+criterion_main!(benches);

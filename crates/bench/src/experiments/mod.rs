@@ -11,6 +11,7 @@ pub mod sketch_exps;
 pub mod spanner_exps;
 pub mod sparsifier_exps;
 pub mod store_exps;
+pub mod telemetry_exps;
 
 use crate::Scale;
 
@@ -38,6 +39,7 @@ pub const ALL: &[&str] = &[
     "store",
     "compaction",
     "partition",
+    "telemetry",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -65,6 +67,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "store" => store_exps::store(scale),
         "compaction" => compaction_exps::compaction(scale),
         "partition" => partition_exps::partition(scale),
+        "telemetry" => telemetry_exps::telemetry(scale),
         _ => return false,
     }
     true

@@ -59,6 +59,7 @@
 #![deny(clippy::unwrap_used)]
 
 use dsg_sketch::{LinearSketch, WireError};
+use dsg_telemetry::{Counter, Gauge, Histogram};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
@@ -209,6 +210,51 @@ impl<S: LinearSketch + Clone + Send + 'static> EngineSketch for S {
     }
 }
 
+/// The ingest-side telemetry handles of a [`ShardedEngine`]. The caller
+/// builds the handles (typically from a `dsg_telemetry::MetricRegistry`,
+/// with its own naming scheme) and installs them via
+/// [`ShardedEngine::set_metrics`]; the default is all no-op handles, so
+/// an uninstrumented engine pays one predictable branch per batch.
+///
+/// All recording happens on the producer thread at **batch** granularity
+/// — one counter add per dispatched batch, never one per update — so the
+/// hot path stays allocation-free and O(1) per event.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    /// Updates routed to each shard, in shard order (counted when the
+    /// shard's batch dispatches). Leave empty for "no per-shard
+    /// counters"; otherwise the length must match the shard count.
+    pub routed: Vec<Counter>,
+    /// Batches handed to shard workers.
+    pub batches_sent: Counter,
+    /// Nanoseconds the producer spent blocked in `send` on the bounded
+    /// shard channels — queue backpressure made visible.
+    pub send_wait: Histogram,
+    /// Live max/mean routed-update ratio across shards (the same
+    /// statistic as [`EngineRun::load_balance`], updated per dispatch).
+    pub load_balance: Gauge,
+}
+
+impl EngineMetrics {
+    /// All-no-op handles (what [`Default`] gives you).
+    pub fn noop() -> Self {
+        Self::default()
+    }
+}
+
+/// The load-balance statistic shared by [`EngineRun::load_balance`] and
+/// the live [`EngineMetrics::load_balance`] gauge: max shard load over
+/// mean shard load, `1.0` for an empty or shard-less run.
+pub fn load_balance_ratio(per_shard: &[u64]) -> f64 {
+    let total: u64 = per_shard.iter().sum();
+    if total == 0 || per_shard.is_empty() {
+        return 1.0;
+    }
+    let max = per_shard.iter().copied().max().unwrap_or(0) as f64;
+    let mean = total as f64 / per_shard.len() as f64;
+    max / mean
+}
+
 /// A message to a shard worker: either a batch of updates or a request to
 /// ship back a fork of the shard's current state. Channel FIFO order makes
 /// snapshots consistent: a fork reflects exactly the batches sent before
@@ -239,6 +285,10 @@ pub struct ShardedEngine<S: EngineSketch> {
     buffers: Vec<Vec<EdgeUpdate>>,
     batch_size: usize,
     pushed: u64,
+    /// Updates dispatched to each shard so far — the producer-side view
+    /// feeding the live load-balance gauge.
+    routed_counts: Vec<u64>,
+    metrics: EngineMetrics,
 }
 
 /// The completed result of a sharded ingest.
@@ -263,13 +313,7 @@ impl<S> EngineRun<S> {
     /// edges can legitimately skew it (all updates for an edge *must*
     /// colocate for cancellation). Returns `1.0` for an empty run.
     pub fn load_balance(&self) -> f64 {
-        let total: u64 = self.per_shard_updates.iter().sum();
-        if total == 0 || self.per_shard_updates.is_empty() {
-            return 1.0;
-        }
-        let max = self.per_shard_updates.iter().copied().max().unwrap_or(0) as f64;
-        let mean = total as f64 / self.per_shard_updates.len() as f64;
-        max / mean
+        load_balance_ratio(&self.per_shard_updates)
     }
 }
 
@@ -370,7 +414,25 @@ impl<S: EngineSketch> ShardedEngine<S> {
                 .collect(),
             batch_size: cfg.batch_size,
             pushed: already_pushed,
+            routed_counts: vec![0; cfg.shards],
+            metrics: EngineMetrics::noop(),
         }
+    }
+
+    /// Installs telemetry handles (see [`EngineMetrics`]). The engine
+    /// starts with all-no-op handles; installing live ones turns on
+    /// per-batch recording without touching the ingest API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics.routed` is non-empty but its length disagrees
+    /// with the shard count.
+    pub fn set_metrics(&mut self, metrics: EngineMetrics) {
+        assert!(
+            metrics.routed.is_empty() || metrics.routed.len() == self.senders.len(),
+            "per-shard counters must match the shard count"
+        );
+        self.metrics = metrics;
     }
 
     /// Number of shards.
@@ -449,9 +511,25 @@ impl<S: EngineSketch> ShardedEngine<S> {
             &mut self.buffers[shard],
             Vec::with_capacity(self.batch_size),
         );
-        self.senders[shard]
-            .send(ShardMsg::Batch(batch))
-            .expect("engine shard hung up early");
+        let len = batch.len() as u64;
+        {
+            // Time only the channel send: when it blocks, the bounded
+            // queue is exerting backpressure and this histogram shows it.
+            let _wait = self.metrics.send_wait.start_timer();
+            self.senders[shard]
+                .send(ShardMsg::Batch(batch))
+                .expect("engine shard hung up early");
+        }
+        self.routed_counts[shard] += len;
+        self.metrics.batches_sent.inc();
+        if let Some(counter) = self.metrics.routed.get(shard) {
+            counter.add(len);
+        }
+        if self.metrics.load_balance.is_active() {
+            self.metrics
+                .load_balance
+                .set(load_balance_ratio(&self.routed_counts));
+        }
     }
 
     /// Flushes every shard's buffered tail batch.
@@ -803,5 +881,60 @@ mod tests {
     #[test]
     fn auto_config_is_positive() {
         assert!(EngineConfig::auto().shards >= 1);
+    }
+
+    #[test]
+    fn instrumented_engine_counts_routed_updates_and_batches() {
+        let shards = 3usize;
+        let reg = dsg_telemetry::MetricRegistry::new();
+        let metrics = EngineMetrics {
+            routed: (0..shards)
+                .map(|s| reg.counter(&format!("routed_total{{shard=\"{s}\"}}")))
+                .collect(),
+            batches_sent: reg.counter("batches_total"),
+            send_wait: reg.histogram("send_wait_nanos"),
+            load_balance: reg.gauge("load_balance"),
+        };
+        let keys = random_keys(5000, 0xBEEF);
+        let cfg = EngineConfig::new(shards).batch_size(64);
+        let mut eng = ShardedEngine::start(cfg, |_| SparseRecovery::new(8, 1));
+        eng.set_metrics(metrics);
+        for &k in &keys {
+            eng.push(EdgeUpdate::new(k, 1));
+        }
+        let run = eng.finish();
+        // Every pushed update must be counted on its owning shard.
+        let mut expect = vec![0u64; shards];
+        for &k in &keys {
+            expect[shard_for(k, shards)] += 1;
+        }
+        let snap = reg.snapshot();
+        for (s, &want) in expect.iter().enumerate() {
+            assert_eq!(
+                snap.counter(&format!("routed_total{{shard=\"{s}\"}}")),
+                Some(want),
+                "shard {s} routed counter"
+            );
+        }
+        let batches = snap.counter("batches_total").unwrap();
+        assert!(batches >= (5000 / 64) as u64, "batches counted: {batches}");
+        assert_eq!(
+            snap.histogram("send_wait_nanos").unwrap().count(),
+            batches,
+            "one send-wait sample per dispatched batch"
+        );
+        let gauge = snap.gauge("load_balance").unwrap();
+        assert!(
+            (gauge - run.load_balance()).abs() < 1e-12,
+            "final live gauge {gauge} must equal the run's ratio {}",
+            run.load_balance()
+        );
+    }
+
+    #[test]
+    fn load_balance_ratio_is_shared_with_engine_run() {
+        assert_eq!(load_balance_ratio(&[]), 1.0);
+        assert_eq!(load_balance_ratio(&[0, 0]), 1.0);
+        assert!((load_balance_ratio(&[300, 100, 100, 100]) - 2.0).abs() < 1e-12);
     }
 }

@@ -125,10 +125,13 @@ impl ShardedCompactedLog {
         Ok(())
     }
 
-    /// Applies one (already validated) update to the owning shard's map.
-    pub(crate) fn apply(&mut self, up: &StreamUpdate) {
+    /// Applies one (already validated) update to the owning shard's map,
+    /// returning the shard index it routed to (so callers can attribute
+    /// the event — e.g. a cancellation — without re-hashing the edge).
+    pub(crate) fn apply(&mut self, up: &StreamUpdate) -> usize {
         let shard = self.shard_of(up.edge);
         self.shards[shard].apply(up);
+        shard
     }
 
     /// Seals every shard's state into its canonical net segment, in shard

@@ -32,6 +32,7 @@
 //! per epoch no matter how many readers race for it; advancing the epoch
 //! publishes a new snapshot, which *is* the cache invalidation.
 
+use crate::metrics::{ArtifactMetrics, ART_CUT, ART_FOREST, ART_ORACLE};
 use crate::query::{GraphStats, Query, Response};
 use crate::{GraphConfig, ServiceError};
 use dsg_agm::forest::ForestResult;
@@ -91,6 +92,10 @@ pub struct EpochSnapshot {
     forest: OnceLock<Arc<ForestData>>,
     oracle: OnceLock<Arc<DistanceOracle>>,
     cut: OnceLock<Arc<CutData>>,
+    /// Telemetry handles for the artifact cells: build timings,
+    /// build-once counters, cache hits, and the oracle's memo-cache
+    /// counters. All-no-op for directly constructed snapshots.
+    metrics: ArtifactMetrics,
 }
 
 impl EpochSnapshot {
@@ -102,6 +107,7 @@ impl EpochSnapshot {
         sketch: AgmSketch,
         net: Arc<NetMultiset>,
         total_updates: u64,
+        metrics: ArtifactMetrics,
     ) -> Self {
         Self {
             epoch,
@@ -112,6 +118,7 @@ impl EpochSnapshot {
             forest: OnceLock::new(),
             oracle: OnceLock::new(),
             cut: OnceLock::new(),
+            metrics,
         }
     }
 
@@ -158,7 +165,13 @@ impl EpochSnapshot {
 
     /// The forest artifact, built on first use (one sketch decode).
     pub fn forest(&self) -> Arc<ForestData> {
+        if let Some(built) = self.forest.get() {
+            self.metrics.cache_hits[ART_FOREST].inc();
+            return Arc::clone(built);
+        }
         Arc::clone(self.forest.get_or_init(|| {
+            let _t = self.metrics.build_nanos[ART_FOREST].start_timer();
+            self.metrics.builds[ART_FOREST].inc();
             let result = self.sketch.spanning_forest();
             let mut uf = UnionFind::new(self.config.n);
             for e in &result.edges {
@@ -179,16 +192,38 @@ impl EpochSnapshot {
     /// in the graph seed, so every rebuild of the same epoch agrees, and
     /// bit-identical to a raw-log replay by pass linearity).
     pub fn oracle(&self) -> Arc<DistanceOracle> {
+        if let Some(built) = self.oracle.get() {
+            self.metrics.cache_hits[ART_ORACLE].inc();
+            return Arc::clone(built);
+        }
         Arc::clone(self.oracle.get_or_init(|| {
+            let _t = self.metrics.build_nanos[ART_ORACLE].start_timer();
+            self.metrics.builds[ART_ORACLE].inc();
             let out = twopass::run_two_pass_net(self.net.as_ref(), self.config.oracle_params());
-            Arc::new(DistanceOracle::new(out.spanner, 1 << self.config.spanner_k))
+            let mut oracle = DistanceOracle::new(out.spanner, 1 << self.config.spanner_k);
+            // Fold the oracle's memo-cache counters into the registry
+            // when instrumented; standalone snapshots keep the oracle's
+            // own private cells (`cache_stats()` reads whichever is in).
+            if self.metrics.oracle_cache_hits.is_active() {
+                oracle = oracle.with_cache_counters(
+                    self.metrics.oracle_cache_hits.clone(),
+                    self.metrics.oracle_cache_misses.clone(),
+                );
+            }
+            Arc::new(oracle)
         }))
     }
 
     /// The cut artifact, built on first use by running KP12 over the
     /// same shared compacted segment the oracle consumes.
     pub fn cut_data(&self) -> Arc<CutData> {
+        if let Some(built) = self.cut.get() {
+            self.metrics.cache_hits[ART_CUT].inc();
+            return Arc::clone(built);
+        }
         Arc::clone(self.cut.get_or_init(|| {
+            let _t = self.metrics.build_nanos[ART_CUT].start_timer();
+            self.metrics.builds[ART_CUT].inc();
             let out = run_sparsifier_net(self.net.as_ref(), self.config.cut_params());
             Arc::new(CutData {
                 laplacian: Laplacian::from_weighted(&out.sparsifier),
@@ -281,7 +316,8 @@ mod tests {
         }
         let net = Arc::new(stream.net_multiset());
         let total = stream.len() as u64;
-        (g, EpochSnapshot::new(1, config, sketch, net, total))
+        let snap = EpochSnapshot::new(1, config, sketch, net, total, Default::default());
+        (g, snap)
     }
 
     #[test]

@@ -55,12 +55,14 @@
 
 pub mod compact;
 mod epoch;
+mod metrics;
 mod query;
 mod registry;
 mod workload;
 
 pub use compact::ShardedCompactedLog;
 pub use dsg_graph::{CompactError, CompactedLog};
+pub use dsg_telemetry::{MetricRegistry, MetricsSnapshot};
 pub use epoch::{ArtifactStatus, CutData, EpochSnapshot, ForestData};
 pub use query::{GraphStats, Query, QueryService, QueryTicket, Response};
 pub use registry::{GraphRegistry, PersistedGraph, PersistedShard, ServedGraph};

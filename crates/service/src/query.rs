@@ -12,12 +12,15 @@
 //! tears a read.
 
 use crate::epoch::ArtifactStatus;
+use crate::metrics::QUERY_VARIANTS;
 use crate::registry::GraphRegistry;
 use crate::ServiceError;
 use dsg_graph::Vertex;
+use dsg_telemetry::Histogram;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A read operation against one served graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +45,27 @@ pub enum Query {
     CutEstimate(Vec<Vertex>),
     /// Epoch / ingest / artifact diagnostics.
     Stats,
+}
+
+impl Query {
+    /// Dense index of this variant, `0..6` — the row a per-variant
+    /// telemetry table keys on.
+    pub fn variant_index(&self) -> usize {
+        match self {
+            Query::Connectivity => 0,
+            Query::SameComponent(..) => 1,
+            Query::Distance(..) => 2,
+            Query::IsFar { .. } => 3,
+            Query::CutEstimate(..) => 4,
+            Query::Stats => 5,
+        }
+    }
+
+    /// The `query` label value this variant reports under in telemetry
+    /// series (e.g. `dsg_service_query_nanos{query="distance"}`).
+    pub fn variant_label(&self) -> &'static str {
+        QUERY_VARIANTS[self.variant_index()]
+    }
 }
 
 /// Diagnostics returned by [`Query::Stats`].
@@ -84,6 +108,11 @@ struct Job {
     graph: String,
     query: Query,
     reply: SyncSender<Result<Response, ServiceError>>,
+    /// Submission time, captured only when the pool is instrumented —
+    /// lets workers report **queue wait** separately from execution, so
+    /// a saturated pool (wait grows, execute flat) is distinguishable
+    /// from slow queries (execute grows).
+    enqueued: Option<Instant>,
 }
 
 /// A handle to one submitted query; [`wait`](QueryTicket::wait) blocks
@@ -114,6 +143,7 @@ pub struct QueryService {
     registry: Arc<GraphRegistry>,
     jobs: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    queue_wait: Histogram,
 }
 
 impl QueryService {
@@ -124,12 +154,17 @@ impl QueryService {
     /// Panics if `workers == 0` or a thread cannot be spawned.
     pub fn start(registry: Arc<GraphRegistry>, workers: usize) -> Self {
         assert!(workers > 0, "need at least one query worker");
+        let telemetry = registry.telemetry();
+        let queue_wait = telemetry.histogram("dsg_service_pool_queue_wait_nanos");
+        let execute = telemetry.histogram("dsg_service_pool_execute_nanos");
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let registry = Arc::clone(&registry);
+                let queue_wait = queue_wait.clone();
+                let execute = execute.clone();
                 std::thread::Builder::new()
                     .name(format!("dsg-query-worker-{i}"))
                     .spawn(move || loop {
@@ -139,7 +174,11 @@ impl QueryService {
                             Ok(job) => job,
                             Err(_) => break,
                         };
-                        let result = registry.get(&job.graph).and_then(|g| g.query(&job.query));
+                        if let Some(enqueued) = job.enqueued {
+                            queue_wait.record_duration(enqueued.elapsed());
+                        }
+                        let result = execute
+                            .time(|| registry.get(&job.graph).and_then(|g| g.query(&job.query)));
                         // A dropped ticket is fine; the answer is discarded.
                         let _ = job.reply.send(result);
                     })
@@ -150,6 +189,7 @@ impl QueryService {
             registry,
             jobs: Some(tx),
             workers: handles,
+            queue_wait,
         }
     }
 
@@ -171,6 +211,7 @@ impl QueryService {
             graph: graph.to_string(),
             query,
             reply: reply_tx,
+            enqueued: self.queue_wait.is_active().then(Instant::now),
         };
         match &self.jobs {
             Some(tx) if tx.send(job).is_ok() => QueryTicket {

@@ -19,12 +19,14 @@
 
 use crate::compact::ShardedCompactedLog;
 use crate::epoch::EpochSnapshot;
+use crate::metrics::GraphMetrics;
 use crate::query::{Query, Response};
 use crate::{GraphConfig, ServiceError};
 use dsg_agm::AgmSketch;
 use dsg_engine::{merge_tree, reduce_snapshots, EdgeUpdate, EngineConfig, ShardedEngine};
 use dsg_graph::{NetMultiset, StreamUpdate, Vertex};
 use dsg_sketch::wire;
+use dsg_telemetry::{MetricRegistry, MetricsSnapshot};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -115,6 +117,8 @@ pub struct ServedGraph {
     config: GraphConfig,
     ingest: Mutex<IngestState>,
     current: RwLock<Arc<EpochSnapshot>>,
+    metrics: GraphMetrics,
+    telemetry: Arc<MetricRegistry>,
 }
 
 impl std::fmt::Debug for ServedGraph {
@@ -128,16 +132,19 @@ impl std::fmt::Debug for ServedGraph {
 }
 
 impl ServedGraph {
-    fn new(name: String, config: GraphConfig) -> Self {
+    fn new(name: String, config: GraphConfig, telemetry: Arc<MetricRegistry>) -> Self {
         let (n, seed) = (config.n, config.seed);
+        let metrics = GraphMetrics::for_graph(&telemetry, &name, config.shards);
         let engine_cfg = EngineConfig::new(config.shards).batch_size(config.batch_size);
-        let engine = ShardedEngine::start(engine_cfg, |_| AgmSketch::new(n, seed));
+        let mut engine = ShardedEngine::start(engine_cfg, |_| AgmSketch::new(n, seed));
+        engine.set_metrics(metrics.engine.clone());
         let epoch0 = EpochSnapshot::new(
             0,
             config,
             AgmSketch::new(n, seed),
             Arc::new(NetMultiset::empty(n)),
             0,
+            metrics.artifacts.clone(),
         );
         Self {
             name,
@@ -147,6 +154,8 @@ impl ServedGraph {
                 live: ShardedCompactedLog::new(n, config.shards),
             }),
             current: RwLock::new(Arc::new(epoch0)),
+            metrics,
+            telemetry,
         }
     }
 
@@ -203,7 +212,14 @@ impl ServedGraph {
         for up in updates {
             st.engine
                 .push(EdgeUpdate::new(up.edge.index(n), up.delta as i128));
-            st.live.apply(up);
+            let shard = st.live.apply(up);
+            // A validated deletion always annihilates one prior insertion
+            // in the owning shard's net map — count it as a cancellation.
+            if up.delta < 0 {
+                if let Some(cancelled) = self.metrics.cancellations.get(shard) {
+                    cancelled.inc();
+                }
+            }
         }
         Ok(st.engine.pushed())
     }
@@ -250,9 +266,9 @@ impl ServedGraph {
     /// the wrong kind or a future version, or fails the full decode.
     pub fn advance_epoch_via_wire(&self) -> Result<Arc<EpochSnapshot>, ServiceError> {
         let mut st = self.ingest.lock().expect("ingest lock poisoned");
-        let frames: Vec<Vec<u8>> = st
-            .engine
-            .snapshot_shards()
+        let forks = self.metrics.epoch_fork.time(|| st.engine.snapshot_shards());
+        let wire_timer = self.metrics.epoch_wire.start_timer();
+        let frames: Vec<Vec<u8>> = forks
             .iter()
             .map(dsg_sketch::LinearSketch::snapshot)
             .collect();
@@ -270,8 +286,12 @@ impl ServedGraph {
                 )));
             }
         }
-        let merged =
-            reduce_snapshots::<AgmSketch>(&frames)?.expect("engine has at least one shard");
+        drop(wire_timer);
+        let merged = self
+            .metrics
+            .epoch_merge
+            .time(|| reduce_snapshots::<AgmSketch>(&frames))?
+            .expect("engine has at least one shard");
         Ok(self.publish(&mut st, merged))
     }
 
@@ -282,8 +302,8 @@ impl ServedGraph {
         F: FnOnce(Vec<AgmSketch>) -> AgmSketch,
     {
         let mut st = self.ingest.lock().expect("ingest lock poisoned");
-        let forks = st.engine.snapshot_shards();
-        let merged = merge(forks);
+        let forks = self.metrics.epoch_fork.time(|| st.engine.snapshot_shards());
+        let merged = self.metrics.epoch_merge.time(|| merge(forks));
         self.publish(&mut st, merged)
     }
 
@@ -295,12 +315,14 @@ impl ServedGraph {
     fn publish(&self, st: &mut IngestState, merged: AgmSketch) -> Arc<EpochSnapshot> {
         let total = st.engine.pushed();
         let next_epoch = self.snapshot().epoch() + 1;
+        let net = self.metrics.epoch_seal.time(|| st.live.seal_epoch());
         let snap = Arc::new(EpochSnapshot::new(
             next_epoch,
             self.config,
             merged,
-            Arc::new(st.live.seal_epoch()),
+            Arc::new(net),
             total,
+            self.metrics.artifacts.clone(),
         ));
         *self.current.write().expect("epoch lock poisoned") = Arc::clone(&snap);
         snap
@@ -318,9 +340,9 @@ impl ServedGraph {
     /// as this one did at the capture point.
     pub fn checkpoint_state(&self) -> PersistedGraph {
         let mut st = self.ingest.lock().expect("ingest lock poisoned");
-        let forks = st.engine.snapshot_shards();
-        let merged = merge_forks(&forks);
-        let shard_nets = st.live.seal_shards();
+        let forks = self.metrics.epoch_fork.time(|| st.engine.snapshot_shards());
+        let merged = self.metrics.epoch_merge.time(|| merge_forks(&forks));
+        let shard_nets = self.metrics.epoch_seal.time(|| st.live.seal_shards());
         let snap = self.publish(&mut st, merged);
         debug_assert_eq!(forks.len(), shard_nets.len(), "one segment per shard");
         PersistedGraph {
@@ -346,13 +368,20 @@ impl ServedGraph {
     /// segment contains an edge the routing function assigns to a
     /// different shard — a checkpoint can only restore into the partition
     /// it was taken from.
-    fn restore(name: String, config: GraphConfig, state: PersistedGraph) -> Self {
+    fn restore(
+        name: String,
+        config: GraphConfig,
+        state: PersistedGraph,
+        telemetry: Arc<MetricRegistry>,
+    ) -> Self {
+        let metrics = GraphMetrics::for_graph(&telemetry, &name, config.shards);
         let engine_cfg = EngineConfig::new(config.shards).batch_size(config.batch_size);
         let net = Arc::new(state.epoch_net());
         let (sketches, shard_nets): (Vec<AgmSketch>, Vec<NetMultiset>) =
             state.shards.into_iter().map(|s| (s.sketch, s.net)).unzip();
         let merged = merge_forks(&sketches);
-        let engine = ShardedEngine::restore(engine_cfg, sketches, state.total_updates);
+        let mut engine = ShardedEngine::restore(engine_cfg, sketches, state.total_updates);
+        engine.set_metrics(metrics.engine.clone());
         let live = ShardedCompactedLog::from_shard_nets(&shard_nets);
         let snap = EpochSnapshot::new(
             state.epoch,
@@ -360,12 +389,15 @@ impl ServedGraph {
             merged,
             Arc::clone(&net),
             state.total_updates,
+            metrics.artifacts.clone(),
         );
         Self {
             name,
             config,
             ingest: Mutex::new(IngestState { engine, live }),
             current: RwLock::new(Arc::new(snap)),
+            metrics,
+            telemetry,
         }
     }
 
@@ -383,21 +415,64 @@ impl ServedGraph {
     ///
     /// Whatever [`EpochSnapshot::execute`] returns.
     pub fn query(&self, query: &Query) -> Result<Response, ServiceError> {
-        self.snapshot().execute(query)
+        let hist = &self.metrics.queries[query.variant_index()];
+        hist.time(|| self.snapshot().execute(query))
+    }
+
+    /// This tenant's slice of the telemetry registry: every series
+    /// labelled `graph="<name>"`, as an immutable, diffable
+    /// [`MetricsSnapshot`]. Registry-wide views (including unlabelled
+    /// pool series) come from [`GraphRegistry::telemetry`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let needle = format!("graph=\"{}\"", self.name);
+        self.telemetry
+            .snapshot()
+            .filter(|series| series.contains(&needle))
     }
 }
 
 /// The multi-tenant registry: many named [`ServedGraph`]s behind one
-/// read-mostly lock.
-#[derive(Debug, Default)]
+/// read-mostly lock, sharing one [`MetricRegistry`] every tenant's
+/// telemetry lands in.
+#[derive(Debug)]
 pub struct GraphRegistry {
     graphs: RwLock<HashMap<String, Arc<ServedGraph>>>,
+    telemetry: Arc<MetricRegistry>,
+}
+
+impl Default for GraphRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl GraphRegistry {
-    /// An empty registry.
+    /// An empty registry with telemetry on (the default: recording is a
+    /// relaxed atomic op per event, cheap enough to keep always-on).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_telemetry(Arc::new(MetricRegistry::new()))
+    }
+
+    /// An empty registry recording into `telemetry` — share one
+    /// [`MetricRegistry`] across registries, or pass
+    /// [`MetricRegistry::noop`] to disable instrumentation entirely
+    /// (every handle degrades to a no-op; nothing is ever registered).
+    pub fn with_telemetry(telemetry: Arc<MetricRegistry>) -> Self {
+        Self {
+            graphs: RwLock::new(HashMap::new()),
+            telemetry,
+        }
+    }
+
+    /// The shared metric registry all tenants record into.
+    pub fn telemetry(&self) -> &Arc<MetricRegistry> {
+        &self.telemetry
+    }
+
+    /// Renders every registered series — all tenants, all layers — in
+    /// Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.telemetry.render_prometheus()
     }
 
     /// Registers a new graph and starts its ingest engine.
@@ -414,7 +489,11 @@ impl GraphRegistry {
         if graphs.contains_key(name) {
             return Err(ServiceError::DuplicateGraph(name.to_string()));
         }
-        let graph = Arc::new(ServedGraph::new(name.to_string(), config));
+        let graph = Arc::new(ServedGraph::new(
+            name.to_string(),
+            config,
+            Arc::clone(&self.telemetry),
+        ));
         graphs.insert(name.to_string(), Arc::clone(&graph));
         Ok(graph)
     }
@@ -443,7 +522,12 @@ impl GraphRegistry {
         if graphs.contains_key(name) {
             return Err(ServiceError::DuplicateGraph(name.to_string()));
         }
-        let graph = Arc::new(ServedGraph::restore(name.to_string(), config, state));
+        let graph = Arc::new(ServedGraph::restore(
+            name.to_string(),
+            config,
+            state,
+            Arc::clone(&self.telemetry),
+        ));
         graphs.insert(name.to_string(), Arc::clone(&graph));
         Ok(graph)
     }
@@ -625,6 +709,105 @@ mod tests {
             reg2.restore("live", config, back.checkpoint_state()),
             Err(ServiceError::DuplicateGraph(_))
         ));
+    }
+
+    #[test]
+    fn telemetry_traces_ingest_epochs_and_queries() {
+        let reg = GraphRegistry::new();
+        let g = reg
+            .create("soc", GraphConfig::new(12).shards(2).batch_size(4))
+            .unwrap();
+        g.apply(&[
+            StreamUpdate::insert(0, 1),
+            StreamUpdate::insert(1, 2),
+            StreamUpdate::insert(0, 1),
+            StreamUpdate::delete(0, 1),
+        ])
+        .unwrap();
+        g.advance_epoch();
+        g.query(&Query::Connectivity).unwrap();
+        g.query(&Query::Connectivity).unwrap();
+        let snap = g.metrics();
+        let routed: u64 = (0..2)
+            .filter_map(|s| {
+                snap.counter(&format!(
+                    "dsg_engine_updates_routed_total{{graph=\"soc\",shard=\"{s}\"}}"
+                ))
+            })
+            .sum();
+        assert_eq!(routed, 4, "all updates routed through the engine");
+        let cancelled: u64 = (0..2)
+            .filter_map(|s| {
+                snap.counter(&format!(
+                    "dsg_engine_cancellations_total{{graph=\"soc\",shard=\"{s}\"}}"
+                ))
+            })
+            .sum();
+        assert_eq!(cancelled, 1, "the one deletion cancelled one insertion");
+        for phase in ["fork", "merge", "seal"] {
+            let h = snap
+                .histogram(&format!(
+                    "dsg_service_epoch_phase_nanos{{graph=\"soc\",phase=\"{phase}\"}}"
+                ))
+                .unwrap();
+            assert!(h.count() >= 1, "epoch phase {phase} must be timed");
+        }
+        assert_eq!(
+            snap.counter("dsg_service_artifact_builds_total{artifact=\"forest\",graph=\"soc\"}"),
+            Some(1),
+            "forest built exactly once across two connectivity queries"
+        );
+        assert_eq!(
+            snap.counter(
+                "dsg_service_artifact_cache_hits_total{artifact=\"forest\",graph=\"soc\"}"
+            ),
+            Some(1)
+        );
+        let q = snap
+            .histogram("dsg_service_query_nanos{graph=\"soc\",query=\"connectivity\"}")
+            .unwrap();
+        assert_eq!(q.count(), 2);
+        // The tenant slice carries only this graph's series; the full
+        // registry rendering includes them in Prometheus text form.
+        assert!(snap.iter().all(|(name, _)| name.contains("graph=\"soc\"")));
+        let text = reg.render_prometheus();
+        assert!(text.contains("dsg_engine_updates_routed_total{graph=\"soc\",shard=\"0\"}"));
+        assert!(text.contains("# TYPE dsg_service_query_nanos histogram"));
+    }
+
+    #[test]
+    fn oracle_cache_counters_fold_into_the_registry() {
+        let reg = GraphRegistry::new();
+        let g = reg.create("g", GraphConfig::new(10)).unwrap();
+        for v in 0..9 {
+            g.insert(v, v + 1).unwrap();
+        }
+        g.advance_epoch();
+        g.query(&Query::Distance(0, 9)).unwrap();
+        g.query(&Query::Distance(0, 9)).unwrap();
+        let snap = g.metrics();
+        let hits = snap
+            .counter("dsg_service_oracle_cache_hits_total{graph=\"g\"}")
+            .unwrap();
+        let misses = snap
+            .counter("dsg_service_oracle_cache_misses_total{graph=\"g\"}")
+            .unwrap();
+        assert!(misses >= 1, "first distance query misses the memo cache");
+        assert!(hits >= 1, "repeat distance query hits the memo cache");
+        // The old accessor reads the very same cells.
+        let stats = g.snapshot().oracle().cache_stats();
+        assert_eq!((stats.hits, stats.misses), (hits, misses));
+    }
+
+    #[test]
+    fn noop_telemetry_registers_and_renders_nothing() {
+        let reg = GraphRegistry::with_telemetry(Arc::new(dsg_telemetry::MetricRegistry::noop()));
+        let g = reg.create("g", GraphConfig::new(8)).unwrap();
+        g.insert(0, 1).unwrap();
+        g.advance_epoch();
+        g.query(&Query::Connectivity).unwrap();
+        assert!(g.metrics().is_empty());
+        assert_eq!(reg.render_prometheus(), "");
     }
 
     #[test]

@@ -20,13 +20,16 @@
 use dsg_graph::bfs::{bfs_distances, bfs_distances_bounded, UNREACHABLE};
 use dsg_graph::graph::Adjacency;
 use dsg_graph::{Graph, Vertex};
+use dsg_telemetry::Counter;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 /// Default number of distinct sources whose distance rows stay cached.
 pub const DEFAULT_CACHE_SOURCES: usize = 32;
 
-/// Cache-effectiveness counters of a [`DistanceOracle`].
+/// Cache-effectiveness counters of a [`DistanceOracle`] — a point-in-time
+/// read of the oracle's telemetry counters (see
+/// [`DistanceOracle::with_cache_counters`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Queries answered from a memoized distance row.
@@ -41,7 +44,6 @@ struct SourceCache {
     capacity: usize,
     rows: HashMap<Vertex, Arc<Vec<u32>>>,
     order: VecDeque<Vertex>,
-    stats: CacheStats,
 }
 
 impl SourceCache {
@@ -94,10 +96,18 @@ pub struct DistanceOracle {
     adjacency: Adjacency,
     stretch: u64,
     cache: Mutex<SourceCache>,
+    /// Cache hit/miss telemetry. Standalone live counters by default, so
+    /// [`cache_stats`](DistanceOracle::cache_stats) always works; a
+    /// serving layer swaps in registry-owned counters with
+    /// [`with_cache_counters`](DistanceOracle::with_cache_counters) so
+    /// there is exactly one store for the numbers.
+    hits: Counter,
+    misses: Counter,
 }
 
 impl Clone for DistanceOracle {
-    /// Clones the oracle with a fresh, empty cache of the same capacity.
+    /// Clones the oracle with a fresh, empty cache of the same capacity
+    /// and fresh (zeroed, standalone) hit/miss counters.
     fn clone(&self) -> Self {
         let capacity = self.cache.lock().expect("oracle cache poisoned").capacity;
         Self {
@@ -105,6 +115,8 @@ impl Clone for DistanceOracle {
             adjacency: self.adjacency.clone(),
             stretch: self.stretch,
             cache: Mutex::new(SourceCache::new(capacity)),
+            hits: Counter::active(),
+            misses: Counter::active(),
         }
     }
 }
@@ -123,6 +135,8 @@ impl DistanceOracle {
             adjacency,
             stretch,
             cache: Mutex::new(SourceCache::new(DEFAULT_CACHE_SOURCES)),
+            hits: Counter::active(),
+            misses: Counter::active(),
         }
     }
 
@@ -131,6 +145,19 @@ impl DistanceOracle {
     pub fn with_cache_capacity(self, capacity: usize) -> Self {
         Self {
             cache: Mutex::new(SourceCache::new(capacity)),
+            ..self
+        }
+    }
+
+    /// Replaces the hit/miss counters with caller-owned handles —
+    /// typically registry-created series, so the oracle's cache
+    /// effectiveness lands in the same `dsg_telemetry::MetricRegistry`
+    /// as everything else and [`cache_stats`](DistanceOracle::cache_stats)
+    /// reads the very same cells (one store, two views).
+    pub fn with_cache_counters(self, hits: Counter, misses: Counter) -> Self {
+        Self {
+            hits,
+            misses,
             ..self
         }
     }
@@ -145,22 +172,31 @@ impl DistanceOracle {
         &self.spanner
     }
 
-    /// Hit/miss counters of the per-source cache.
+    /// Hit/miss counters of the per-source cache — a thin wrapper reading
+    /// the telemetry counters (registry-owned ones after
+    /// [`with_cache_counters`](DistanceOracle::with_cache_counters)).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("oracle cache poisoned").stats
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+        }
     }
 
     /// Probes the cache for `u`'s distance row, bumping the hit/miss
-    /// counters — the one place the probe-and-count logic lives.
+    /// counters — the one place the probe-and-count logic lives. The
+    /// counters are atomic, so they are bumped outside the lock.
     fn cached_row(&self, u: Vertex) -> Option<Arc<Vec<u32>>> {
-        let mut cache = self.cache.lock().expect("oracle cache poisoned");
-        match cache.rows.get(&u).cloned() {
+        let row = {
+            let cache = self.cache.lock().expect("oracle cache poisoned");
+            cache.rows.get(&u).cloned()
+        };
+        match row {
             Some(row) => {
-                cache.stats.hits += 1;
+                self.hits.inc();
                 Some(row)
             }
             None => {
-                cache.stats.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -328,6 +364,24 @@ mod tests {
         let stats = oracle.cache_stats();
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn registry_counters_and_cache_stats_read_the_same_cells() {
+        let (_, oracle) = oracle_for(30, 1, 8);
+        let reg = dsg_telemetry::MetricRegistry::new();
+        let oracle = oracle.with_cache_counters(
+            reg.counter("oracle_hits_total"),
+            reg.counter("oracle_misses_total"),
+        );
+        let _ = oracle.estimate(0, 5); // miss
+        let _ = oracle.estimate(0, 6); // hit
+        let _ = oracle.estimate(1, 6); // miss
+        let stats = oracle.cache_stats();
+        assert_eq!(stats, CacheStats { hits: 1, misses: 2 });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("oracle_hits_total"), Some(stats.hits));
+        assert_eq!(snap.counter("oracle_misses_total"), Some(stats.misses));
     }
 
     #[test]

@@ -245,13 +245,15 @@ fn decode(bytes: &[u8]) -> Result<Checkpoint, WireError> {
 }
 
 /// Writes `cp` to `dir/checkpoint.dsg` atomically: stage to a temp file,
-/// fsync, rename over the old checkpoint, fsync the directory.
+/// fsync, rename over the old checkpoint, fsync the directory. Returns
+/// the encoded frame size in bytes (what telemetry reports as the
+/// checkpoint's on-disk footprint).
 ///
 /// # Errors
 ///
 /// [`StoreError::Io`] on any filesystem failure; the previous checkpoint
 /// (if any) survives every failure mode.
-pub fn write_checkpoint(dir: &Path, cp: &Checkpoint) -> Result<(), StoreError> {
+pub fn write_checkpoint(dir: &Path, cp: &Checkpoint) -> Result<usize, StoreError> {
     let bytes = encode(cp);
     let tmp = dir.join(CHECKPOINT_TMP);
     std::fs::write(&tmp, &bytes)?;
@@ -259,7 +261,7 @@ pub fn write_checkpoint(dir: &Path, cp: &Checkpoint) -> Result<(), StoreError> {
     std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
     // POSIX: the rename itself must be made durable via the directory.
     wal::fsync_dir(dir)?;
-    Ok(())
+    Ok(bytes.len())
 }
 
 /// Reads and validates `dir/checkpoint.dsg`.

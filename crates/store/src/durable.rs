@@ -28,7 +28,7 @@
 //! [`DurableGraph::snapshot`]) never take that lock.
 
 use crate::checkpoint::{read_checkpoint, write_checkpoint, Checkpoint, CHECKPOINT_FILE};
-use crate::wal::{ReplaySummary, Wal, WalConfig, WalPosition, WalRecord};
+use crate::wal::{ReplaySummary, Wal, WalConfig, WalMetrics, WalPosition, WalRecord};
 use crate::{StoreError, SyncPolicy};
 use dsg_agm::AgmSketch;
 use dsg_graph::{StreamUpdate, Vertex};
@@ -36,10 +36,12 @@ use dsg_service::{
     EpochSnapshot, GraphConfig, GraphRegistry, PersistedGraph, PersistedShard, Query, Response,
     ServedGraph, ServiceError,
 };
+use dsg_telemetry::{series, Counter, Histogram, MetricRegistry};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a durable registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,7 +77,9 @@ pub struct CheckpointStats {
     pub segments_removed: usize,
 }
 
-/// How one tenant came back during [`DurableRegistry::open`].
+/// How one tenant came back during [`DurableRegistry::open`], phase
+/// timings included (the same durations land in the registry's
+/// `dsg_store_recovery_phase_nanos{phase=…}` series).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantRecovery {
     /// The tenant's name.
@@ -86,6 +90,61 @@ pub struct TenantRecovery {
     pub records_replayed: usize,
     /// Whether a torn (partially written) final record was truncated.
     pub torn_tail: bool,
+    /// Reading, checksum-validating, and decoding the checkpoint file.
+    pub checkpoint_load: Duration,
+    /// Restoring the checkpoint into a live engine (workers spawned
+    /// pre-loaded, compacted logs re-seeded).
+    pub restore: Duration,
+    /// Replaying the post-checkpoint WAL tail through normal ingest.
+    pub replay: Duration,
+    /// Scanning the last segment for a torn tail and positioning the
+    /// append handle.
+    pub wal_open: Duration,
+}
+
+/// Per-tenant telemetry handles of the durability layer, resolved once
+/// at create/recover time. `Default` is all-no-op.
+#[derive(Debug, Clone, Default)]
+struct StoreMetrics {
+    wal: WalMetrics,
+    checkpoint_write_nanos: Histogram,
+    checkpoint_written_bytes: Counter,
+    checkpoint_read_nanos: Histogram,
+    checkpoint_read_bytes: Counter,
+    recovery_restore_nanos: Histogram,
+    recovery_replay_nanos: Histogram,
+    recovery_wal_open_nanos: Histogram,
+}
+
+impl StoreMetrics {
+    fn for_tenant(reg: &MetricRegistry, graph: &str, policy: SyncPolicy) -> Self {
+        let g = |name: &str| series(name, &[("graph", graph)]);
+        let phase = |p: &str| {
+            reg.histogram(&series(
+                "dsg_store_recovery_phase_nanos",
+                &[("graph", graph), ("phase", p)],
+            ))
+        };
+        Self {
+            wal: WalMetrics {
+                append_nanos: reg.histogram(&g("dsg_store_wal_append_nanos")),
+                fsync_nanos: reg.histogram(&series(
+                    "dsg_store_wal_fsync_nanos",
+                    &[("graph", graph), ("policy", policy.label())],
+                )),
+                appended_bytes: reg.counter(&g("dsg_store_wal_appended_bytes_total")),
+                segments_rotated: reg.counter(&g("dsg_store_wal_segments_rotated_total")),
+                segments_compacted: reg.counter(&g("dsg_store_wal_segments_compacted_total")),
+            },
+            checkpoint_write_nanos: reg.histogram(&g("dsg_store_checkpoint_write_nanos")),
+            checkpoint_written_bytes: reg.counter(&g("dsg_store_checkpoint_written_bytes_total")),
+            checkpoint_read_nanos: reg.histogram(&g("dsg_store_checkpoint_read_nanos")),
+            checkpoint_read_bytes: reg.counter(&g("dsg_store_checkpoint_read_bytes_total")),
+            recovery_restore_nanos: phase("restore"),
+            recovery_replay_nanos: phase("replay"),
+            recovery_wal_open_nanos: phase("wal_open"),
+        }
+    }
 }
 
 /// A [`ServedGraph`] whose mutations persist: updates and epoch advances
@@ -101,6 +160,7 @@ pub struct DurableGraph {
     /// durable mutations through surviving handles fail instead of
     /// acknowledging writes into unlinked files.
     closed: AtomicBool,
+    metrics: StoreMetrics,
 }
 
 impl DurableGraph {
@@ -262,7 +322,11 @@ impl DurableGraph {
             wal_pos,
             shards: state.shards,
         };
-        write_checkpoint(&self.dir, &cp)?;
+        let bytes = self
+            .metrics
+            .checkpoint_write_nanos
+            .time(|| write_checkpoint(&self.dir, &cp))?;
+        self.metrics.checkpoint_written_bytes.add(bytes as u64);
         let segments_removed = wal.compact_before(wal_pos)?;
         Ok(CheckpointStats {
             epoch: cp.epoch,
@@ -336,8 +400,23 @@ impl DurableRegistry {
     /// all-or-nothing: a damaged tenant fails the whole open rather than
     /// silently serving a subset.
     pub fn open(root: &Path, options: StoreOptions) -> Result<Self, StoreError> {
+        Self::open_with_telemetry(root, options, Arc::new(MetricRegistry::new()))
+    }
+
+    /// Like [`open`](DurableRegistry::open), but recording into the given
+    /// metric registry — share one registry across stores, or pass
+    /// [`MetricRegistry::noop`] to disable instrumentation entirely.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](DurableRegistry::open).
+    pub fn open_with_telemetry(
+        root: &Path,
+        options: StoreOptions,
+        telemetry: Arc<MetricRegistry>,
+    ) -> Result<Self, StoreError> {
         std::fs::create_dir_all(root)?;
-        let shared = Arc::new(GraphRegistry::new());
+        let shared = Arc::new(GraphRegistry::with_telemetry(telemetry));
         let mut names = Vec::new();
         for entry in std::fs::read_dir(root)? {
             let entry = entry?;
@@ -400,8 +479,18 @@ impl DurableRegistry {
         dir: PathBuf,
         options: StoreOptions,
     ) -> Result<(Arc<DurableGraph>, TenantRecovery), StoreError> {
+        let metrics = StoreMetrics::for_tenant(shared.telemetry(), name, options.wal.sync);
+        let started = Instant::now();
         let cp = read_checkpoint(&dir)?;
+        let checkpoint_load = started.elapsed();
+        metrics
+            .checkpoint_read_nanos
+            .record_duration(checkpoint_load);
+        if let Ok(meta) = std::fs::metadata(dir.join(CHECKPOINT_FILE)) {
+            metrics.checkpoint_read_bytes.add(meta.len());
+        }
         let config = cp.config;
+        let started = Instant::now();
         let graph = shared.restore(
             name,
             config,
@@ -411,22 +500,36 @@ impl DurableRegistry {
                 shards: cp.shards,
             },
         )?;
+        let restore = started.elapsed();
+        metrics.recovery_restore_nanos.record_duration(restore);
         // Replay first (read-only: a torn tail is dropped logically and
         // reported), then open for append (which truncates the torn tail
         // physically so new records never land after garbage).
+        let started = Instant::now();
         let summary = Self::replay_into(&graph, &dir, cp.wal_pos)?;
-        let wal = Wal::open(&dir, options.wal)?;
+        let replay = started.elapsed();
+        metrics.recovery_replay_nanos.record_duration(replay);
+        let started = Instant::now();
+        let mut wal = Wal::open(&dir, options.wal)?;
+        wal.set_metrics(metrics.wal.clone());
+        let wal_open = started.elapsed();
+        metrics.recovery_wal_open_nanos.record_duration(wal_open);
         let durable = Arc::new(DurableGraph {
             dir,
             graph,
             wal: Mutex::new(wal),
             closed: AtomicBool::new(false),
+            metrics,
         });
         let report = TenantRecovery {
             name: name.to_string(),
             checkpoint_epoch: cp.epoch,
             records_replayed: summary.records,
             torn_tail: summary.torn_tail,
+            checkpoint_load,
+            restore,
+            replay,
+            wal_open,
         };
         Ok((durable, report))
     }
@@ -501,9 +604,12 @@ impl DurableRegistry {
             return Err(StoreError::TenantExists(name.to_string()));
         }
         let graph = self.shared.create(name, config)?;
+        let metrics =
+            StoreMetrics::for_tenant(self.shared.telemetry(), name, self.options.wal.sync);
         let staged = (|| -> Result<Wal, StoreError> {
             std::fs::create_dir_all(&dir)?;
-            let wal = Wal::open(&dir, self.options.wal)?;
+            let mut wal = Wal::open(&dir, self.options.wal)?;
+            wal.set_metrics(metrics.wal.clone());
             let cp = Checkpoint {
                 config,
                 epoch: 0,
@@ -516,7 +622,10 @@ impl DurableRegistry {
                     })
                     .collect(),
             };
-            write_checkpoint(&dir, &cp)?;
+            let bytes = metrics
+                .checkpoint_write_nanos
+                .time(|| write_checkpoint(&dir, &cp))?;
+            metrics.checkpoint_written_bytes.add(bytes as u64);
             Ok(wal)
         })();
         let wal = match staged {
@@ -535,6 +644,7 @@ impl DurableRegistry {
             graph,
             wal: Mutex::new(wal),
             closed: AtomicBool::new(false),
+            metrics,
         });
         tenants.insert(name.to_string(), Arc::clone(&durable));
         Ok(durable)
@@ -891,6 +1001,93 @@ mod tests {
         assert_eq!(g.wal_position(), before, "rejected batch reached the WAL");
         g.advance_epoch().unwrap();
         assert_eq!(g.snapshot().total_updates(), 0);
+    }
+
+    #[test]
+    fn telemetry_traces_wal_checkpoint_and_recovery() {
+        let dir = ScratchDir::new("durable-telemetry");
+        let config = GraphConfig::new(10).seed(7).shards(2).batch_size(4);
+        let telemetry = Arc::new(MetricRegistry::new());
+        let reg = DurableRegistry::open_with_telemetry(
+            dir.path(),
+            StoreOptions::default(),
+            Arc::clone(&telemetry),
+        )
+        .unwrap();
+        let g = reg.create("t", config).unwrap();
+        g.apply(&path_updates(0..6)).unwrap();
+        g.checkpoint().unwrap();
+        g.apply(&path_updates(6..9)).unwrap();
+        g.advance_epoch().unwrap();
+
+        let snap = telemetry.snapshot();
+        assert!(
+            snap.counter("dsg_store_wal_appended_bytes_total{graph=\"t\"}")
+                .unwrap_or(0)
+                > 0,
+            "appended bytes uncounted"
+        );
+        assert!(
+            snap.counter("dsg_store_wal_segments_rotated_total{graph=\"t\"}")
+                .unwrap_or(0)
+                >= 1,
+            "checkpoint rotation uncounted"
+        );
+        assert!(
+            snap.counter("dsg_store_wal_segments_compacted_total{graph=\"t\"}")
+                .unwrap_or(0)
+                >= 1,
+            "checkpoint compaction uncounted"
+        );
+        let appends = snap
+            .histogram("dsg_store_wal_append_nanos{graph=\"t\"}")
+            .expect("append histogram missing");
+        assert!(appends.count() >= 4, "2 batches + 2 markers appended");
+        let fsyncs = snap
+            .histogram("dsg_store_wal_fsync_nanos{graph=\"t\",policy=\"every_batch\"}")
+            .expect("fsync histogram missing (policy label wrong?)");
+        assert!(fsyncs.count() >= 4, "EveryBatch syncs each append");
+        let cp_writes = snap
+            .histogram("dsg_store_checkpoint_write_nanos{graph=\"t\"}")
+            .expect("checkpoint-write histogram missing");
+        assert_eq!(cp_writes.count(), 2, "initial create + explicit checkpoint");
+        assert!(
+            snap.counter("dsg_store_checkpoint_written_bytes_total{graph=\"t\"}")
+                .unwrap_or(0)
+                > 0
+        );
+        drop((g, reg)); // crash
+
+        let reg = DurableRegistry::open_with_telemetry(
+            dir.path(),
+            StoreOptions::default(),
+            Arc::clone(&telemetry),
+        )
+        .unwrap();
+        let report = &reg.recovery_report()[0];
+        assert!(
+            report.checkpoint_load + report.restore + report.replay + report.wal_open
+                > Duration::ZERO,
+            "recovery phase durations must be populated"
+        );
+        let snap = telemetry.snapshot();
+        assert!(
+            snap.counter("dsg_store_checkpoint_read_bytes_total{graph=\"t\"}")
+                .unwrap_or(0)
+                > 0
+        );
+        for phase in ["restore", "replay", "wal_open"] {
+            let h = snap
+                .histogram(&format!(
+                    "dsg_store_recovery_phase_nanos{{graph=\"t\",phase=\"{phase}\"}}"
+                ))
+                .unwrap_or_else(|| panic!("recovery phase {phase} missing"));
+            assert_eq!(h.count(), 1, "one recovery per open for phase {phase}");
+        }
+        // Every store series lands in the Prometheus rendering too.
+        let text = telemetry.render_prometheus();
+        assert!(text.contains("dsg_store_wal_append_nanos"));
+        assert!(text.contains("dsg_store_recovery_phase_nanos"));
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod wal;
 
 pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint, CHECKPOINT_FILE};
 pub use durable::{CheckpointStats, DurableGraph, DurableRegistry, StoreOptions, TenantRecovery};
-pub use wal::{SyncPolicy, Wal, WalConfig, WalPosition, WalRecord};
+pub use wal::{SyncPolicy, Wal, WalConfig, WalMetrics, WalPosition, WalRecord};
 
 use dsg_service::ServiceError;
 use dsg_sketch::WireError;

@@ -47,6 +47,7 @@
 
 use crate::StoreError;
 use dsg_graph::{Edge, StreamUpdate};
+use dsg_telemetry::{Counter, Histogram};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -81,6 +82,38 @@ pub enum SyncPolicy {
     /// Only on explicit [`Wal::sync`], rotation, or close: the caller
     /// owns the loss window.
     Manual,
+}
+
+impl SyncPolicy {
+    /// The `policy` label value this policy reports under in telemetry
+    /// series (e.g. `dsg_store_wal_fsync_nanos{policy="every_batch"}`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyncPolicy::EveryBatch => "every_batch",
+            SyncPolicy::EveryN(_) => "every_n",
+            SyncPolicy::Manual => "manual",
+        }
+    }
+}
+
+/// Telemetry handles a [`Wal`] records through. `Default` is all-no-op;
+/// the durable layer installs registry-backed handles per tenant via
+/// [`Wal::set_metrics`] (the fsync series carries the tenant's
+/// [`SyncPolicy`] as a `policy` label, baked in at registration).
+#[derive(Debug, Clone, Default)]
+pub struct WalMetrics {
+    /// Full append latency (encode + buffered write + policy-driven
+    /// sync), nanoseconds.
+    pub append_nanos: Histogram,
+    /// Flush + fsync latency, nanoseconds — one sample per durability
+    /// point, whichever policy triggered it.
+    pub fsync_nanos: Histogram,
+    /// On-disk record bytes appended (headers included).
+    pub appended_bytes: Counter,
+    /// Segment rollovers (size-triggered and checkpoint-triggered).
+    pub segments_rotated: Counter,
+    /// Segment files deleted by post-checkpoint compaction.
+    pub segments_compacted: Counter,
 }
 
 /// Shape of the log: sync cadence and segment rollover size.
@@ -151,6 +184,7 @@ pub struct Wal {
     segment: u64,
     offset: u64,
     appends_since_sync: u32,
+    metrics: WalMetrics,
 }
 
 /// Segment file name for sequence number `seq`.
@@ -416,7 +450,13 @@ impl Wal {
             segment,
             offset: at as u64,
             appends_since_sync: 0,
+            metrics: WalMetrics::default(),
         })
+    }
+
+    /// Installs telemetry handles; the log starts with no-op ones.
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = metrics;
     }
 
     /// The position right after the last appended record — the next
@@ -457,10 +497,12 @@ impl Wal {
         if self.offset >= self.config.segment_bytes {
             self.rotate()?;
         }
+        let timer = self.metrics.append_nanos.start_timer();
         let record = encode_record(payload);
         self.writer.write_all(&record)?;
         self.offset += record.len() as u64;
         self.appends_since_sync += 1;
+        self.metrics.appended_bytes.add(record.len() as u64);
         match self.config.sync {
             SyncPolicy::EveryBatch => self.sync()?,
             SyncPolicy::EveryN(n) => {
@@ -470,6 +512,7 @@ impl Wal {
             }
             SyncPolicy::Manual => {}
         }
+        drop(timer);
         Ok(self.position())
     }
 
@@ -480,6 +523,7 @@ impl Wal {
     ///
     /// [`StoreError::Io`] if the flush or sync fails.
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        let _timer = self.metrics.fsync_nanos.start_timer();
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
         self.appends_since_sync = 0;
@@ -508,6 +552,7 @@ impl Wal {
         self.writer = BufWriter::new(file);
         self.segment = next;
         self.offset = 0;
+        self.metrics.segments_rotated.inc();
         Ok(self.position())
     }
 
@@ -529,6 +574,7 @@ impl Wal {
         }
         if removed > 0 {
             fsync_dir(&self.dir)?;
+            self.metrics.segments_compacted.add(removed as u64);
         }
         Ok(removed)
     }

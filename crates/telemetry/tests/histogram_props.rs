@@ -1,0 +1,126 @@
+//! Property tests for the histogram core and snapshot diffing.
+//!
+//! Three contracts, over arbitrary sample sets:
+//!
+//! 1. **Quantile bounding.** A log2-bucketed quantile estimate reports
+//!    the upper bound of the bucket holding the true rank, so for every
+//!    `q` it must bound the true `q`-quantile from above and stay within
+//!    `2·true + 1` (the bucket's width) — the histogram can blur *where*
+//!    inside a power-of-two band a sample sits, never *which* band.
+//! 2. **Merge ≡ concatenation.** `merge_from(a, b)` must equal recording
+//!    the concatenated sample stream — bucket counts, sum, and max are
+//!    all linear (or max-monoidal) in the samples.
+//! 3. **Exact counter diffs.** Whatever happens between two registry
+//!    snapshots, `after.diff(before)` reports exactly the events recorded
+//!    in between.
+
+use dsg_telemetry::{Histogram, MetricRegistry};
+use proptest::prelude::*;
+
+/// Sample values spanning many buckets, capped below `2^62` so the
+/// documented `est ≤ 2·true + 1` bound applies (the last bucket is
+/// unbounded above and cannot promise a factor-2 width).
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..(1u64 << 62), 0..200)
+}
+
+/// The true `q`-quantile under the same rank rule the histogram uses:
+/// the sample of rank `⌈q·n⌉` (1-based) in sorted order.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantile_estimates_bound_true_quantiles(values in samples(), qs in prop::collection::vec(0.0f64..1.0, 1..8)) {
+        if values.is_empty() {
+            return;
+        }
+        let h = Histogram::active();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *sorted.last().expect("nonempty"));
+        for &q in &qs {
+            let truth = true_quantile(&sorted, q);
+            let est = h.quantile(q);
+            prop_assert!(est >= truth, "estimate {est} below true quantile {truth} at q={q}");
+            prop_assert!(
+                est <= 2 * truth + 1,
+                "estimate {est} beyond 2*{truth}+1 at q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(a in samples(), b in samples()) {
+        let ha = Histogram::active();
+        let hb = Histogram::active();
+        let concat = Histogram::active();
+        for &v in &a {
+            ha.record(v);
+            concat.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            concat.record(v);
+        }
+        ha.merge_from(&hb);
+        prop_assert_eq!(ha.snapshot_value(), concat.snapshot_value());
+        // Merging must not disturb the right-hand side.
+        let hb_alone = Histogram::active();
+        for &v in &b {
+            hb_alone.record(v);
+        }
+        prop_assert_eq!(hb.snapshot_value(), hb_alone.snapshot_value());
+    }
+
+    #[test]
+    fn merge_is_associative_on_snapshots(a in samples(), b in samples(), c in samples()) {
+        let left = Histogram::active();   // (a ⊕ b) ⊕ c
+        let right = Histogram::active();  // a ⊕ (b ⊕ c)
+        let make = |vals: &[u64]| {
+            let h = Histogram::active();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        left.merge_from(&make(&a));
+        left.merge_from(&make(&b));
+        left.merge_from(&make(&c));
+        let bc = make(&b);
+        bc.merge_from(&make(&c));
+        right.merge_from(&make(&a));
+        right.merge_from(&bc);
+        prop_assert_eq!(left.snapshot_value(), right.snapshot_value());
+    }
+
+    #[test]
+    fn counter_diffs_are_exact(before_events in prop::collection::vec(0u64..1000, 1..6), after_events in prop::collection::vec(0u64..1000, 1..6)) {
+        let reg = MetricRegistry::new();
+        let counters: Vec<_> = (0..before_events.len().max(after_events.len()))
+            .map(|i| reg.counter(&format!("events_{i}_total")))
+            .collect();
+        for (c, &n) in counters.iter().zip(&before_events) {
+            c.add(n);
+        }
+        let snap_a = reg.snapshot();
+        for (c, &n) in counters.iter().zip(&after_events) {
+            c.add(n);
+        }
+        let delta = reg.snapshot().diff(&snap_a);
+        for (i, _) in counters.iter().enumerate() {
+            let expect = after_events.get(i).copied().unwrap_or(0);
+            prop_assert_eq!(
+                delta.counter(&format!("events_{i}_total")),
+                Some(expect),
+                "counter {i} diff must equal exactly the events between the scrapes"
+            );
+        }
+    }
+}

@@ -5,13 +5,16 @@
 //! Run with: `cargo run --release --example query_service`
 
 use dsg_graph::{gen, GraphStream, Vertex};
-use dsg_service::{GraphConfig, GraphRegistry, LoadGen, Query, QueryMix, QueryService, Response};
+use dsg_service::{
+    GraphConfig, GraphRegistry, LoadGen, MetricRegistry, Query, QueryMix, QueryService, Response,
+};
 use dsg_util::Summary;
 use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    let registry = Arc::new(GraphRegistry::new());
+    let telemetry = Arc::new(MetricRegistry::new());
+    let registry = Arc::new(GraphRegistry::with_telemetry(Arc::clone(&telemetry)));
 
     // Two tenants with different shapes share the one service.
     let social = registry
@@ -136,4 +139,50 @@ fn main() {
         social.snapshot().epoch(),
     );
     pool.shutdown();
+
+    // The same run, as the always-on telemetry layer saw it: per-tenant
+    // snapshots expose exact counters and log2-bucketed latency
+    // quantiles; render_prometheus() is the scrape a collector would get.
+    let social_metrics = social.metrics();
+    let sc = social_metrics
+        .histogram("dsg_service_query_nanos{graph=\"social\",query=\"same_component\"}")
+        .expect("pool queries were timed");
+    println!(
+        "telemetry: 'social' exposes {} series; same_component p95 {:.1} µs over {} calls",
+        social_metrics.len(),
+        sc.p95() as f64 / 1e3,
+        sc.count(),
+    );
+    let roads_metrics = registry.get("roads").expect("registered").metrics();
+    println!(
+        "telemetry: 'roads' oracle cache hits={} misses={}, artifact builds: forest={} oracle={} laplacian={}",
+        roads_metrics
+            .counter("dsg_service_oracle_cache_hits_total{graph=\"roads\"}")
+            .unwrap_or(0),
+        roads_metrics
+            .counter("dsg_service_oracle_cache_misses_total{graph=\"roads\"}")
+            .unwrap_or(0),
+        roads_metrics
+            .counter("dsg_service_artifact_builds_total{artifact=\"forest\",graph=\"roads\"}")
+            .unwrap_or(0),
+        roads_metrics
+            .counter("dsg_service_artifact_builds_total{artifact=\"oracle\",graph=\"roads\"}")
+            .unwrap_or(0),
+        roads_metrics
+            .counter("dsg_service_artifact_builds_total{artifact=\"laplacian\",graph=\"roads\"}")
+            .unwrap_or(0),
+    );
+    let exposition = registry.render_prometheus();
+    println!(
+        "prometheus exposition: {} lines, {} bytes; first engine series:",
+        exposition.lines().count(),
+        exposition.len(),
+    );
+    for line in exposition
+        .lines()
+        .filter(|l| l.starts_with("dsg_engine_"))
+        .take(3)
+    {
+        println!("  {line}");
+    }
 }

@@ -14,4 +14,5 @@ pub use dsg_sketch as sketch;
 pub use dsg_spanner as spanner;
 pub use dsg_sparsifier as sparsifier;
 pub use dsg_store as store;
+pub use dsg_telemetry as telemetry;
 pub use dsg_util as util;

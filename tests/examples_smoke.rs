@@ -77,7 +77,14 @@ fn all_examples_run_to_completion() {
         // engine path (threads + wire snapshots), not a toy loop.
         if *name == "distributed_servers" {
             let stdout = String::from_utf8_lossy(&output.stdout);
-            for marker in ["server threads", "snapshots", "shard ingest counts"] {
+            for marker in [
+                "server threads",
+                "snapshots",
+                "shard ingest counts",
+                "telemetry:",
+                "prometheus exposition",
+                "dsg_engine_batches_sent_total",
+            ] {
                 assert!(
                     stdout.contains(marker),
                     "distributed_servers output lost its '{marker}' report:\n{stdout}"
@@ -114,6 +121,9 @@ fn all_examples_run_to_completion() {
                 "queries/s",
                 "p95",
                 "cache",
+                "telemetry:",
+                "prometheus exposition",
+                "dsg_engine_",
             ] {
                 assert!(
                     stdout.contains(marker),
