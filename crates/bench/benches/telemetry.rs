@@ -8,7 +8,7 @@
 //! and the store per *append*, never per update.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsg_telemetry::{Counter, Histogram, MetricRegistry};
+use dsg_telemetry::{Counter, EventKind, FlightRecorder, Histogram, MetricRegistry};
 use std::hint::black_box;
 
 fn bench_handles(c: &mut Criterion) {
@@ -80,5 +80,28 @@ fn bench_registry(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_handles, bench_registry);
+fn bench_recorder(c: &mut Criterion) {
+    // The flight recorder's three cost tiers: enabled (clock read + five
+    // relaxed stores into the thread's ring), runtime-disabled (one extra
+    // relaxed load past the branch), and no-op (the branch alone).
+    let mut group = c.benchmark_group("telemetry");
+    let disabled = FlightRecorder::with_capacity(4096);
+    disabled.set_enabled(false);
+    for (mode, rec) in [
+        ("enabled", FlightRecorder::with_capacity(4096)),
+        ("disabled", disabled),
+        ("noop", FlightRecorder::noop()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("record_event", mode), &rec, |b, r| {
+            b.iter(|| {
+                for i in 0..1000u64 {
+                    black_box(r).record(EventKind::IngestBatch, i, 1, i * 31);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_handles, bench_registry, bench_recorder);
 criterion_main!(benches);

@@ -12,6 +12,7 @@ pub mod spanner_exps;
 pub mod sparsifier_exps;
 pub mod store_exps;
 pub mod telemetry_exps;
+pub mod tracing_exps;
 
 use crate::Scale;
 
@@ -40,6 +41,7 @@ pub const ALL: &[&str] = &[
     "compaction",
     "partition",
     "telemetry",
+    "tracing",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -68,6 +70,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "compaction" => compaction_exps::compaction(scale),
         "partition" => partition_exps::partition(scale),
         "telemetry" => telemetry_exps::telemetry(scale),
+        "tracing" => tracing_exps::tracing(scale),
         _ => return false,
     }
     true

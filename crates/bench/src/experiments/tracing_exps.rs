@@ -1,0 +1,300 @@
+//! Experiment E24: causal tracing at near-zero cost.
+//!
+//! The flight recorder's contract mirrors E23's for metrics: a no-op
+//! recorder costs one branch, and an active one costs a clock read plus
+//! five relaxed stores per event — cheap enough to leave on in
+//! production. Part 1 holds that to a number with the same interleaved
+//! best-of-N ingest and serving-round workloads as E23, recorder active
+//! vs no-op (both sides run an *active* metric registry, so the ratio
+//! isolates tracing, not metrics). Part 2 exercises the causal chain on
+//! the full durable stack: a crash-recovery reopen traced end to end, a
+//! wire-path epoch advance whose trace id survives frame encode/decode,
+//! and a watchdog-tripped slow query whose captured incident contains
+//! the complete submit → dequeue → execute → artifact-build chain under
+//! one trace id — then scrapes it all live off the admin endpoint as
+//! Chrome `trace_event` JSON and validates the document structurally.
+
+use crate::Scale;
+use dsg_graph::{gen, GraphStream};
+use dsg_service::{
+    AdminServer, EventKind, FlightRecorder, GraphConfig, GraphRegistry, LoadGen, MetricRegistry,
+    Query, QueryMix, QueryService, TraceEvent,
+};
+use dsg_store::{DurableRegistry, ScratchDir, StoreOptions};
+use dsg_util::json::{parse, JsonValue};
+use dsg_util::Table;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Ingest wall time (seconds) for one fresh graph traced by `tracer`.
+fn ingest_once(tracer: &FlightRecorder, config: GraphConfig, stream: &GraphStream) -> f64 {
+    let registry =
+        GraphRegistry::with_observability(Arc::new(MetricRegistry::new()), tracer.clone());
+    let g = registry.create("t", config).expect("fresh registry");
+    let t0 = Instant::now();
+    for chunk in stream.updates().chunks(256) {
+        g.apply(chunk).expect("valid stream");
+    }
+    g.advance_epoch();
+    t0.elapsed().as_secs_f64()
+}
+
+/// One serving round (seconds): churn delta, epoch advance (artifact
+/// rebuild included), then the whole mixed read workload — E23's unit.
+fn serving_round(
+    g: &Arc<dsg_service::ServedGraph>,
+    delta: &[dsg_graph::StreamUpdate],
+    queries: &[dsg_service::Query],
+) -> f64 {
+    let t0 = Instant::now();
+    g.apply(delta).expect("valid delta");
+    g.advance_epoch();
+    for q in queries {
+        g.query(q).expect("valid query");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// The event kinds present in `events` under `trace_id`.
+fn kinds_under(events: &[TraceEvent], trace_id: u64) -> Vec<EventKind> {
+    let mut kinds: Vec<EventKind> = events
+        .iter()
+        .filter(|e| e.trace_id == trace_id)
+        .map(|e| e.kind)
+        .collect();
+    kinds.dedup();
+    kinds
+}
+
+/// E24: tracing overhead within 5% of no-op, and a complete causal chain
+/// through service, wire, and store, scraped live as valid trace JSON.
+pub fn tracing(scale: Scale) {
+    let n = scale.pick(400usize, 120);
+    let shards = 4usize;
+    let trials = scale.pick(11usize, 9);
+    let queries_per_trial = scale.pick(3000usize, 1500);
+    let g = gen::erdos_renyi(n, scale.pick(0.03, 0.08), 31);
+    let stream = GraphStream::with_churn(&g, 1.5, 32);
+    let config = GraphConfig::new(n).seed(11).shards(shards).batch_size(128);
+    println!(
+        "\n## E24 — flight-recorder overhead and causal tracing (n = {n}, {} updates, \
+         {shards} shards, best of {trials} interleaved trials)\n",
+        stream.len(),
+    );
+
+    // Part 1: overhead, recorder active vs no-op. A 64Ki-event recorder
+    // wraps freely under the workload — wrap-around is the steady state
+    // a production deployment runs in.
+    let active = FlightRecorder::with_capacity(64 * 1024);
+    let noop = FlightRecorder::noop();
+    let mut best_ingest = [f64::INFINITY; 2]; // [noop, active]
+    for _ in 0..trials {
+        best_ingest[0] = best_ingest[0].min(ingest_once(&noop, config, &stream));
+        best_ingest[1] = best_ingest[1].min(ingest_once(&active, config, &stream));
+    }
+
+    let mix = QueryMix {
+        cut: 0,
+        ..QueryMix::read_heavy()
+    };
+    let queries = LoadGen::new(n, mix, 177).queries(queries_per_trial as u64);
+    let star: Vec<dsg_graph::StreamUpdate> = (1..n as u32 / 2)
+        .map(|v| dsg_graph::StreamUpdate::insert(0, v))
+        .collect();
+    let unstar: Vec<dsg_graph::StreamUpdate> = star
+        .iter()
+        .map(|up| dsg_graph::StreamUpdate::delete(up.edge.u(), up.edge.v()))
+        .collect();
+    let prepared: Vec<Arc<dsg_service::ServedGraph>> = [&noop, &active]
+        .iter()
+        .map(|tracer| {
+            let registry = GraphRegistry::with_observability(
+                Arc::new(MetricRegistry::new()),
+                (*tracer).clone(),
+            );
+            let g = registry.create("q", config).expect("fresh registry");
+            g.apply(stream.updates()).expect("valid stream");
+            g.advance_epoch();
+            g
+        })
+        .collect();
+    // One untimed warmup round per side (star + unstar, keeping the
+    // churn parity balanced), then the timed best-of rounds.
+    serving_round(&prepared[0], &star, &queries);
+    serving_round(&prepared[1], &star, &queries);
+    serving_round(&prepared[0], &unstar, &queries);
+    serving_round(&prepared[1], &unstar, &queries);
+    let mut best_query = [f64::INFINITY; 2];
+    for round in 0..trials {
+        let delta = if round % 2 == 0 { &star } else { &unstar };
+        best_query[0] = best_query[0].min(serving_round(&prepared[0], delta, &queries));
+        best_query[1] = best_query[1].min(serving_round(&prepared[1], delta, &queries));
+    }
+
+    let ingest_ratio = best_ingest[0] / best_ingest[1];
+    let query_ratio = best_query[0] / best_query[1];
+    let mut t = Table::new(&["workload", "no-op recorder", "tracing on", "on/off"]);
+    t.add_row(&[
+        "ingest".to_string(),
+        format!("{:.0} upd/s", stream.len() as f64 / best_ingest[0]),
+        format!("{:.0} upd/s", stream.len() as f64 / best_ingest[1]),
+        format!("{:.3}", ingest_ratio),
+    ]);
+    t.add_row(&[
+        "serving round (epoch + mixed queries)".to_string(),
+        format!("{:.0} q/s", queries.len() as f64 / best_query[0]),
+        format!("{:.0} q/s", queries.len() as f64 / best_query[1]),
+        format!("{:.3}", query_ratio),
+    ]);
+    println!("{t}");
+    assert!(
+        ingest_ratio >= 0.95,
+        "traced ingest must stay within 5% of the no-op baseline (ratio {ingest_ratio:.3})"
+    );
+    assert!(
+        query_ratio >= 0.95,
+        "traced serving must stay within 5% of the no-op baseline (ratio {query_ratio:.3})"
+    );
+    assert!(
+        !active.dump().is_empty(),
+        "the active recorder must actually have recorded"
+    );
+
+    // Part 2: the causal chain on the durable stack. One recorder spans
+    // a create → ingest → checkpoint → crash → recover lifecycle.
+    let tracer = FlightRecorder::with_capacity(64 * 1024);
+    let dir = ScratchDir::new("e24");
+    let open = || {
+        DurableRegistry::open_with_observability(
+            dir.path(),
+            StoreOptions::default(),
+            Arc::new(MetricRegistry::new()),
+            tracer.clone(),
+        )
+    };
+    let store = open().expect("fresh store");
+    let tenant = store.create("live", config).expect("fresh tenant");
+    for chunk in stream.updates().chunks(256) {
+        tenant.apply(chunk).expect("valid stream");
+    }
+    tenant.checkpoint().expect("checkpoint");
+    // Leave a WAL tail so the reopen replays through the traced path.
+    tenant.apply(&star).expect("valid delta");
+    drop((tenant, store)); // crash
+    let store = open().expect("recovery");
+    assert_eq!(store.recovery_report().len(), 1);
+
+    let events = store.shared().tracer().dump();
+    let recovery_id = events
+        .iter()
+        .find(|e| e.kind == EventKind::CheckpointLoad)
+        .expect("recovery must trace its checkpoint load")
+        .trace_id;
+    assert_ne!(recovery_id, 0, "recovery must mint a trace id");
+    let recovery_kinds = kinds_under(&events, recovery_id);
+    for kind in [
+        EventKind::CheckpointLoad,
+        EventKind::RecoveryRestore,
+        EventKind::RecoveryReplay,
+        EventKind::RecoveryWalOpen,
+        EventKind::IngestBatch, // the replayed tail joins the chain
+    ] {
+        assert!(
+            recovery_kinds.contains(&kind),
+            "recovery chain {recovery_id} missing {kind:?} (has {recovery_kinds:?})"
+        );
+    }
+
+    // Wire-path epoch advance: the advance's id must ride the frames and
+    // come back out of the decoder (WireDecode's payload is the id read
+    // back from each frame's trailer).
+    let served = Arc::clone(store.get("live").expect("tenant").served());
+    served.advance_epoch_via_wire().expect("wire advance");
+    let events = store.shared().tracer().dump();
+    let wire = events
+        .iter()
+        .rfind(|e| e.kind == EventKind::EpochWire)
+        .expect("wire advance must trace");
+    assert_ne!(wire.trace_id, 0);
+    let decodes: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::WireDecode && e.trace_id == wire.trace_id)
+        .collect();
+    assert_eq!(decodes.len(), shards, "one decode per shard frame");
+    assert!(
+        decodes.iter().all(|e| e.payload == wire.trace_id),
+        "every frame must carry the advance's trace id through encode/decode"
+    );
+
+    // Slow-query watchdog: a 1 ns threshold trips on any query; a fresh
+    // epoch advance right before guarantees the query pays an artifact
+    // build inside its own trace.
+    let pool = QueryService::start(Arc::clone(store.shared()), 2);
+    pool.set_slow_query_threshold(Duration::from_nanos(1));
+    served.advance_epoch();
+    pool.query_blocking("live", Query::SameComponent(0, n as u32 / 2))
+        .expect("valid query");
+    pool.shutdown();
+    let incidents = store.shared().tracer().incidents();
+    let incident = incidents.last().expect("the 1 ns watchdog must trip");
+    assert_ne!(incident.trace_id, 0);
+    assert!(incident.label.starts_with("live:"));
+    assert!(incident.latency_nanos >= 1);
+    let chain = kinds_under(&incident.events, incident.trace_id);
+    for kind in [
+        EventKind::QuerySubmit,
+        EventKind::QueryDequeue,
+        EventKind::QueryExecute,
+        EventKind::ArtifactBuild,
+        EventKind::SlowQuery,
+    ] {
+        assert!(
+            chain.contains(&kind),
+            "incident chain missing {kind:?} (has {chain:?})"
+        );
+    }
+
+    // Live scrape: the admin endpoint renders it all as Chrome
+    // trace_event JSON a structural parse accepts.
+    let admin =
+        AdminServer::bind("127.0.0.1:0", Arc::clone(store.shared())).expect("ephemeral bind");
+    let mut conn = TcpStream::connect(admin.local_addr()).expect("connect");
+    conn.write_all(b"GET /tracez HTTP/1.1\r\nHost: e24\r\n\r\n")
+        .expect("request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("response");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).expect("body");
+    let doc = parse(body).expect("/tracez must be valid JSON");
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!trace_events.is_empty());
+    let slow = trace_events
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("slow_query"))
+        .count();
+    assert!(slow >= 1, "the tripped watchdog must appear in the scrape");
+    let rendered_incidents = doc
+        .get("incidents")
+        .and_then(JsonValue::as_array)
+        .expect("incidents array");
+    assert!(!rendered_incidents.is_empty());
+    admin.shutdown();
+
+    println!(
+        "causal chains ✓ (recovery {} kinds, wire id {} across {} frames, incident {} kinds); \
+         traced ingest {:.1}% and serving {:.1}% of baseline; \
+         /tracez scrape: {} events, {} incidents ✓\n",
+        recovery_kinds.len(),
+        wire.trace_id,
+        decodes.len(),
+        chain.len(),
+        100.0 * ingest_ratio,
+        100.0 * query_ratio,
+        trace_events.len(),
+        rendered_incidents.len(),
+    );
+}

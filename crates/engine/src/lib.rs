@@ -59,7 +59,7 @@
 #![deny(clippy::unwrap_used)]
 
 use dsg_sketch::{LinearSketch, WireError};
-use dsg_telemetry::{Counter, Gauge, Histogram};
+use dsg_telemetry::{trace, Counter, EventKind, FlightRecorder, Gauge, Histogram};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
@@ -233,6 +233,12 @@ pub struct EngineMetrics {
     /// Live max/mean routed-update ratio across shards (the same
     /// statistic as [`EngineRun::load_balance`], updated per dispatch).
     pub load_balance: Gauge,
+    /// Flight recorder for per-batch trace events (one
+    /// [`EventKind::EngineBatch`](dsg_telemetry::EventKind::EngineBatch)
+    /// per dispatch, under the dispatching thread's ambient trace id).
+    pub tracer: FlightRecorder,
+    /// Interned tenant token for the recorder's events (0 = none).
+    pub tenant: u32,
 }
 
 impl EngineMetrics {
@@ -522,6 +528,12 @@ impl<S: EngineSketch> ShardedEngine<S> {
         }
         self.routed_counts[shard] += len;
         self.metrics.batches_sent.inc();
+        self.metrics.tracer.record(
+            EventKind::EngineBatch,
+            trace::current_trace_id(),
+            self.metrics.tenant,
+            len,
+        );
         if let Some(counter) = self.metrics.routed.get(shard) {
             counter.add(len);
         }
@@ -894,6 +906,7 @@ mod tests {
             batches_sent: reg.counter("batches_total"),
             send_wait: reg.histogram("send_wait_nanos"),
             load_balance: reg.gauge("load_balance"),
+            ..EngineMetrics::default()
         };
         let keys = random_keys(5000, 0xBEEF);
         let cfg = EngineConfig::new(shards).batch_size(64);

@@ -43,6 +43,7 @@ use dsg_spanner::oracle::DistanceOracle;
 use dsg_spanner::twopass;
 use dsg_sparsifier::pipeline::run_sparsifier_net;
 use dsg_sparsifier::Laplacian;
+use dsg_telemetry::{trace, EventKind};
 use std::sync::{Arc, OnceLock};
 
 /// The spanning forest of an epoch plus the component structure derived
@@ -172,6 +173,7 @@ impl EpochSnapshot {
         Arc::clone(self.forest.get_or_init(|| {
             let _t = self.metrics.build_nanos[ART_FOREST].start_timer();
             self.metrics.builds[ART_FOREST].inc();
+            self.trace_build(ART_FOREST);
             let result = self.sketch.spanning_forest();
             let mut uf = UnionFind::new(self.config.n);
             for e in &result.edges {
@@ -199,6 +201,7 @@ impl EpochSnapshot {
         Arc::clone(self.oracle.get_or_init(|| {
             let _t = self.metrics.build_nanos[ART_ORACLE].start_timer();
             self.metrics.builds[ART_ORACLE].inc();
+            self.trace_build(ART_ORACLE);
             let out = twopass::run_two_pass_net(self.net.as_ref(), self.config.oracle_params());
             let mut oracle = DistanceOracle::new(out.spanner, 1 << self.config.spanner_k);
             // Fold the oracle's memo-cache counters into the registry
@@ -224,12 +227,26 @@ impl EpochSnapshot {
         Arc::clone(self.cut.get_or_init(|| {
             let _t = self.metrics.build_nanos[ART_CUT].start_timer();
             self.metrics.builds[ART_CUT].inc();
+            self.trace_build(ART_CUT);
             let out = run_sparsifier_net(self.net.as_ref(), self.config.cut_params());
             Arc::new(CutData {
                 laplacian: Laplacian::from_weighted(&out.sparsifier),
                 sparsifier_edges: out.sparsifier.num_edges(),
             })
         }))
+    }
+
+    /// Traces one artifact build under the building thread's ambient
+    /// trace id — so a build forced by a pool query lands in that query's
+    /// causal chain (cache *hits* are deliberately untraced: they are
+    /// ~70 ns lookups the recorder would dominate).
+    fn trace_build(&self, artifact: usize) {
+        self.metrics.tracer.record(
+            EventKind::ArtifactBuild,
+            trace::current_trace_id(),
+            self.metrics.tenant,
+            artifact as u64,
+        );
     }
 
     fn check_vertex(&self, v: Vertex) -> Result<(), ServiceError> {

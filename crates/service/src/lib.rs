@@ -53,6 +53,7 @@
 // a poisoned lock *is* a programming error.)
 #![deny(clippy::unwrap_used)]
 
+mod admin;
 pub mod compact;
 mod epoch;
 mod metrics;
@@ -60,12 +61,15 @@ mod query;
 mod registry;
 mod workload;
 
+pub use admin::AdminServer;
 pub use compact::ShardedCompactedLog;
 pub use dsg_graph::{CompactError, CompactedLog};
-pub use dsg_telemetry::{MetricRegistry, MetricsSnapshot};
+pub use dsg_telemetry::{
+    EventKind, FlightRecorder, Incident, MetricRegistry, MetricsSnapshot, TraceEvent,
+};
 pub use epoch::{ArtifactStatus, CutData, EpochSnapshot, ForestData};
 pub use query::{GraphStats, Query, QueryService, QueryTicket, Response};
-pub use registry::{GraphRegistry, PersistedGraph, PersistedShard, ServedGraph};
+pub use registry::{GraphRegistry, PersistedGraph, PersistedShard, ServedGraph, TenantEpochStats};
 pub use workload::{LoadGen, QueryMix};
 
 use dsg_core::engine::EngineBuilder;

@@ -13,7 +13,7 @@
 //! for epochs, artifacts, and queries, `dsg_store_*` for durability.
 
 use dsg_engine::EngineMetrics;
-use dsg_telemetry::{series, Counter, Histogram, MetricRegistry};
+use dsg_telemetry::{series, Counter, FlightRecorder, Histogram, MetricRegistry};
 
 /// Prometheus-style `query` label value per [`crate::Query`] variant, in
 /// [`crate::Query::variant_index`] order.
@@ -54,6 +54,12 @@ pub(crate) struct ArtifactMetrics {
     pub oracle_cache_hits: Counter,
     /// Distance-oracle per-source memo cache misses.
     pub oracle_cache_misses: Counter,
+    /// Flight recorder the snapshot's artifact builds trace into (one
+    /// `ArtifactBuild` event per `OnceLock` init, under the building
+    /// thread's ambient trace id).
+    pub tracer: FlightRecorder,
+    /// Interned tenant token for trace events (0 = none).
+    pub tenant: u32,
 }
 
 /// Every telemetry handle one [`crate::ServedGraph`] records through,
@@ -80,13 +86,25 @@ pub(crate) struct GraphMetrics {
     pub queries: [Histogram; 6],
     /// Handles handed to each published [`crate::EpochSnapshot`].
     pub artifacts: ArtifactMetrics,
+    /// Flight recorder this graph's ingest and epoch paths trace into.
+    pub tracer: FlightRecorder,
+    /// This graph's interned tenant token (0 = none).
+    pub tenant: u32,
 }
 
 impl GraphMetrics {
     /// Registers (or re-resolves) every series for graph `graph` with
-    /// `shards` ingest shards. Against a no-op registry this hands back
-    /// all-no-op handles and registers nothing.
-    pub(crate) fn for_graph(reg: &MetricRegistry, graph: &str, shards: usize) -> Self {
+    /// `shards` ingest shards, and interns the graph name as the tenant
+    /// token of its trace events. Against a no-op registry this hands
+    /// back all-no-op handles and registers nothing; against a no-op
+    /// recorder every trace event is one dead branch.
+    pub(crate) fn for_graph(
+        reg: &MetricRegistry,
+        tracer: &FlightRecorder,
+        graph: &str,
+        shards: usize,
+    ) -> Self {
+        let tenant = tracer.intern(graph);
         let g = |name: &str| series(name, &[("graph", graph)]);
         let per_shard = |name: &str| -> Vec<Counter> {
             (0..shards)
@@ -116,6 +134,8 @@ impl GraphMetrics {
                 batches_sent: reg.counter(&g("dsg_engine_batches_sent_total")),
                 send_wait: reg.histogram(&g("dsg_engine_send_wait_nanos")),
                 load_balance: reg.gauge(&g("dsg_engine_load_balance")),
+                tracer: tracer.clone(),
+                tenant,
             },
             cancellations: per_shard("dsg_engine_cancellations_total"),
             epoch_fork: phase("fork"),
@@ -134,7 +154,11 @@ impl GraphMetrics {
                 cache_hits: per_artifact_ctr("dsg_service_artifact_cache_hits_total"),
                 oracle_cache_hits: reg.counter(&g("dsg_service_oracle_cache_hits_total")),
                 oracle_cache_misses: reg.counter(&g("dsg_service_oracle_cache_misses_total")),
+                tracer: tracer.clone(),
+                tenant,
             },
+            tracer: tracer.clone(),
+            tenant,
         }
     }
 }
@@ -148,7 +172,7 @@ mod tests {
     #[test]
     fn for_graph_registers_label_complete_series() {
         let reg = MetricRegistry::new();
-        let m = GraphMetrics::for_graph(&reg, "social", 3);
+        let m = GraphMetrics::for_graph(&reg, &FlightRecorder::noop(), "social", 3);
         assert_eq!(m.engine.routed.len(), 3);
         assert_eq!(m.cancellations.len(), 3);
         m.engine.routed[2].add(7);
@@ -169,7 +193,7 @@ mod tests {
     #[test]
     fn noop_registry_hands_out_noop_handles() {
         let reg = MetricRegistry::noop();
-        let m = GraphMetrics::for_graph(&reg, "g", 2);
+        let m = GraphMetrics::for_graph(&reg, &FlightRecorder::noop(), "g", 2);
         assert!(!m.engine.batches_sent.is_active());
         assert!(!m.epoch_fork.is_active());
         assert!(!m.artifacts.oracle_cache_hits.is_active());

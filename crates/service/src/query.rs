@@ -16,11 +16,12 @@ use crate::metrics::QUERY_VARIANTS;
 use crate::registry::GraphRegistry;
 use crate::ServiceError;
 use dsg_graph::Vertex;
-use dsg_telemetry::Histogram;
+use dsg_telemetry::{trace, EventKind, FlightRecorder, Histogram};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A read operation against one served graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,6 +114,11 @@ struct Job {
     /// a saturated pool (wait grows, execute flat) is distinguishable
     /// from slow queries (execute grows).
     enqueued: Option<Instant>,
+    /// Causal trace id minted at submit (0 when the pool's recorder is a
+    /// no-op) — the worker installs it as the ambient id for the whole
+    /// execution, so artifact builds and epoch work land in this query's
+    /// chain.
+    trace_id: u64,
 }
 
 /// A handle to one submitted query; [`wait`](QueryTicket::wait) blocks
@@ -137,6 +143,11 @@ impl QueryTicket {
     }
 }
 
+/// Incident window [`QueryService`]'s slow-query watchdog captures
+/// around a flagged query: every event within the last 50 ms joins the
+/// events sharing the query's trace id.
+const INCIDENT_WINDOW_NANOS: u64 = 50_000_000;
+
 /// A fixed pool of query-worker threads over a shared registry.
 #[derive(Debug)]
 pub struct QueryService {
@@ -144,10 +155,19 @@ pub struct QueryService {
     jobs: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     queue_wait: Histogram,
+    tracer: FlightRecorder,
+    /// Slow-query watchdog threshold in nanoseconds (`u64::MAX` = off).
+    /// Shared with the workers so
+    /// [`set_slow_query_threshold`](QueryService::set_slow_query_threshold)
+    /// takes effect on in-flight pools.
+    slow_nanos: Arc<AtomicU64>,
 }
 
 impl QueryService {
-    /// Starts `workers` query threads over `registry`.
+    /// Starts `workers` query threads over `registry`. The pool traces
+    /// into the registry's [`FlightRecorder`] — no-op unless the registry
+    /// was built with
+    /// [`GraphRegistry::with_observability`](crate::GraphRegistry::with_observability).
     ///
     /// # Panics
     ///
@@ -157,6 +177,8 @@ impl QueryService {
         let telemetry = registry.telemetry();
         let queue_wait = telemetry.histogram("dsg_service_pool_queue_wait_nanos");
         let execute = telemetry.histogram("dsg_service_pool_execute_nanos");
+        let tracer = registry.tracer().clone();
+        let slow_nanos = Arc::new(AtomicU64::new(u64::MAX));
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
@@ -165,6 +187,8 @@ impl QueryService {
                 let registry = Arc::clone(&registry);
                 let queue_wait = queue_wait.clone();
                 let execute = execute.clone();
+                let tracer = tracer.clone();
+                let slow_nanos = Arc::clone(&slow_nanos);
                 std::thread::Builder::new()
                     .name(format!("dsg-query-worker-{i}"))
                     .spawn(move || loop {
@@ -175,10 +199,40 @@ impl QueryService {
                             Err(_) => break,
                         };
                         if let Some(enqueued) = job.enqueued {
-                            queue_wait.record_duration(enqueued.elapsed());
+                            let wait = enqueued.elapsed();
+                            queue_wait.record_duration(wait);
+                            tracer.record(
+                                EventKind::QueryDequeue,
+                                job.trace_id,
+                                0,
+                                wait.as_nanos() as u64,
+                            );
                         }
-                        let result = execute
-                            .time(|| registry.get(&job.graph).and_then(|g| g.query(&job.query)));
+                        // Explicit timing (not `execute.time`) because the
+                        // watchdog needs the elapsed value even when the
+                        // execute histogram is a no-op.
+                        let threshold = slow_nanos.load(Ordering::Relaxed);
+                        let timed =
+                            execute.is_active() || job.trace_id != 0 || threshold != u64::MAX;
+                        let started = timed.then(Instant::now);
+                        let result = {
+                            let _scope = trace::scoped(job.trace_id);
+                            registry.get(&job.graph).and_then(|g| g.query(&job.query))
+                        };
+                        if let Some(started) = started {
+                            let nanos = started.elapsed().as_nanos() as u64;
+                            execute.record(nanos);
+                            tracer.record(EventKind::QueryExecute, job.trace_id, 0, nanos);
+                            if nanos >= threshold {
+                                tracer.record(EventKind::SlowQuery, job.trace_id, 0, nanos);
+                                tracer.capture_incident(
+                                    job.trace_id,
+                                    format!("{}:{}", job.graph, job.query.variant_label()),
+                                    nanos,
+                                    INCIDENT_WINDOW_NANOS,
+                                );
+                            }
+                        }
                         // A dropped ticket is fine; the answer is discarded.
                         let _ = job.reply.send(result);
                     })
@@ -190,7 +244,19 @@ impl QueryService {
             jobs: Some(tx),
             workers: handles,
             queue_wait,
+            tracer,
+            slow_nanos,
         }
+    }
+
+    /// Arms (or re-arms) the slow-query watchdog: any pool query whose
+    /// execution exceeds `threshold` records a `SlowQuery` event and
+    /// captures the surrounding event window as an
+    /// [`Incident`](dsg_telemetry::Incident) on the registry's recorder.
+    /// Effective immediately, including for in-flight pools.
+    pub fn set_slow_query_threshold(&self, threshold: Duration) {
+        self.slow_nanos
+            .store(threshold.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// The registry this pool serves.
@@ -207,11 +273,19 @@ impl QueryService {
     /// ticket for the answer.
     pub fn submit(&self, graph: &str, query: Query) -> QueryTicket {
         let (reply_tx, reply_rx) = sync_channel(1);
+        let trace_id = self.tracer.next_trace_id();
+        self.tracer.record(
+            EventKind::QuerySubmit,
+            trace_id,
+            0,
+            query.variant_index() as u64,
+        );
         let job = Job {
             graph: graph.to_string(),
             query,
             reply: reply_tx,
-            enqueued: self.queue_wait.is_active().then(Instant::now),
+            enqueued: (self.queue_wait.is_active() || trace_id != 0).then(Instant::now),
+            trace_id,
         };
         match &self.jobs {
             Some(tx) if tx.send(job).is_ok() => QueryTicket {

@@ -26,7 +26,7 @@ use dsg_agm::AgmSketch;
 use dsg_engine::{merge_tree, reduce_snapshots, EdgeUpdate, EngineConfig, ShardedEngine};
 use dsg_graph::{NetMultiset, StreamUpdate, Vertex};
 use dsg_sketch::wire;
-use dsg_telemetry::{MetricRegistry, MetricsSnapshot};
+use dsg_telemetry::{trace, EventKind, FlightRecorder, MetricRegistry, MetricsSnapshot};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -132,9 +132,14 @@ impl std::fmt::Debug for ServedGraph {
 }
 
 impl ServedGraph {
-    fn new(name: String, config: GraphConfig, telemetry: Arc<MetricRegistry>) -> Self {
+    fn new(
+        name: String,
+        config: GraphConfig,
+        telemetry: Arc<MetricRegistry>,
+        tracer: &FlightRecorder,
+    ) -> Self {
         let (n, seed) = (config.n, config.seed);
-        let metrics = GraphMetrics::for_graph(&telemetry, &name, config.shards);
+        let metrics = GraphMetrics::for_graph(&telemetry, tracer, &name, config.shards);
         let engine_cfg = EngineConfig::new(config.shards).batch_size(config.batch_size);
         let mut engine = ShardedEngine::start(engine_cfg, |_| AgmSketch::new(n, seed));
         engine.set_metrics(metrics.engine.clone());
@@ -221,6 +226,15 @@ impl ServedGraph {
                 }
             }
         }
+        // One trace event per *batch* (never per update), under the
+        // caller's ambient trace id — a WAL-backed apply shares the id
+        // its durable layer installed.
+        self.metrics.tracer.record(
+            EventKind::IngestBatch,
+            trace::current_trace_id(),
+            self.metrics.tenant,
+            updates.len() as u64,
+        );
         Ok(st.engine.pushed())
     }
 
@@ -265,13 +279,28 @@ impl ServedGraph {
     /// [`ServiceError::BadFrame`] if a frame fails the header peek, is of
     /// the wrong kind or a future version, or fails the full decode.
     pub fn advance_epoch_via_wire(&self) -> Result<Arc<EpochSnapshot>, ServiceError> {
+        let trace_id = self.trace_or_mint();
+        let _scope = trace::scoped(trace_id);
         let mut st = self.ingest.lock().expect("ingest lock poisoned");
         let forks = self.metrics.epoch_fork.time(|| st.engine.snapshot_shards());
+        self.metrics.tracer.record(
+            EventKind::EpochFork,
+            trace_id,
+            self.metrics.tenant,
+            forks.len() as u64,
+        );
         let wire_timer = self.metrics.epoch_wire.start_timer();
+        // Each shard frame travels as a VERSION_TRACED frame carrying the
+        // advance's trace id, so the id survives the serialize → decode
+        // hop the multi-server deployment makes for real.
         let frames: Vec<Vec<u8>> = forks
             .iter()
-            .map(dsg_sketch::LinearSketch::snapshot)
-            .collect();
+            .map(|fork| {
+                wire::attach_trace(dsg_sketch::LinearSketch::snapshot(fork), trace_id)
+                    .map_err(ServiceError::BadFrame)
+            })
+            .collect::<Result<_, _>>()?;
+        let total_bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
         for frame in &frames {
             let header = wire::peek_kind(frame)?;
             if header.kind != wire::KIND_AGM {
@@ -280,18 +309,38 @@ impl ServedGraph {
                     found: header.kind,
                 }));
             }
-            if header.version != wire::VERSION {
+            if header.version != wire::VERSION && header.version != wire::VERSION_TRACED {
                 return Err(ServiceError::BadFrame(wire::WireError::BadVersion(
                     header.version,
                 )));
             }
+            // Read the id back off the frame — the recorded event proves
+            // the causal id crossed the wire, not just this stack frame.
+            let recovered = wire::frame_trace_id(frame)
+                .map_err(ServiceError::BadFrame)?
+                .unwrap_or(0);
+            self.metrics.tracer.record(
+                EventKind::WireDecode,
+                recovered,
+                self.metrics.tenant,
+                recovered,
+            );
         }
         drop(wire_timer);
+        self.metrics.tracer.record(
+            EventKind::EpochWire,
+            trace_id,
+            self.metrics.tenant,
+            total_bytes,
+        );
         let merged = self
             .metrics
             .epoch_merge
             .time(|| reduce_snapshots::<AgmSketch>(&frames))?
             .expect("engine has at least one shard");
+        self.metrics
+            .tracer
+            .record(EventKind::EpochMerge, trace_id, self.metrics.tenant, 0);
         Ok(self.publish(&mut st, merged))
     }
 
@@ -301,10 +350,32 @@ impl ServedGraph {
     where
         F: FnOnce(Vec<AgmSketch>) -> AgmSketch,
     {
+        let trace_id = self.trace_or_mint();
+        let _scope = trace::scoped(trace_id);
         let mut st = self.ingest.lock().expect("ingest lock poisoned");
         let forks = self.metrics.epoch_fork.time(|| st.engine.snapshot_shards());
+        self.metrics.tracer.record(
+            EventKind::EpochFork,
+            trace_id,
+            self.metrics.tenant,
+            forks.len() as u64,
+        );
         let merged = self.metrics.epoch_merge.time(|| merge(forks));
+        self.metrics
+            .tracer
+            .record(EventKind::EpochMerge, trace_id, self.metrics.tenant, 0);
         self.publish(&mut st, merged)
+    }
+
+    /// The trace id an epoch advance runs under: the caller's ambient id
+    /// when one is in scope (a recovery replay, a durable checkpoint), a
+    /// freshly minted one otherwise — so every advance is causally
+    /// addressable without forcing every caller to mint.
+    fn trace_or_mint(&self) -> u64 {
+        match trace::current_trace_id() {
+            0 => self.metrics.tracer.next_trace_id(),
+            ambient => ambient,
+        }
     }
 
     /// Seals every shard's compacted log and assembles the epoch's net
@@ -316,6 +387,12 @@ impl ServedGraph {
         let total = st.engine.pushed();
         let next_epoch = self.snapshot().epoch() + 1;
         let net = self.metrics.epoch_seal.time(|| st.live.seal_epoch());
+        self.metrics.tracer.record(
+            EventKind::EpochSeal,
+            trace::current_trace_id(),
+            self.metrics.tenant,
+            net.num_edges() as u64,
+        );
         let snap = Arc::new(EpochSnapshot::new(
             next_epoch,
             self.config,
@@ -325,6 +402,12 @@ impl ServedGraph {
             self.metrics.artifacts.clone(),
         ));
         *self.current.write().expect("epoch lock poisoned") = Arc::clone(&snap);
+        self.metrics.tracer.record(
+            EventKind::EpochPublish,
+            trace::current_trace_id(),
+            self.metrics.tenant,
+            next_epoch,
+        );
         snap
     }
 
@@ -339,9 +422,20 @@ impl ServedGraph {
     /// [`GraphRegistry::restore`] — serves the same answers, bit for bit,
     /// as this one did at the capture point.
     pub fn checkpoint_state(&self) -> PersistedGraph {
+        let trace_id = self.trace_or_mint();
+        let _scope = trace::scoped(trace_id);
         let mut st = self.ingest.lock().expect("ingest lock poisoned");
         let forks = self.metrics.epoch_fork.time(|| st.engine.snapshot_shards());
+        self.metrics.tracer.record(
+            EventKind::EpochFork,
+            trace_id,
+            self.metrics.tenant,
+            forks.len() as u64,
+        );
         let merged = self.metrics.epoch_merge.time(|| merge_forks(&forks));
+        self.metrics
+            .tracer
+            .record(EventKind::EpochMerge, trace_id, self.metrics.tenant, 0);
         let shard_nets = self.metrics.epoch_seal.time(|| st.live.seal_shards());
         let snap = self.publish(&mut st, merged);
         debug_assert_eq!(forks.len(), shard_nets.len(), "one segment per shard");
@@ -373,8 +467,9 @@ impl ServedGraph {
         config: GraphConfig,
         state: PersistedGraph,
         telemetry: Arc<MetricRegistry>,
+        tracer: &FlightRecorder,
     ) -> Self {
-        let metrics = GraphMetrics::for_graph(&telemetry, &name, config.shards);
+        let metrics = GraphMetrics::for_graph(&telemetry, tracer, &name, config.shards);
         let engine_cfg = EngineConfig::new(config.shards).batch_size(config.batch_size);
         let net = Arc::new(state.epoch_net());
         let (sketches, shard_nets): (Vec<AgmSketch>, Vec<NetMultiset>) =
@@ -429,6 +524,38 @@ impl ServedGraph {
             .snapshot()
             .filter(|series| series.contains(&needle))
     }
+
+    /// A point-in-time operational summary of this tenant — what the
+    /// admin endpoint's `/epochz` serves per graph.
+    pub fn epoch_stats(&self) -> TenantEpochStats {
+        let snap = self.snapshot();
+        TenantEpochStats {
+            name: self.name.clone(),
+            epoch: snap.epoch(),
+            total_updates: snap.total_updates(),
+            net_edges: snap.net_edges().num_edges(),
+            num_vertices: snap.num_vertices(),
+            load_balance: self.metrics.engine.load_balance.get(),
+        }
+    }
+}
+
+/// One tenant's row in the admin endpoint's `/epochz` view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantEpochStats {
+    /// The graph's registry name.
+    pub name: String,
+    /// Epoch of the currently published snapshot.
+    pub epoch: u64,
+    /// Updates frozen into that snapshot.
+    pub total_updates: u64,
+    /// Size of the sealed net-edge segment (the live graph's edges).
+    pub net_edges: usize,
+    /// Vertices of the served graph.
+    pub num_vertices: usize,
+    /// Live max/mean routed-update ratio across the ingest shards (0.0
+    /// when telemetry is off — the gauge is a no-op).
+    pub load_balance: f64,
 }
 
 /// The multi-tenant registry: many named [`ServedGraph`]s behind one
@@ -438,6 +565,7 @@ impl ServedGraph {
 pub struct GraphRegistry {
     graphs: RwLock<HashMap<String, Arc<ServedGraph>>>,
     telemetry: Arc<MetricRegistry>,
+    tracer: FlightRecorder,
 }
 
 impl Default for GraphRegistry {
@@ -458,15 +586,47 @@ impl GraphRegistry {
     /// [`MetricRegistry::noop`] to disable instrumentation entirely
     /// (every handle degrades to a no-op; nothing is ever registered).
     pub fn with_telemetry(telemetry: Arc<MetricRegistry>) -> Self {
+        Self::with_observability(telemetry, FlightRecorder::noop())
+    }
+
+    /// An empty registry recording metrics into `telemetry` and trace
+    /// events into `tracer` — the full observability stack. Every tenant
+    /// created or restored through this registry traces its ingest
+    /// batches, epoch advances, and artifact builds into the shared
+    /// recorder under its own interned tenant token.
+    pub fn with_observability(telemetry: Arc<MetricRegistry>, tracer: FlightRecorder) -> Self {
         Self {
             graphs: RwLock::new(HashMap::new()),
             telemetry,
+            tracer,
         }
     }
 
     /// The shared metric registry all tenants record into.
     pub fn telemetry(&self) -> &Arc<MetricRegistry> {
         &self.telemetry
+    }
+
+    /// The shared flight recorder all tenants trace into (a no-op
+    /// recorder unless built via
+    /// [`with_observability`](GraphRegistry::with_observability)).
+    pub fn tracer(&self) -> &FlightRecorder {
+        &self.tracer
+    }
+
+    /// Every registered tenant's [`TenantEpochStats`], sorted by name —
+    /// the `/epochz` admin view.
+    pub fn epoch_stats(&self) -> Vec<TenantEpochStats> {
+        let graphs: Vec<Arc<ServedGraph>> = self
+            .graphs
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        let mut stats: Vec<TenantEpochStats> = graphs.iter().map(|g| g.epoch_stats()).collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        stats
     }
 
     /// Renders every registered series — all tenants, all layers — in
@@ -493,6 +653,7 @@ impl GraphRegistry {
             name.to_string(),
             config,
             Arc::clone(&self.telemetry),
+            &self.tracer,
         ));
         graphs.insert(name.to_string(), Arc::clone(&graph));
         Ok(graph)
@@ -527,6 +688,7 @@ impl GraphRegistry {
             config,
             state,
             Arc::clone(&self.telemetry),
+            &self.tracer,
         ));
         graphs.insert(name.to_string(), Arc::clone(&graph));
         Ok(graph)

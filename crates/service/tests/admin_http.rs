@@ -1,0 +1,125 @@
+//! Live-socket smoke test of the admin endpoint: bind an ephemeral port,
+//! scrape every route over real TCP, and validate the JSON routes
+//! *structurally* with `dsg_util::json` — the same checks CI runs.
+
+#![allow(clippy::unwrap_used)] // test code may unwrap freely
+
+use dsg_graph::StreamUpdate;
+use dsg_service::{
+    AdminServer, FlightRecorder, GraphConfig, GraphRegistry, MetricRegistry, Query, QueryService,
+};
+use dsg_util::json::{parse, JsonValue};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn scrape(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap();
+    (status, body)
+}
+
+#[test]
+fn admin_endpoint_serves_scrapable_metrics_and_valid_trace_json() {
+    let registry = Arc::new(GraphRegistry::with_observability(
+        Arc::new(MetricRegistry::new()),
+        FlightRecorder::with_capacity(1024),
+    ));
+    let g = registry
+        .create("social", GraphConfig::new(32).shards(2))
+        .unwrap();
+    g.apply(
+        &(0..20)
+            .map(|v| StreamUpdate::insert(v, v + 1))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    g.advance_epoch();
+
+    // Push one query through the pool with an always-firing watchdog so
+    // `/tracez` has both events and an incident to render.
+    let pool = QueryService::start(Arc::clone(&registry), 1);
+    pool.set_slow_query_threshold(Duration::from_nanos(1));
+    let ticket = pool.submit("social", Query::SameComponent(0, 5));
+    ticket.wait().unwrap();
+    pool.shutdown();
+
+    let server = AdminServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+    let addr = server.local_addr();
+
+    let (status, body) = scrape(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+
+    let (status, body) = scrape(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(!body.is_empty(), "/metrics body must be non-empty");
+    assert!(body.contains("dsg_engine_batches_sent_total"));
+    assert!(body.contains("graph=\"social\""));
+
+    // /epochz parses as a JSON array of per-tenant objects.
+    let (status, body) = scrape(addr, "/epochz");
+    assert_eq!(status, 200);
+    let epochz = parse(&body).expect("/epochz must be valid JSON");
+    let tenants = epochz.as_array().expect("/epochz must be an array");
+    assert_eq!(tenants.len(), 1);
+    let t = &tenants[0];
+    assert_eq!(t.get("graph").and_then(JsonValue::as_str), Some("social"));
+    assert_eq!(t.get("epoch").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(t.get("total_updates").and_then(JsonValue::as_u64), Some(20));
+    assert!(t.get("net_edges").and_then(JsonValue::as_u64).unwrap() > 0);
+
+    // /tracez parses as Chrome trace_event JSON with well-formed events.
+    let (status, body) = scrape(addr, "/tracez");
+    assert_eq!(status, 200);
+    let tracez = parse(&body).expect("/tracez must be valid JSON");
+    assert_eq!(
+        tracez.get("displayTimeUnit").and_then(JsonValue::as_str),
+        Some("ns")
+    );
+    let events = tracez
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents must be an array");
+    assert!(!events.is_empty(), "the workload above must leave events");
+    let mut names = std::collections::BTreeSet::new();
+    for e in events {
+        let name = e.get("name").and_then(JsonValue::as_str).expect("name");
+        names.insert(name.to_string());
+        assert_eq!(e.get("ph").and_then(JsonValue::as_str), Some("i"));
+        assert!(e.get("ts").and_then(JsonValue::as_f64).is_some(), "ts");
+        let args = e.get("args").expect("args object");
+        assert!(args.get("trace_id").and_then(JsonValue::as_u64).is_some());
+        assert!(args.get("nanos").and_then(JsonValue::as_u64).is_some());
+    }
+    for expected in [
+        "query_submit",
+        "query_execute",
+        "epoch_publish",
+        "slow_query",
+    ] {
+        assert!(names.contains(expected), "missing event kind {expected}");
+    }
+    let incidents = tracez
+        .get("incidents")
+        .and_then(JsonValue::as_array)
+        .expect("incidents must be an array");
+    assert!(!incidents.is_empty(), "the 1ns watchdog must have fired");
+    assert!(incidents[0]
+        .get("label")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .starts_with("social:"));
+
+    server.shutdown();
+}

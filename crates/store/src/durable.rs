@@ -36,7 +36,7 @@ use dsg_service::{
     EpochSnapshot, GraphConfig, GraphRegistry, PersistedGraph, PersistedShard, Query, Response,
     ServedGraph, ServiceError,
 };
-use dsg_telemetry::{series, Counter, Histogram, MetricRegistry};
+use dsg_telemetry::{series, trace, Counter, EventKind, FlightRecorder, Histogram, MetricRegistry};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -114,10 +114,18 @@ struct StoreMetrics {
     recovery_restore_nanos: Histogram,
     recovery_replay_nanos: Histogram,
     recovery_wal_open_nanos: Histogram,
+    tracer: FlightRecorder,
+    tenant: u32,
 }
 
 impl StoreMetrics {
-    fn for_tenant(reg: &MetricRegistry, graph: &str, policy: SyncPolicy) -> Self {
+    fn for_tenant(
+        reg: &MetricRegistry,
+        tracer: &FlightRecorder,
+        graph: &str,
+        policy: SyncPolicy,
+    ) -> Self {
+        let tenant = tracer.intern(graph);
         let g = |name: &str| series(name, &[("graph", graph)]);
         let phase = |p: &str| {
             reg.histogram(&series(
@@ -143,7 +151,16 @@ impl StoreMetrics {
             recovery_restore_nanos: phase("restore"),
             recovery_replay_nanos: phase("replay"),
             recovery_wal_open_nanos: phase("wal_open"),
+            tracer: tracer.clone(),
+            tenant,
         }
+    }
+
+    /// Records one flight-recorder event under the ambient trace id.
+    #[inline]
+    fn trace(&self, kind: EventKind, payload: u64) {
+        self.tracer
+            .record(kind, trace::current_trace_id(), self.tenant, payload);
     }
 }
 
@@ -245,8 +262,12 @@ impl DurableGraph {
         // exactly the state the batch lands on — the log never
         // acknowledges a record memory would refuse, even against
         // writers bypassing durability through `served()`.
-        self.graph
-            .apply_logged(updates, || wal.append_batch(updates).map(|_| ()))
+        self.graph.apply_logged(updates, || {
+            wal.append_batch(updates)?;
+            self.metrics
+                .trace(EventKind::WalAppend, updates.len() as u64);
+            Ok(())
+        })
     }
 
     /// Durably applies one edge insertion.
@@ -307,6 +328,13 @@ impl DurableGraph {
     pub fn checkpoint(&self) -> Result<CheckpointStats, StoreError> {
         let mut wal = self.wal.lock().expect("wal lock poisoned");
         self.ensure_open()?;
+        // Checkpoints reuse an ambient trace id (a traced caller sees its
+        // own id on the store events) or mint a fresh one.
+        let trace_id = match trace::current_trace_id() {
+            0 => self.metrics.tracer.next_trace_id(),
+            ambient => ambient,
+        };
+        let _scope = trace::scoped(trace_id);
         // The capture inside checkpoint_state advances an epoch; log it
         // like any other advance so a replay that never sees the new
         // checkpoint file still reproduces the same epoch sequence.
@@ -327,6 +355,7 @@ impl DurableGraph {
             .checkpoint_write_nanos
             .time(|| write_checkpoint(&self.dir, &cp))?;
         self.metrics.checkpoint_written_bytes.add(bytes as u64);
+        self.metrics.trace(EventKind::CheckpointWrite, bytes as u64);
         let segments_removed = wal.compact_before(wal_pos)?;
         Ok(CheckpointStats {
             epoch: cp.epoch,
@@ -415,8 +444,26 @@ impl DurableRegistry {
         options: StoreOptions,
         telemetry: Arc<MetricRegistry>,
     ) -> Result<Self, StoreError> {
+        Self::open_with_observability(root, options, telemetry, FlightRecorder::noop())
+    }
+
+    /// Like [`open_with_telemetry`](DurableRegistry::open_with_telemetry),
+    /// but also wiring a [`FlightRecorder`]: recovery, WAL appends, and
+    /// checkpoints emit causal trace events alongside the engine's and
+    /// service layer's, so one `/tracez` dump shows a query's full path
+    /// through the durable stack.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](DurableRegistry::open).
+    pub fn open_with_observability(
+        root: &Path,
+        options: StoreOptions,
+        telemetry: Arc<MetricRegistry>,
+        tracer: FlightRecorder,
+    ) -> Result<Self, StoreError> {
         std::fs::create_dir_all(root)?;
-        let shared = Arc::new(GraphRegistry::with_telemetry(telemetry));
+        let shared = Arc::new(GraphRegistry::with_observability(telemetry, tracer));
         let mut names = Vec::new();
         for entry in std::fs::read_dir(root)? {
             let entry = entry?;
@@ -479,13 +526,20 @@ impl DurableRegistry {
         dir: PathBuf,
         options: StoreOptions,
     ) -> Result<(Arc<DurableGraph>, TenantRecovery), StoreError> {
-        let metrics = StoreMetrics::for_tenant(shared.telemetry(), name, options.wal.sync);
+        let metrics =
+            StoreMetrics::for_tenant(shared.telemetry(), shared.tracer(), name, options.wal.sync);
+        // One trace id spans the whole recovery: every phase event below,
+        // plus the engine/service events emitted by the replay itself,
+        // share it — a recovery reads as one causal chain in `/tracez`.
+        let recovery_trace = metrics.tracer.next_trace_id();
+        let _scope = trace::scoped(recovery_trace);
         let started = Instant::now();
         let cp = read_checkpoint(&dir)?;
         let checkpoint_load = started.elapsed();
         metrics
             .checkpoint_read_nanos
             .record_duration(checkpoint_load);
+        metrics.trace(EventKind::CheckpointLoad, checkpoint_load.as_nanos() as u64);
         if let Ok(meta) = std::fs::metadata(dir.join(CHECKPOINT_FILE)) {
             metrics.checkpoint_read_bytes.add(meta.len());
         }
@@ -502,6 +556,7 @@ impl DurableRegistry {
         )?;
         let restore = started.elapsed();
         metrics.recovery_restore_nanos.record_duration(restore);
+        metrics.trace(EventKind::RecoveryRestore, restore.as_nanos() as u64);
         // Replay first (read-only: a torn tail is dropped logically and
         // reported), then open for append (which truncates the torn tail
         // physically so new records never land after garbage).
@@ -509,11 +564,13 @@ impl DurableRegistry {
         let summary = Self::replay_into(&graph, &dir, cp.wal_pos)?;
         let replay = started.elapsed();
         metrics.recovery_replay_nanos.record_duration(replay);
+        metrics.trace(EventKind::RecoveryReplay, replay.as_nanos() as u64);
         let started = Instant::now();
         let mut wal = Wal::open(&dir, options.wal)?;
         wal.set_metrics(metrics.wal.clone());
         let wal_open = started.elapsed();
         metrics.recovery_wal_open_nanos.record_duration(wal_open);
+        metrics.trace(EventKind::RecoveryWalOpen, wal_open.as_nanos() as u64);
         let durable = Arc::new(DurableGraph {
             dir,
             graph,
@@ -604,8 +661,12 @@ impl DurableRegistry {
             return Err(StoreError::TenantExists(name.to_string()));
         }
         let graph = self.shared.create(name, config)?;
-        let metrics =
-            StoreMetrics::for_tenant(self.shared.telemetry(), name, self.options.wal.sync);
+        let metrics = StoreMetrics::for_tenant(
+            self.shared.telemetry(),
+            self.shared.tracer(),
+            name,
+            self.options.wal.sync,
+        );
         let staged = (|| -> Result<Wal, StoreError> {
             std::fs::create_dir_all(&dir)?;
             let mut wal = Wal::open(&dir, self.options.wal)?;
@@ -626,6 +687,7 @@ impl DurableRegistry {
                 .checkpoint_write_nanos
                 .time(|| write_checkpoint(&dir, &cp))?;
             metrics.checkpoint_written_bytes.add(bytes as u64);
+            metrics.trace(EventKind::CheckpointWrite, bytes as u64);
             Ok(wal)
         })();
         let wal = match staged {
@@ -1088,6 +1150,76 @@ mod tests {
         let text = telemetry.render_prometheus();
         assert!(text.contains("dsg_store_wal_append_nanos"));
         assert!(text.contains("dsg_store_recovery_phase_nanos"));
+    }
+
+    #[test]
+    fn flight_recorder_captures_wal_checkpoint_and_recovery_events() {
+        let dir = ScratchDir::new("durable-tracing");
+        let config = GraphConfig::new(10).seed(2).shards(2).batch_size(4);
+        let open = |cap| {
+            DurableRegistry::open_with_observability(
+                dir.path(),
+                StoreOptions::default(),
+                Arc::new(MetricRegistry::new()),
+                FlightRecorder::with_capacity(cap),
+            )
+        };
+        let reg = open(256).unwrap();
+        let g = reg.create("t", config).unwrap();
+        g.apply(&path_updates(0..6)).unwrap();
+        g.checkpoint().unwrap();
+        let events = reg.shared().tracer().dump();
+        let kind_count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+        assert!(kind_count(EventKind::WalAppend) >= 1, "apply untraced");
+        // Two checkpoints wrote (create's initial + the explicit one).
+        assert_eq!(kind_count(EventKind::CheckpointWrite), 2);
+        // The explicit checkpoint mints its own trace id (the create's
+        // initial checkpoint runs untraced — ambient id 0).
+        let cp = events
+            .iter()
+            .rfind(|e| e.kind == EventKind::CheckpointWrite)
+            .unwrap();
+        assert_ne!(cp.trace_id, 0, "checkpoint must mint a trace id");
+        assert_eq!(
+            reg.shared().tracer().tenant_name(cp.tenant).as_deref(),
+            Some("t")
+        );
+        // Leave a post-checkpoint tail so recovery has records to replay.
+        g.apply(&path_updates(6..9)).unwrap();
+        drop((g, reg)); // crash
+
+        let reg = open(256).unwrap();
+        let events = reg.shared().tracer().dump();
+        let recovered: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::CheckpointLoad
+                        | EventKind::RecoveryRestore
+                        | EventKind::RecoveryReplay
+                        | EventKind::RecoveryWalOpen
+                )
+            })
+            .collect();
+        assert_eq!(
+            recovered.len(),
+            4,
+            "all four recovery phases must be traced"
+        );
+        let id = recovered[0].trace_id;
+        assert_ne!(id, 0);
+        assert!(
+            recovered.iter().all(|e| e.trace_id == id),
+            "recovery phases must share one causal trace id"
+        );
+        // The replay's own ingest events join the recovery's chain.
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::IngestBatch && e.trace_id == id),
+            "replayed batches must carry the recovery trace id"
+        );
     }
 
     #[test]

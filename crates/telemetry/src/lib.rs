@@ -40,6 +40,10 @@
 
 #![deny(clippy::unwrap_used)]
 
+pub mod trace;
+
+pub use trace::{EventKind, FlightRecorder, Incident, TraceEvent, TraceScope};
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -386,11 +390,16 @@ impl HistogramSnapshot {
     /// Upper bound on the `q`-quantile (`q` clamped to `[0, 1]`): the
     /// upper end of the bucket holding the sample of rank `⌈q·count⌉`.
     /// For samples below `2^63` the estimate `b` of a true quantile `v`
-    /// satisfies `v ≤ b ≤ 2v + 1`. Returns 0 for an empty histogram.
+    /// satisfies `v ≤ b ≤ 2v + 1`. Returns 0 for an empty histogram (or
+    /// a NaN `q`), and the exact observed maximum for `q ≥ 1`, so the
+    /// p100 never overshoots into a bucket upper bound.
     pub fn quantile(&self, q: f64) -> u64 {
         let count = self.count();
-        if count == 0 {
+        if count == 0 || q.is_nan() {
             return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
         }
         let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;

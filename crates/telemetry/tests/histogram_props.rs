@@ -31,7 +31,54 @@ fn true_quantile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.min(sorted.len()) - 1]
 }
 
+#[test]
+fn quantile_of_empty_histogram_is_zero() {
+    let h = Histogram::active();
+    let snap = h.snapshot_value();
+    for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+        assert_eq!(snap.quantile(q), 0, "empty histogram at q={q}");
+    }
+    assert_eq!(snap.p50(), 0);
+    assert_eq!(snap.p99(), 0);
+}
+
+#[test]
+fn quantile_one_is_the_exact_maximum() {
+    let h = Histogram::active();
+    // 1000 lands mid-bucket: the bucket upper bound (1023) would
+    // overshoot, and the last occupied bucket of a large sample would be
+    // u64::MAX. q = 1.0 must report the recorded max exactly.
+    for v in [3u64, 17, 1000] {
+        h.record(v);
+    }
+    let snap = h.snapshot_value();
+    assert_eq!(snap.quantile(1.0), 1000);
+    assert_eq!(snap.quantile(2.0), 1000, "q beyond 1 clamps to the max");
+    h.record(u64::MAX);
+    assert_eq!(h.snapshot_value().quantile(1.0), u64::MAX);
+}
+
+#[test]
+fn quantile_nan_does_not_panic_or_index_out_of_bounds() {
+    let h = Histogram::active();
+    h.record(42);
+    assert_eq!(h.snapshot_value().quantile(f64::NAN), 0);
+}
+
 proptest! {
+    #[test]
+    fn quantile_one_equals_max_for_any_samples(values in samples()) {
+        if values.is_empty() {
+            return;
+        }
+        let h = Histogram::active();
+        for &v in &values {
+            h.record(v);
+        }
+        let expect = *values.iter().max().expect("nonempty");
+        prop_assert_eq!(h.quantile(1.0), expect);
+    }
+
     #[test]
     fn quantile_estimates_bound_true_quantiles(values in samples(), qs in prop::collection::vec(0.0f64..1.0, 1..8)) {
         if values.is_empty() {

@@ -1,0 +1,363 @@
+//! A minimal std-only JSON parser for validating the admin endpoint's
+//! output in tests and experiments.
+//!
+//! This is deliberately not a serialization framework: the workspace's
+//! producers (`/epochz`, `/tracez`) render JSON by hand, and this module
+//! exists so their consumers can check the output *structurally* — parse
+//! it, walk it, assert on fields — without pulling in a dependency. It
+//! accepts strict JSON (RFC 8259): no comments, no trailing commas, no
+//! `NaN`/`Infinity` literals.
+//!
+//! ```
+//! use dsg_util::json::{parse, JsonValue};
+//!
+//! let v = parse(r#"{"traceEvents":[{"ts":1.5,"name":"x"}]}"#).unwrap();
+//! let events = v.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+//! assert_eq!(events[0].get("name").and_then(JsonValue::as_str), Some("x"));
+//! ```
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always parsed as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object. `BTreeMap` keeps iteration deterministic.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object; `None` on anything else.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number if this is a number representing a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// A human-readable message naming the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected value at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not reassembled — the
+                            // workspace's producers never emit them; a
+                            // lone surrogate maps to the replacement
+                            // character rather than failing the parse.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte in string at {}", self.pos))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are already valid).
+                    let s = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(s)
+                        .map_err(|_| "invalid utf-8".to_string())?
+                        .chars()
+                        .next()
+                        .ok_or_else(|| "unterminated string".to_string())?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // test code may unwrap freely
+
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-12.5e2").unwrap(), JsonValue::Num(-1250.0));
+        let v = parse(r#"{"a":[1,{"b":"x"},[]],"c":null}"#).unwrap();
+        let a = v.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[1].get("b").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("c"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let v = parse(r#""a\"b\\c\ndAémoji—""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndAémoji—"));
+    }
+
+    #[test]
+    fn integer_accessor_is_strict() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("42.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("\"42\"").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "[01x]",
+            "nan",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn roundtrips_the_tracez_shape() {
+        let doc = r#"{"displayTimeUnit":"ns","traceEvents":[
+            {"name":"query_submit","ph":"i","s":"t","ts":1.25,"pid":1,"tid":2,
+             "args":{"trace_id":7,"tenant":2,"payload":0,"nanos":1250}}
+        ],"incidents":[]}"#;
+        let v = parse(doc).unwrap();
+        let events = v.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            events[0].get("name").and_then(JsonValue::as_str),
+            Some("query_submit")
+        );
+        assert_eq!(
+            events[0]
+                .get("args")
+                .and_then(|a| a.get("trace_id"))
+                .and_then(JsonValue::as_u64),
+            Some(7)
+        );
+        assert_eq!(events[0].get("ts").and_then(JsonValue::as_f64), Some(1.25));
+    }
+}

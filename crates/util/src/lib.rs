@@ -23,6 +23,7 @@
 //! assert_eq!(v.space_bytes(), 3 * 8);
 //! ```
 
+pub mod json;
 pub mod space;
 pub mod stats;
 pub mod table;

@@ -51,6 +51,7 @@ fn main() {
         batches_sent: telemetry.counter("dsg_engine_batches_sent_total{graph=\"global\"}"),
         send_wait: telemetry.histogram("dsg_engine_send_wait_nanos{graph=\"global\"}"),
         load_balance: telemetry.gauge("dsg_engine_load_balance{graph=\"global\"}"),
+        ..EngineMetrics::default()
     });
     for up in stream.updates() {
         engine.push(EdgeUpdate::new(up.edge.index(n), up.delta as i128));

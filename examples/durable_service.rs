@@ -78,6 +78,10 @@ fn main() {
             "recovered tenant '{}': checkpoint epoch {}, {} WAL records replayed, torn tail: {}",
             report.name, report.checkpoint_epoch, report.records_replayed, report.torn_tail
         );
+        println!(
+            "recovery phases: checkpoint_load {:?}, restore {:?}, replay {:?}, wal_open {:?}",
+            report.checkpoint_load, report.restore, report.replay, report.wal_open
+        );
     }
     let social = registry.get("social").expect("tenant came back");
     let snapshot = social.snapshot();

@@ -6,15 +6,23 @@
 
 use dsg_graph::{gen, GraphStream, Vertex};
 use dsg_service::{
-    GraphConfig, GraphRegistry, LoadGen, MetricRegistry, Query, QueryMix, QueryService, Response,
+    AdminServer, FlightRecorder, GraphConfig, GraphRegistry, LoadGen, MetricRegistry, Query,
+    QueryMix, QueryService, Response,
 };
 use dsg_util::Summary;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     let telemetry = Arc::new(MetricRegistry::new());
-    let registry = Arc::new(GraphRegistry::with_telemetry(Arc::clone(&telemetry)));
+    // A flight recorder alongside the metrics: every layer appends
+    // causal trace events into per-thread rings, dumped on demand.
+    let registry = Arc::new(GraphRegistry::with_observability(
+        Arc::clone(&telemetry),
+        FlightRecorder::with_capacity(4096),
+    ));
 
     // Two tenants with different shapes share the one service.
     let social = registry
@@ -185,4 +193,40 @@ fn main() {
     {
         println!("  {line}");
     }
+
+    // The same surfaces over plain HTTP: bind the std-only admin server
+    // on an ephemeral port and scrape it like Prometheus (or curl) would.
+    let admin = AdminServer::bind("127.0.0.1:0", Arc::clone(&registry)).expect("ephemeral bind");
+    let scrape = |path: &str| -> String {
+        let mut conn = TcpStream::connect(admin.local_addr()).expect("connect");
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: demo\r\n\r\n").as_bytes())
+            .expect("request");
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).expect("response");
+        raw.split_once("\r\n\r\n")
+            .map(|(_, body)| body.to_string())
+            .unwrap_or_default()
+    };
+    let healthz = scrape("/healthz");
+    let metrics = scrape("/metrics");
+    let tracez = scrape("/tracez");
+    println!(
+        "admin endpoint at http://{}: /healthz says {:?}, /metrics {} lines, \
+         /tracez {} bytes of Chrome trace JSON (open in a trace viewer)",
+        admin.local_addr(),
+        healthz.trim(),
+        metrics.lines().count(),
+        tracez.len(),
+    );
+    let events = registry.tracer().dump();
+    println!(
+        "flight recorder: {} events across the run; last epoch publish traced as id {}",
+        events.len(),
+        events
+            .iter()
+            .rfind(|e| e.kind == dsg_service::EventKind::EpochPublish)
+            .map(|e| e.trace_id)
+            .unwrap_or(0),
+    );
+    admin.shutdown();
 }

@@ -102,6 +102,7 @@ fn all_examples_run_to_completion() {
                 "compacted away",
                 "process 'crashed'",
                 "recovered tenant 'social'",
+                "recovery phases:",
                 "bit-identical",
                 "query pool serves the recovered tenant",
             ] {
@@ -124,6 +125,8 @@ fn all_examples_run_to_completion() {
                 "telemetry:",
                 "prometheus exposition",
                 "dsg_engine_",
+                "admin endpoint at http://",
+                "flight recorder:",
             ] {
                 assert!(
                     stdout.contains(marker),
