@@ -1,0 +1,215 @@
+//! Experiment E25: the quality auditor's cost and its catch rate.
+//!
+//! The auditor's contract has two halves and this experiment holds both
+//! to numbers. **Cheap:** at the default 1/64 sample rate the hot path
+//! pays one modulo plus, on sampled queries, a clone-and-enqueue — so
+//! audited serving throughput must stay within 5% of unaudited (part 1),
+//! with every shadow recompute happening on the `dsg-audit` worker.
+//! **Sharp:** an honest system audits clean (part 2), and a provably
+//! wrong served answer — an oracle row sabotaged through the test hook
+//! to claim distance 0 everywhere — is caught as a guarantee violation,
+//! lands in the flight recorder as a `quality_violation` incident, and
+//! shows up on a live `/qualityz` scrape validated structurally with
+//! `dsg_util::json` (part 3).
+
+use crate::Scale;
+use dsg_graph::{gen, GraphStream};
+use dsg_service::{
+    AdminServer, AuditConfig, EventKind, FlightRecorder, GraphConfig, GraphRegistry, LoadGen,
+    MetricRegistry, Query, QueryMix, QueryService,
+};
+use dsg_util::json::{parse, JsonValue};
+use dsg_util::Table;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Builds a served registry (active metrics + recorder, matching both
+/// sides of the overhead comparison), ingests `stream`, and seals epoch 1.
+fn served_registry(n: usize, config: GraphConfig, stream: &GraphStream) -> Arc<GraphRegistry> {
+    let registry = Arc::new(GraphRegistry::with_observability(
+        Arc::new(MetricRegistry::new()),
+        FlightRecorder::with_capacity(64 * 1024),
+    ));
+    let g = registry.create("q", config).expect("fresh registry");
+    for chunk in stream.updates().chunks(256) {
+        g.apply(chunk).expect("valid stream");
+    }
+    g.advance_epoch();
+    assert_eq!(g.snapshot().num_vertices(), n);
+    registry
+}
+
+/// One timed pool round (seconds): the whole mixed workload through the
+/// query service — the path audit sampling actually sits on.
+fn pool_round(pool: &QueryService, queries: &[Query]) -> f64 {
+    let t0 = Instant::now();
+    for q in queries {
+        pool.query_blocking("q", q.clone()).expect("valid query");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// E25: audited serving within 5% of unaudited at 1/64 sampling; honest
+/// answers audit clean; a sabotaged oracle is caught on `/qualityz`.
+pub fn audit(scale: Scale) {
+    let n = scale.pick(400usize, 120);
+    let trials = scale.pick(9usize, 7);
+    let queries_per_trial = scale.pick(3000usize, 1200);
+    let g = gen::erdos_renyi(n, scale.pick(0.03, 0.08), 31);
+    let stream = GraphStream::with_churn(&g, 1.5, 32);
+    let config = GraphConfig::new(n).seed(11).shards(4).batch_size(128);
+    println!(
+        "\n## E25 — quality-audit overhead and catch rate (n = {n}, {} updates, \
+         sample 1/64, best of {trials} interleaved trials)\n",
+        stream.len(),
+    );
+
+    // Part 1: overhead. Two identical served graphs behind two pools;
+    // only one registry has the auditor installed (default 1/64 rate).
+    let plain = served_registry(n, config, &stream);
+    let audited = served_registry(n, config, &stream);
+    let auditor = audited.install_auditor(AuditConfig::default());
+    let mix = QueryMix {
+        cut: 0,
+        ..QueryMix::read_heavy()
+    };
+    let queries = LoadGen::new(n, mix, 177).queries(queries_per_trial as u64);
+    let plain_pool = QueryService::start(Arc::clone(&plain), 2);
+    let audited_pool = QueryService::start(Arc::clone(&audited), 2);
+    // One untimed warmup round per side, then interleaved best-of.
+    pool_round(&plain_pool, &queries);
+    pool_round(&audited_pool, &queries);
+    let mut best = [f64::INFINITY; 2]; // [plain, audited]
+    for _ in 0..trials {
+        best[0] = best[0].min(pool_round(&plain_pool, &queries));
+        best[1] = best[1].min(pool_round(&audited_pool, &queries));
+    }
+    plain_pool.shutdown();
+    audited_pool.shutdown();
+    auditor.flush();
+
+    let ratio = best[0] / best[1];
+    let mut t = Table::new(&["serving", "throughput", "audited/plain"]);
+    t.add_row(&[
+        "auditing off".to_string(),
+        format!("{:.0} q/s", queries.len() as f64 / best[0]),
+        "1.000".to_string(),
+    ]);
+    t.add_row(&[
+        "auditing on (1/64)".to_string(),
+        format!("{:.0} q/s", queries.len() as f64 / best[1]),
+        format!("{ratio:.3}"),
+    ]);
+    println!("{t}");
+    assert!(
+        ratio >= 0.95,
+        "audited serving must stay within 5% of unaudited (ratio {ratio:.3})"
+    );
+
+    // Part 2: the honest run audits clean — samples were actually taken
+    // and verified, and none of them broke a guarantee.
+    assert!(
+        auditor.audited() >= 1,
+        "the 1/64 sampler must fire over {} queries",
+        (trials + 1) * queries.len()
+    );
+    assert_eq!(
+        auditor.total_violations(),
+        0,
+        "an honest system must audit clean: {:?}",
+        auditor.recent_violations()
+    );
+    let verdict = auditor.verdict("q");
+    println!(
+        "honest run: {} samples audited, {} violations, {} overflow ✓\n",
+        verdict.samples,
+        verdict.violations,
+        auditor.overflow()
+    );
+
+    // Part 3: sabotage. A fresh registry audits *every* query; the
+    // oracle's cached row for vertex 0 is poisoned to claim distance 0
+    // to everyone — every served distance from 0 now undershoots the
+    // exact BFS distance, an unambiguous guarantee breach.
+    let sabotaged = served_registry(n, config, &stream);
+    let catcher = sabotaged.install_auditor(AuditConfig {
+        sample_every: 1,
+        ..AuditConfig::default()
+    });
+    let snap = sabotaged.get("q").expect("tenant").snapshot();
+    snap.oracle().poison_cached_row(0, vec![0; n]);
+    let pool = QueryService::start(Arc::clone(&sabotaged), 2);
+    let probes = 16u32;
+    for v in 1..=probes {
+        pool.query_blocking("q", Query::Distance(0, v))
+            .expect("valid query");
+    }
+    pool.shutdown();
+    catcher.flush();
+    let caught = catcher.total_violations();
+    assert!(
+        caught >= 1,
+        "a poisoned oracle row must be caught (audited {})",
+        catcher.audited()
+    );
+    let events = sabotaged.tracer().dump();
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::QualityViolation),
+        "violations must reach the flight recorder"
+    );
+    assert!(
+        sabotaged
+            .tracer()
+            .incidents()
+            .iter()
+            .any(|i| i.label == "q:distance:quality"),
+        "violations must capture an incident window"
+    );
+
+    // The live scrape: /qualityz renders the catch, structurally valid.
+    let admin = AdminServer::bind("127.0.0.1:0", Arc::clone(&sabotaged)).expect("ephemeral bind");
+    let mut conn = TcpStream::connect(admin.local_addr()).expect("connect");
+    conn.write_all(b"GET /qualityz HTTP/1.1\r\nHost: e25\r\n\r\n")
+        .expect("request");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("response");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).expect("body");
+    let doc = parse(body).expect("/qualityz must be valid JSON");
+    assert_eq!(doc.get("enabled").and_then(JsonValue::as_bool), Some(true));
+    let tenants = doc
+        .get("tenants")
+        .and_then(JsonValue::as_array)
+        .expect("tenants array");
+    let tenant = tenants
+        .iter()
+        .find(|t| t.get("graph").and_then(JsonValue::as_str) == Some("q"))
+        .expect("the sabotaged tenant must be listed");
+    let scraped_violations = tenant
+        .get("violations")
+        .and_then(JsonValue::as_u64)
+        .expect("violations count");
+    assert!(
+        scraped_violations >= 1,
+        "the scrape must show the catch: {body}"
+    );
+    let listed = doc
+        .get("violations")
+        .and_then(JsonValue::as_array)
+        .expect("violations array");
+    assert!(
+        listed
+            .iter()
+            .any(|v| v.get("query").and_then(JsonValue::as_str) == Some("distance")),
+        "the recent-violation ring must name the distance breach"
+    );
+    admin.shutdown();
+
+    println!(
+        "sabotage: {caught}/{probes} poisoned answers caught; live /qualityz scrape shows \
+         {scraped_violations} violations across {} tenant(s), {} in the recent ring ✓\n",
+        tenants.len(),
+        listed.len(),
+    );
+}

@@ -2,6 +2,7 @@
 //! in `EXPERIMENTS.md`.
 
 pub mod additive_exps;
+pub mod audit_exps;
 pub mod compaction_exps;
 pub mod engine_exps;
 pub mod lowerbound_exps;
@@ -11,6 +12,7 @@ pub mod sketch_exps;
 pub mod spanner_exps;
 pub mod sparsifier_exps;
 pub mod store_exps;
+pub mod summary;
 pub mod telemetry_exps;
 pub mod tracing_exps;
 
@@ -42,6 +44,7 @@ pub const ALL: &[&str] = &[
     "partition",
     "telemetry",
     "tracing",
+    "audit",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -71,6 +74,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "partition" => partition_exps::partition(scale),
         "telemetry" => telemetry_exps::telemetry(scale),
         "tracing" => tracing_exps::tracing(scale),
+        "audit" => audit_exps::audit(scale),
         _ => return false,
     }
     true

@@ -1,0 +1,141 @@
+//! The machine-readable perf trajectory: `experiments --json` writes
+//! `BENCH_9.json`, a small document of per-experiment medians future PRs
+//! can diff against instead of eyeballing `EXPERIMENTS.md` tables.
+//!
+//! The numbers are measured fresh (medians over a few trials of the
+//! standard workload), not scraped from other experiments' stdout, so
+//! `--json` composes with any experiment selection — including none.
+
+use crate::Scale;
+use dsg_graph::{gen, GraphStream};
+use dsg_service::{
+    AuditConfig, FlightRecorder, GraphConfig, GraphRegistry, LoadGen, MetricRegistry, QueryMix,
+    QueryService,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Median of `trials` runs of `f` (seconds).
+fn median_secs(trials: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..trials).map(|_| f()).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// `p`-th percentile of sorted nanosecond samples.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn served(config: GraphConfig, stream: &GraphStream) -> Arc<GraphRegistry> {
+    let registry = Arc::new(GraphRegistry::with_observability(
+        Arc::new(MetricRegistry::new()),
+        FlightRecorder::with_capacity(16 * 1024),
+    ));
+    let g = registry.create("b", config).expect("fresh registry");
+    g.apply(stream.updates()).expect("valid stream");
+    g.advance_epoch();
+    registry
+}
+
+/// Measures the trajectory and renders `BENCH_9.json`'s contents.
+pub fn bench_summary_json(scale: Scale) -> String {
+    let n = scale.pick(400usize, 120);
+    let trials = scale.pick(5usize, 3);
+    let g = gen::erdos_renyi(n, scale.pick(0.03, 0.08), 31);
+    let stream = GraphStream::with_churn(&g, 1.5, 32);
+    let config = GraphConfig::new(n).seed(11).shards(4).batch_size(128);
+
+    // Ingest updates/s: fresh registry per trial, median wall time.
+    let ingest_secs = median_secs(trials, || {
+        let registry = GraphRegistry::new();
+        let t = registry.create("b", config).expect("fresh registry");
+        let t0 = Instant::now();
+        for chunk in stream.updates().chunks(256) {
+            t.apply(chunk).expect("valid stream");
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    let ingest_updates_per_sec = stream.len() as f64 / ingest_secs;
+
+    // Epoch advance: median over churn + advance cycles on one registry.
+    let registry = served(config, &stream);
+    let tenant = registry.get("b").expect("tenant");
+    let star: Vec<dsg_graph::StreamUpdate> = (1..n as u32 / 4)
+        .map(|v| dsg_graph::StreamUpdate::insert(0, v))
+        .collect();
+    let unstar: Vec<dsg_graph::StreamUpdate> = star
+        .iter()
+        .map(|up| dsg_graph::StreamUpdate::delete(up.edge.u(), up.edge.v()))
+        .collect();
+    let mut flip = false;
+    let epoch_advance_secs = median_secs(trials, || {
+        flip = !flip;
+        tenant
+            .apply(if flip { &star } else { &unstar })
+            .expect("valid delta");
+        let t0 = Instant::now();
+        tenant.advance_epoch();
+        t0.elapsed().as_secs_f64()
+    });
+
+    // Query latency percentiles: per-query wall times over one mixed
+    // workload through the pool (the serving path users actually hit).
+    let mix = QueryMix {
+        cut: 0,
+        ..QueryMix::read_heavy()
+    };
+    let queries = LoadGen::new(n, mix, 177).queries(scale.pick(2000u64, 800));
+    let pool = QueryService::start(Arc::clone(&registry), 2);
+    let mut lat: Vec<u64> = queries
+        .iter()
+        .map(|q| {
+            let t0 = Instant::now();
+            pool.query_blocking("b", q.clone()).expect("valid query");
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    pool.shutdown();
+    lat.sort_unstable();
+    let p50 = percentile(&lat, 0.50);
+    let p95 = percentile(&lat, 0.95);
+
+    // Audit overhead %: the same pool workload with and without the
+    // auditor at the default 1/64 rate, best-of to damp scheduler noise.
+    let run_pool = |reg: &Arc<GraphRegistry>| {
+        let pool = QueryService::start(Arc::clone(reg), 2);
+        let best = (0..trials).fold(f64::INFINITY, |best, _| {
+            let t0 = Instant::now();
+            for q in &queries {
+                pool.query_blocking("b", q.clone()).expect("valid query");
+            }
+            best.min(t0.elapsed().as_secs_f64())
+        });
+        pool.shutdown();
+        best
+    };
+    let plain_secs = run_pool(&registry);
+    let audited_reg = served(config, &stream);
+    let auditor = audited_reg.install_auditor(AuditConfig::default());
+    let audited_secs = run_pool(&audited_reg);
+    auditor.flush();
+    let audit_overhead_pct = (audited_secs / plain_secs - 1.0) * 100.0;
+    // Keep the sanity probe honest: the audited side must have sampled.
+    assert!(
+        auditor.audited() >= 1,
+        "summary run must exercise the auditor"
+    );
+
+    format!(
+        "{{\n  \"bench\": 9,\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \
+         \"ingest_updates_per_sec\": {ingest_updates_per_sec:.0},\n  \
+         \"query_p50_nanos\": {p50},\n  \"query_p95_nanos\": {p95},\n  \
+         \"epoch_advance_ms\": {:.3},\n  \"audit_overhead_pct\": {audit_overhead_pct:.2}\n}}\n",
+        if scale.quick { "quick" } else { "full" },
+        epoch_advance_secs * 1000.0,
+    )
+}

@@ -1,6 +1,6 @@
 //! A std-only admin scrape endpoint over plain [`TcpListener`].
 //!
-//! One background thread, no dependencies, four `GET` routes:
+//! One background thread, no dependencies, five `GET` routes:
 //!
 //! | route | body |
 //! |---|---|
@@ -8,6 +8,7 @@
 //! | `/healthz` | `ok` |
 //! | `/epochz` | JSON array of per-tenant [`TenantEpochStats`] |
 //! | `/tracez` | Chrome `trace_event` JSON: recorder dump + incidents |
+//! | `/qualityz` | JSON quality-audit report: samples, error quantiles, violations |
 //!
 //! The server exists to be scraped — by Prometheus, by `curl`, by the CI
 //! smoke test — not to be a web framework: it reads one request line,
@@ -123,6 +124,15 @@ fn serve_one(mut stream: TcpStream, registry: &GraphRegistry) -> std::io::Result
             "application/json",
             &registry.tracer().render_chrome_trace(),
         ),
+        "/qualityz" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &registry.auditor().map_or_else(
+                || crate::audit::QUALITYZ_DISABLED.to_string(),
+                |a| a.render_qualityz(),
+            ),
+        ),
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
 }
@@ -201,7 +211,9 @@ fn render_epochz(registry: &GraphRegistry) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+/// Renders `s` as a quoted JSON string literal (shared with the quality
+/// auditor's `/qualityz` renderer).
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -54,6 +54,7 @@
 #![deny(clippy::unwrap_used)]
 
 mod admin;
+pub mod audit;
 pub mod compact;
 mod epoch;
 mod metrics;
@@ -62,6 +63,7 @@ mod registry;
 mod workload;
 
 pub use admin::AdminServer;
+pub use audit::{AuditConfig, AuditFinding, AuditSample, QualityAuditor, QualityVerdict};
 pub use compact::ShardedCompactedLog;
 pub use dsg_graph::{CompactError, CompactedLog};
 pub use dsg_telemetry::{

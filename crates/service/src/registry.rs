@@ -17,6 +17,7 @@
 //! epoch artifacts rebuild from the assembled segment, bit-identically to
 //! a raw-log replay, by pass linearity.
 
+use crate::audit::{AuditConfig, QualityAuditor};
 use crate::compact::ShardedCompactedLog;
 use crate::epoch::EpochSnapshot;
 use crate::metrics::GraphMetrics;
@@ -510,8 +511,21 @@ impl ServedGraph {
     ///
     /// Whatever [`EpochSnapshot::execute`] returns.
     pub fn query(&self, query: &Query) -> Result<Response, ServiceError> {
+        self.query_pinned(query).1
+    }
+
+    /// Like [`query`](ServedGraph::query), but also returns the epoch
+    /// snapshot that answered — what the quality auditor needs so a
+    /// shadow recompute verifies against the *answering* epoch even if
+    /// ingest advances in between.
+    pub fn query_pinned(
+        &self,
+        query: &Query,
+    ) -> (Arc<EpochSnapshot>, Result<Response, ServiceError>) {
         let hist = &self.metrics.queries[query.variant_index()];
-        hist.time(|| self.snapshot().execute(query))
+        let snap = self.snapshot();
+        let result = hist.time(|| snap.execute(query));
+        (snap, result)
     }
 
     /// This tenant's slice of the telemetry registry: every series
@@ -566,6 +580,9 @@ pub struct GraphRegistry {
     graphs: RwLock<HashMap<String, Arc<ServedGraph>>>,
     telemetry: Arc<MetricRegistry>,
     tracer: FlightRecorder,
+    /// The accuracy auditor, when installed — query pools sample served
+    /// answers into it; the admin server renders it as `/qualityz`.
+    auditor: RwLock<Option<Arc<QualityAuditor>>>,
 }
 
 impl Default for GraphRegistry {
@@ -599,7 +616,31 @@ impl GraphRegistry {
             graphs: RwLock::new(HashMap::new()),
             telemetry,
             tracer,
+            auditor: RwLock::new(None),
         }
+    }
+
+    /// Installs (and starts) the quality auditor on this registry.
+    /// Install **before** starting query pools: each
+    /// [`QueryService`](crate::QueryService) captures the auditor handle
+    /// once at pool start, so a later install is invisible to running
+    /// pools. Replacing an existing auditor shuts the old one down.
+    pub fn install_auditor(&self, cfg: AuditConfig) -> Arc<QualityAuditor> {
+        let auditor = QualityAuditor::start(Arc::clone(&self.telemetry), self.tracer.clone(), cfg);
+        let old = self
+            .auditor
+            .write()
+            .expect("auditor lock poisoned")
+            .replace(Arc::clone(&auditor));
+        if let Some(old) = old {
+            old.shutdown();
+        }
+        auditor
+    }
+
+    /// The installed quality auditor, if any.
+    pub fn auditor(&self) -> Option<Arc<QualityAuditor>> {
+        self.auditor.read().expect("auditor lock poisoned").clone()
     }
 
     /// The shared metric registry all tenants record into.

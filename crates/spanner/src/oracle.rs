@@ -243,6 +243,23 @@ impl DistanceOracle {
         d[v as usize] == UNREACHABLE
     }
 
+    /// Replaces `u`'s cached distance row with an arbitrary one — a
+    /// **sabotage hook** for quality-audit tests and experiments: the
+    /// poisoned row is served by every subsequent [`estimate`] /
+    /// [`is_far`] from `u` (until evicted), letting a harness inject a
+    /// provably wrong answer and assert the auditor catches it. Never
+    /// called by serving code.
+    ///
+    /// [`estimate`]: DistanceOracle::estimate
+    /// [`is_far`]: DistanceOracle::is_far
+    pub fn poison_cached_row(&self, u: Vertex, row: Vec<u32>) {
+        let mut cache = self.cache.lock().expect("oracle cache poisoned");
+        if !cache.rows.contains_key(&u) {
+            cache.order.push_back(u);
+        }
+        cache.rows.insert(u, Arc::new(row));
+    }
+
     /// All estimates from a single source (one BFS, memoized).
     pub fn estimates_from(&self, u: Vertex) -> Vec<Option<u32>> {
         self.distances_from(u)
@@ -382,6 +399,17 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("oracle_hits_total"), Some(stats.hits));
         assert_eq!(snap.counter("oracle_misses_total"), Some(stats.misses));
+    }
+
+    #[test]
+    fn poisoned_row_is_served_until_evicted() {
+        let (_, oracle) = oracle_for(20, 1, 7);
+        let honest = oracle.estimate(0, 10);
+        assert!(honest.is_some_and(|d| d >= 1), "0 and 10 are connected");
+        oracle.poison_cached_row(0, vec![0; 20]);
+        assert_eq!(oracle.estimate(0, 10), Some(0), "poison must be served");
+        // A fresh clone (cold cache) recomputes honestly.
+        assert_eq!(oracle.clone().estimate(0, 10), honest);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::wal::{ReplaySummary, Wal, WalConfig, WalMetrics, WalPosition, WalReco
 use crate::{StoreError, SyncPolicy};
 use dsg_agm::AgmSketch;
 use dsg_graph::{StreamUpdate, Vertex};
+use dsg_service::audit::{self, QualityVerdict};
 use dsg_service::{
     EpochSnapshot, GraphConfig, GraphRegistry, PersistedGraph, PersistedShard, Query, Response,
     ServedGraph, ServiceError,
@@ -100,6 +101,12 @@ pub struct TenantRecovery {
     /// Scanning the last segment for a torn tail and positioning the
     /// append handle.
     pub wal_open: Duration,
+    /// Verdict of the post-recovery self-audit: one forced audit pass
+    /// (the full query battery, each answer verified against an exact
+    /// recompute) over the recovered epoch. A recovery that comes back
+    /// with `quality.violations > 0` restored a state that serves wrong
+    /// answers — corrupt artifacts, not just lost updates.
+    pub quality: QualityVerdict,
 }
 
 /// Per-tenant telemetry handles of the durability layer, resolved once
@@ -578,6 +585,15 @@ impl DurableRegistry {
             closed: AtomicBool::new(false),
             metrics,
         });
+        // Post-recovery self-audit: before this tenant serves anything,
+        // force one audit pass over the recovered epoch so the recovery
+        // report carries a quality verdict, not just phase timings.
+        let quality = audit::self_audit(&durable.graph.snapshot());
+        if !quality.clean() {
+            durable
+                .metrics
+                .trace(EventKind::QualityViolation, quality.violations);
+        }
         let report = TenantRecovery {
             name: name.to_string(),
             checkpoint_epoch: cp.epoch,
@@ -587,6 +603,7 @@ impl DurableRegistry {
             restore,
             replay,
             wal_open,
+            quality,
         };
         Ok((durable, report))
     }
@@ -822,6 +839,11 @@ mod tests {
         let report = &reg.recovery_report()[0];
         assert_eq!(report.checkpoint_epoch, 0);
         assert!(report.records_replayed >= 4); // 2 batches + 2 markers
+        assert!(
+            report.quality.samples >= 5 && report.quality.clean(),
+            "recovered epoch must pass the self-audit: {:?}",
+            report.quality
+        );
         let g = reg.get("t").unwrap();
         assert_eq!(g.snapshot().epoch(), 2);
         assert_eq!(

@@ -60,6 +60,11 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 /// `wal_bytes_total{graph="g"}`. Labels are rendered in the given order;
 /// call sites should pass them in one canonical order so equal label sets
 /// produce equal names. With no labels the bare name is returned.
+///
+/// Label *values* are escaped here, at embed time, so the stored series
+/// name is already valid exposition text: `render_prometheus` and the
+/// histogram-sample splicer can pass label text through verbatim even
+/// when a tenant name contains `\`, `"`, or a newline.
 pub fn series(name: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return name.to_string();
@@ -71,10 +76,29 @@ pub fn series(name: &str, labels: &[(&str, &str)]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"{v}\"");
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
     }
     out.push('}');
     out
+}
+
+/// Escapes a label value per the Prometheus text exposition rules:
+/// backslash, double quote, and newline become `\\`, `\"`, and `\n`.
+/// Values without those characters are borrowed unchanged.
+pub fn escape_label_value(v: &str) -> std::borrow::Cow<'_, str> {
+    if !v.contains(['\\', '"', '\n']) {
+        return std::borrow::Cow::Borrowed(v);
+    }
+    let mut out = String::with_capacity(v.len() + 4);
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
 }
 
 /// A monotone event counter. Cloning shares the underlying cell; the
@@ -975,6 +999,45 @@ mod tests {
             ("a_total", "graph=\"g\"")
         );
         assert_eq!(split_series("a_total"), ("a_total", ""));
+    }
+
+    #[test]
+    fn hostile_label_values_render_valid_exposition() {
+        // A tenant is free to name itself something exposition-hostile;
+        // the rendered text must still parse (RFC: `\\`, `\"`, `\n`).
+        let hostile = "bad\\tenant\"quoted\nline";
+        assert_eq!(
+            escape_label_value(hostile),
+            "bad\\\\tenant\\\"quoted\\nline"
+        );
+        assert!(matches!(
+            escape_label_value("tame"),
+            std::borrow::Cow::Borrowed(_)
+        ));
+
+        let reg = MetricRegistry::new();
+        reg.counter(&series("events_total", &[("graph", hostile)]))
+            .add(7);
+        reg.histogram(&series("latency_ns", &[("graph", hostile)]))
+            .record(5);
+        let text = reg.render_prometheus();
+        // No raw newline may survive inside a label value: every line of
+        // the exposition must be a comment or a `name{labels} value`
+        // sample whose quotes balance.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let quotes = line.matches('"').count() - line.matches("\\\"").count();
+            assert_eq!(quotes % 2, 0, "unbalanced quotes in sample line {line:?}");
+            assert!(
+                line.rsplit_once(' ').is_some(),
+                "sample line {line:?} lost its value"
+            );
+        }
+        assert!(text.contains("graph=\"bad\\\\tenant\\\"quoted\\nline\""));
+        // The histogram splicer must compose `le` with the escaped label.
+        assert!(text.contains("latency_ns_bucket{graph=\"bad\\\\tenant\\\"quoted\\nline\",le="));
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub enum EventKind {
     /// The watchdog flagged a query over threshold; payload = latency in
     /// nanoseconds.
     SlowQuery = 19,
+    /// The accuracy auditor caught a served answer outside its guarantee;
+    /// payload = query variant index.
+    QualityViolation = 20,
 }
 
 impl EventKind {
@@ -103,6 +106,7 @@ impl EventKind {
             EventKind::RecoveryReplay => "recovery_replay",
             EventKind::RecoveryWalOpen => "recovery_wal_open",
             EventKind::SlowQuery => "slow_query",
+            EventKind::QualityViolation => "quality_violation",
         }
     }
 
@@ -127,6 +131,7 @@ impl EventKind {
             17 => EventKind::RecoveryReplay,
             18 => EventKind::RecoveryWalOpen,
             19 => EventKind::SlowQuery,
+            20 => EventKind::QualityViolation,
             _ => return None,
         })
     }

@@ -6,8 +6,8 @@
 
 use dsg_graph::{gen, GraphStream, Vertex};
 use dsg_service::{
-    AdminServer, FlightRecorder, GraphConfig, GraphRegistry, LoadGen, MetricRegistry, Query,
-    QueryMix, QueryService, Response,
+    AdminServer, AuditConfig, FlightRecorder, GraphConfig, GraphRegistry, LoadGen, MetricRegistry,
+    Query, QueryMix, QueryService, Response,
 };
 use dsg_util::Summary;
 use std::io::{Read, Write};
@@ -64,6 +64,15 @@ fn main() {
             social.advance_epoch();
         })
     };
+
+    // Shadow-verify a slice of served answers: the quality auditor
+    // recomputes sampled queries exactly on a background worker and
+    // alarms if a served answer ever breaks its paper guarantee.
+    // Installed before the pool so the workers pick it up.
+    let auditor = registry.install_auditor(AuditConfig {
+        sample_every: 8,
+        ..AuditConfig::default()
+    });
 
     // Serve a deterministic mixed workload through the worker pool.
     let pool = QueryService::start(Arc::clone(&registry), 4);
@@ -218,6 +227,20 @@ fn main() {
         metrics.lines().count(),
         tracez.len(),
     );
+    // Drain the audit queue, then report what the shadow recomputes saw
+    // — the same numbers `/qualityz` serves to a scraper.
+    auditor.flush();
+    let qualityz = scrape("/qualityz");
+    println!(
+        "quality audit: {} of {} served queries shadow-verified (1/{} sampling), \
+         {} guarantee violations; /qualityz scrape {} bytes",
+        auditor.audited(),
+        queries.len() + 40 + 1,
+        auditor.config().sample_every,
+        auditor.total_violations(),
+        qualityz.len(),
+    );
+    assert_eq!(auditor.total_violations(), 0, "honest serving audits clean");
     let events = registry.tracer().dump();
     println!(
         "flight recorder: {} events across the run; last epoch publish traced as id {}",

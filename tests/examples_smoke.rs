@@ -127,6 +127,7 @@ fn all_examples_run_to_completion() {
                 "dsg_engine_",
                 "admin endpoint at http://",
                 "flight recorder:",
+                "quality audit:",
             ] {
                 assert!(
                     stdout.contains(marker),
