@@ -5,6 +5,7 @@ pub mod additive_exps;
 pub mod audit_exps;
 pub mod compaction_exps;
 pub mod engine_exps;
+pub mod incremental_exps;
 pub mod lowerbound_exps;
 pub mod partition_exps;
 pub mod service_exps;
@@ -45,6 +46,7 @@ pub const ALL: &[&str] = &[
     "telemetry",
     "tracing",
     "audit",
+    "incremental",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -75,6 +77,7 @@ pub fn run(name: &str, scale: Scale) -> bool {
         "telemetry" => telemetry_exps::telemetry(scale),
         "tracing" => tracing_exps::tracing(scale),
         "audit" => audit_exps::audit(scale),
+        "incremental" => incremental_exps::incremental(scale),
         _ => return false,
     }
     true

@@ -118,6 +118,15 @@ pub fn bench_summary_json(scale: Scale) -> String {
         pool.shutdown();
         best
     };
+    // Artifact refresh at 1% churn: the incremental patch path vs the
+    // full rebuild, E26's headline workload at trajectory size.
+    let refresh = crate::experiments::incremental_exps::measure_refresh(
+        scale.pick(200, 110),
+        scale.pick(0.2, 0.3),
+        0.01,
+        trials.min(3),
+    );
+
     let plain_secs = run_pool(&registry);
     let audited_reg = served(config, &stream);
     let auditor = audited_reg.install_auditor(AuditConfig::default());
@@ -134,8 +143,11 @@ pub fn bench_summary_json(scale: Scale) -> String {
         "{{\n  \"bench\": 9,\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \
          \"ingest_updates_per_sec\": {ingest_updates_per_sec:.0},\n  \
          \"query_p50_nanos\": {p50},\n  \"query_p95_nanos\": {p95},\n  \
-         \"epoch_advance_ms\": {:.3},\n  \"audit_overhead_pct\": {audit_overhead_pct:.2}\n}}\n",
+         \"epoch_advance_ms\": {:.3},\n  \"audit_overhead_pct\": {audit_overhead_pct:.2},\n  \
+         \"artifact_patch_ms\": {:.3},\n  \"artifact_rebuild_ms\": {:.3}\n}}\n",
         if scale.quick { "quick" } else { "full" },
         epoch_advance_secs * 1000.0,
+        refresh.patch_ms,
+        refresh.rebuild_ms,
     )
 }

@@ -24,6 +24,124 @@ use crate::ids::Edge;
 use crate::stream::{GraphStream, StreamUpdate};
 use std::collections::HashMap;
 
+/// The exact difference between two canonical segments (`prev → cur`),
+/// as computed by [`NetMultiset::diff`]: O(changes) output, each bucket
+/// sorted by edge.
+///
+/// Because every linear sketch is a function of the net multiset alone,
+/// this delta is not an approximation of "what changed" — it *is* the
+/// update stream (up to reordering) that carries any sketch of `prev` to
+/// the bit-identical sketch of `cur`. That is what makes O(changes)
+/// artifact patching exact rather than heuristic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SegmentDelta {
+    /// Pairs live in `cur` but not in `prev` (the `cur` entry).
+    pub added: Vec<NetEdge>,
+    /// Pairs live in `prev` but not in `cur` (the `prev` entry).
+    pub removed: Vec<NetEdge>,
+    /// Pairs live in both but with a different multiplicity and/or
+    /// weight: `(prev, cur)` entry pairs over the same edge.
+    pub reweighted: Vec<(NetEdge, NetEdge)>,
+}
+
+impl SegmentDelta {
+    /// Whether the two segments were identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.reweighted.is_empty()
+    }
+
+    /// Number of changed pairs — the `delta_size` the churn-threshold
+    /// patch-vs-rebuild decision compares against the live edge count.
+    pub fn num_changes(&self) -> usize {
+        self.added.len() + self.removed.len() + self.reweighted.len()
+    }
+
+    /// Visits the net **multiplicity** delta of every changed pair (the
+    /// signed update a linear sketch must absorb to move from `prev` to
+    /// `cur`). Reweighted pairs whose multiplicity is unchanged are
+    /// skipped: sketches see multiplicities only, so a pure weight change
+    /// is a no-op on every sketch state. The weight argument is the
+    /// pair's surviving weight (`cur` for additions and reweights, `prev`
+    /// for removals — per the model a deletion carries its insertion's
+    /// weight).
+    pub fn for_each_multiplicity_delta(&self, f: &mut dyn FnMut(Edge, i128, f64)) {
+        for e in &self.added {
+            f(e.edge, e.multiplicity as i128, e.weight);
+        }
+        for e in &self.removed {
+            f(e.edge, -(e.multiplicity as i128), e.weight);
+        }
+        for (prev, cur) in &self.reweighted {
+            let d = cur.multiplicity as i128 - prev.multiplicity as i128;
+            if d != 0 {
+                f(prev.edge, d, cur.weight);
+            }
+        }
+    }
+
+    /// The sub-delta of changed pairs whose canonical edge coordinate
+    /// (over `n` vertices) satisfies `pred` — how one segment delta is
+    /// routed to each member of a bank of filter-restricted algorithms
+    /// (e.g. the KP12 pipeline's subsampled inner spanners). Restricting
+    /// commutes with diffing: `filtered(diff(prev, cur)) ==
+    /// diff(filtered(prev), filtered(cur))`, because the filters are
+    /// deterministic functions of edge identity.
+    pub fn filtered(&self, n: usize, pred: &dyn Fn(u64) -> bool) -> SegmentDelta {
+        SegmentDelta {
+            added: self
+                .added
+                .iter()
+                .filter(|e| pred(e.edge.index(n)))
+                .copied()
+                .collect(),
+            removed: self
+                .removed
+                .iter()
+                .filter(|e| pred(e.edge.index(n)))
+                .copied()
+                .collect(),
+            reweighted: self
+                .reweighted
+                .iter()
+                .filter(|(p, _)| pred(p.edge.index(n)))
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+/// A filter-restricted view of an [`EdgeMultiset`]: the sub-multiset of
+/// pairs whose canonical edge coordinate satisfies the predicate, without
+/// materializing it. The lazy counterpart of
+/// [`SegmentDelta::filtered`] for full segments — a bank algorithm hands
+/// each member the same base segment behind its own filter.
+pub struct FilteredMultiset<'a, M: ?Sized, P> {
+    base: &'a M,
+    pred: P,
+}
+
+impl<'a, M: EdgeMultiset + ?Sized, P: Fn(u64) -> bool> FilteredMultiset<'a, M, P> {
+    /// Restricts `base` to the pairs whose coordinate satisfies `pred`.
+    pub fn new(base: &'a M, pred: P) -> Self {
+        Self { base, pred }
+    }
+}
+
+impl<M: EdgeMultiset + ?Sized, P: Fn(u64) -> bool> EdgeMultiset for FilteredMultiset<'_, M, P> {
+    fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    fn for_each_net_edge(&self, f: &mut dyn FnMut(NetEdge)) {
+        let n = self.base.num_vertices();
+        self.base.for_each_net_edge(&mut |e| {
+            if (self.pred)(e.edge.index(n)) {
+                f(e);
+            }
+        });
+    }
+}
+
 /// One entry of a net edge multiset: the pair, its weight, and its net
 /// multiplicity (always ≥ 1 inside a [`NetMultiset`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +224,115 @@ impl NetMultiset {
         Self { n, entries }
     }
 
+    /// Builds the canonical form from entries the caller guarantees are
+    /// already canonical (sorted by edge, no duplicate pair, positive
+    /// in-range multiplicities) — e.g. a sealed segment, or the output of
+    /// a merge over sealed segments. The invariant is checked only under
+    /// `debug_assertions`; release builds trust the caller and skip the
+    /// redundant validation pass.
+    pub fn from_sorted_entries(n: usize, entries: Vec<NetEdge>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            for pair in entries.windows(2) {
+                debug_assert!(
+                    pair[0].edge < pair[1].edge,
+                    "entries not in canonical order at {}",
+                    pair[1].edge
+                );
+            }
+            for e in &entries {
+                debug_assert!(e.multiplicity > 0, "zero multiplicity for {}", e.edge);
+                debug_assert!((e.edge.v() as usize) < n, "edge {} out of range", e.edge);
+            }
+        }
+        Self { n, entries }
+    }
+
+    /// The exact segment delta carrying `prev` to `self`, computed in one
+    /// merge-scan of the two sorted entry vectors: O(|prev| + |self|)
+    /// worst case, O(changes) output. Weight changes compare bitwise
+    /// (`f64::to_bits`), so the delta is empty iff the canonical segments
+    /// are byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two segments disagree on the vertex count.
+    pub fn diff(&self, prev: &NetMultiset) -> SegmentDelta {
+        assert_eq!(
+            self.n, prev.n,
+            "cannot diff segments over different vertex counts"
+        );
+        let mut delta = SegmentDelta::default();
+        let (mut i, mut j) = (0, 0);
+        while i < prev.entries.len() && j < self.entries.len() {
+            let (p, c) = (prev.entries[i], self.entries[j]);
+            match p.edge.cmp(&c.edge) {
+                std::cmp::Ordering::Less => {
+                    delta.removed.push(p);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    delta.added.push(c);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if p.multiplicity != c.multiplicity || p.weight.to_bits() != c.weight.to_bits()
+                    {
+                        delta.reweighted.push((p, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        delta.removed.extend_from_slice(&prev.entries[i..]);
+        delta.added.extend_from_slice(&self.entries[j..]);
+        delta
+    }
+
+    /// Applies a [`SegmentDelta`] produced by [`diff`](NetMultiset::diff)
+    /// to `self` (the `prev` segment), reconstructing `cur` exactly:
+    /// `prev.apply_delta(&cur.diff(&prev)) == cur`. One merge-scan,
+    /// O(|self| + changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta does not match this segment (a removed or
+    /// reweighted pair that is not live, or an added pair that is).
+    pub fn apply_delta(&self, delta: &SegmentDelta) -> NetMultiset {
+        let mut out = Vec::with_capacity(
+            (self.entries.len() + delta.added.len()).saturating_sub(delta.removed.len()),
+        );
+        let (mut add, mut rem, mut rew) = (0, 0, 0);
+        for &e in &self.entries {
+            while add < delta.added.len() && delta.added[add].edge < e.edge {
+                out.push(delta.added[add]);
+                add += 1;
+            }
+            assert!(
+                add >= delta.added.len() || delta.added[add].edge != e.edge,
+                "added pair {} is already live",
+                e.edge
+            );
+            if rem < delta.removed.len() && delta.removed[rem].edge == e.edge {
+                rem += 1;
+                continue;
+            }
+            if rew < delta.reweighted.len() && delta.reweighted[rew].0.edge == e.edge {
+                out.push(delta.reweighted[rew].1);
+                rew += 1;
+                continue;
+            }
+            out.push(e);
+        }
+        out.extend_from_slice(&delta.added[add..]);
+        assert!(
+            rem == delta.removed.len() && rew == delta.reweighted.len(),
+            "delta references pairs not live in this segment"
+        );
+        Self::from_sorted_entries(self.n, out)
+    }
+
     /// The net multiset of an update sequence. Pairs whose insertions and
     /// deletions cancel vanish; the tracked weight is the last weight an
     /// update carried for the pair (well defined in the model, where a
@@ -180,8 +407,12 @@ impl NetMultiset {
     /// Merges multisets over *disjoint* pair sets (e.g. the sealed
     /// per-shard segments of an edge-partitioned engine, where routing by
     /// edge identity guarantees disjointness) into one canonical
-    /// multiset. Concatenation is exact: because no pair appears in two
-    /// parts, no multiplicities need combining.
+    /// multiset. Each part is already sorted, so a k-way merge produces
+    /// the canonical order directly — O(total · k) with no re-sort and no
+    /// re-validation of entries the parts already validated (each part
+    /// held the canonical invariant when it was sealed; the k-way merge
+    /// preserves it, checked under `debug_assertions` in
+    /// [`from_sorted_entries`](NetMultiset::from_sorted_entries)).
     ///
     /// # Panics
     ///
@@ -192,18 +423,43 @@ impl NetMultiset {
     where
         I: IntoIterator<Item = &'a NetMultiset>,
     {
-        let mut entries = Vec::new();
-        for part in parts {
+        let parts: Vec<&NetMultiset> = parts.into_iter().collect();
+        for part in &parts {
             assert_eq!(
                 part.num_vertices(),
                 n,
                 "vertex count mismatch in disjoint merge"
             );
-            entries.extend_from_slice(part.entries());
         }
-        // from_entries re-sorts and panics on any duplicate pair, which is
-        // exactly the disjointness check.
-        Self::from_entries(n, entries)
+        let total: usize = parts.iter().map(|p| p.entries.len()).sum();
+        let mut entries = Vec::with_capacity(total);
+        let mut heads = vec![0usize; parts.len()];
+        loop {
+            // Shard counts are small, so scanning the k heads per step
+            // beats a heap's constant factor.
+            let mut next: Option<(usize, Edge)> = None;
+            for (i, part) in parts.iter().enumerate() {
+                if let Some(e) = part.entries.get(heads[i]) {
+                    let better = match next {
+                        None => true,
+                        Some((_, best)) => e.edge < best,
+                    };
+                    if better {
+                        next = Some((i, e.edge));
+                    }
+                }
+            }
+            let Some((i, _)) = next else { break };
+            let e = parts[i].entries[heads[i]];
+            heads[i] += 1;
+            // One compare per entry is the whole disjointness check.
+            if let Some(last) = entries.last() {
+                let last: &NetEdge = last;
+                assert!(last.edge < e.edge, "duplicate pair {} across parts", e.edge);
+            }
+            entries.push(e);
+        }
+        Self::from_sorted_entries(n, entries)
     }
 
     /// An insertion-only stream with this net effect (one `+1` update per
@@ -294,5 +550,105 @@ mod tests {
         let g = gen::with_random_weights(&gen::cycle(12), 1.0, 4.0, 8);
         let s = GraphStream::weighted_with_churn(&g, 1.0, 9);
         assert_eq!(s.net_multiset().final_weighted_graph(), g);
+    }
+
+    fn entry(u: u32, v: u32, mult: u32, weight: f64) -> NetEdge {
+        NetEdge {
+            edge: Edge::new(u, v),
+            weight,
+            multiplicity: mult,
+        }
+    }
+
+    #[test]
+    fn diff_buckets_added_removed_reweighted() {
+        let prev = NetMultiset::from_entries(
+            6,
+            vec![
+                entry(0, 1, 1, 1.0),
+                entry(1, 2, 2, 1.0),
+                entry(2, 3, 1, 2.0),
+            ],
+        );
+        let cur = NetMultiset::from_entries(
+            6,
+            vec![
+                entry(0, 1, 1, 1.0),
+                entry(1, 2, 3, 1.0),
+                entry(4, 5, 1, 1.0),
+            ],
+        );
+        let d = cur.diff(&prev);
+        assert_eq!(d.added, vec![entry(4, 5, 1, 1.0)]);
+        assert_eq!(d.removed, vec![entry(2, 3, 1, 2.0)]);
+        assert_eq!(
+            d.reweighted,
+            vec![(entry(1, 2, 2, 1.0), entry(1, 2, 3, 1.0))]
+        );
+        assert_eq!(d.num_changes(), 3);
+        assert_eq!(prev.apply_delta(&d), cur);
+
+        // The multiplicity-delta view: +1 for the add, -1 for the remove,
+        // +1 for the reweight; the unchanged pair never appears.
+        let mut seen = Vec::new();
+        d.for_each_multiplicity_delta(&mut |e, dm, w| seen.push((e, dm, w)));
+        assert_eq!(
+            seen,
+            vec![
+                (Edge::new(4, 5), 1, 1.0),
+                (Edge::new(2, 3), -1, 2.0),
+                (Edge::new(1, 2), 1, 1.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_of_identical_segments_is_empty() {
+        let g = gen::erdos_renyi(20, 0.3, 11);
+        let net = GraphStream::with_churn(&g, 1.0, 12).net_multiset();
+        let d = net.diff(&net.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.num_changes(), 0);
+        assert_eq!(net.apply_delta(&d), net);
+    }
+
+    #[test]
+    fn pure_weight_change_diffs_but_yields_no_multiplicity_delta() {
+        let prev = NetMultiset::from_entries(4, vec![entry(0, 1, 2, 1.0)]);
+        let cur = NetMultiset::from_entries(4, vec![entry(0, 1, 2, 3.5)]);
+        let d = cur.diff(&prev);
+        assert_eq!(d.num_changes(), 1);
+        let mut calls = 0;
+        d.for_each_multiplicity_delta(&mut |_, _, _| calls += 1);
+        assert_eq!(calls, 0, "same multiplicity means no sketch update");
+        assert_eq!(prev.apply_delta(&d), cur);
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn mismatched_delta_is_rejected() {
+        let prev = NetMultiset::from_entries(4, vec![entry(0, 1, 1, 1.0)]);
+        let other = NetMultiset::from_entries(4, vec![entry(2, 3, 1, 1.0)]);
+        let cur = NetMultiset::from_entries(4, vec![entry(0, 2, 1, 1.0)]);
+        let _ = other.apply_delta(&cur.diff(&prev));
+    }
+
+    #[test]
+    fn merge_disjoint_is_a_kway_merge() {
+        let a = NetMultiset::from_entries(8, vec![entry(0, 1, 1, 1.0), entry(3, 4, 2, 1.0)]);
+        let b = NetMultiset::from_entries(8, vec![entry(0, 2, 1, 1.0), entry(5, 6, 1, 1.0)]);
+        let c = NetMultiset::from_entries(8, vec![entry(1, 2, 1, 1.0)]);
+        let merged = NetMultiset::merge_disjoint(8, [&a, &b, &c]);
+        assert!(merged.entries().windows(2).all(|w| w[0].edge < w[1].edge));
+        assert_eq!(merged.num_edges(), 5);
+        assert_eq!(merged.total_multiplicity(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pair")]
+    fn overlapping_parts_are_rejected() {
+        let a = NetMultiset::from_entries(4, vec![entry(0, 1, 1, 1.0)]);
+        let b = NetMultiset::from_entries(4, vec![entry(0, 1, 1, 1.0)]);
+        let _ = NetMultiset::merge_disjoint(4, [&a, &b]);
     }
 }

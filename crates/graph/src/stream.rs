@@ -182,7 +182,7 @@ impl GraphStream {
                 while i < deferred.len() {
                     let d = deferred[i];
                     if mult.get(&d.edge).copied().unwrap_or(0) > 0 {
-                        *mult.get_mut(&d.edge).unwrap() -= 1;
+                        *mult.entry(d.edge).or_insert(0) -= 1;
                         repaired.push(d);
                         deferred.swap_remove(i);
                     } else {

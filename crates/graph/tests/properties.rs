@@ -136,3 +136,60 @@ proptest! {
         prop_assert!(num_components(&h) <= before);
     }
 }
+
+// ---- Segment-delta properties (`NetMultiset::diff` / `apply_delta`) ----
+//
+// Two epochs of one evolving stream give a (prev, cur) segment pair; the
+// delta between them must be exact: empty on self-diff, invertible via
+// `apply_delta`, and exactly the symmetric difference in size.
+
+proptest! {
+    #[test]
+    fn diff_of_a_segment_with_itself_is_empty(n in 5usize..50, seed in 0u64..200) {
+        let g = gen::erdos_renyi(n, 0.2, seed);
+        let net = GraphStream::with_churn(&g, 1.5, seed ^ 0x55).net_multiset();
+        let d = net.diff(&net.clone());
+        prop_assert!(d.is_empty());
+        prop_assert_eq!(net.apply_delta(&d), net);
+    }
+
+    #[test]
+    fn apply_delta_reconstructs_cur(
+        n in 5usize..40,
+        p in 0.05f64..0.4,
+        churn in 0.0f64..2.0,
+        seed in 0u64..200,
+    ) {
+        // Two independent live graphs play "before" and "after" an epoch.
+        let prev = GraphStream::with_churn(&gen::erdos_renyi(n, p, seed), churn, seed)
+            .net_multiset();
+        let cur = GraphStream::with_churn(&gen::erdos_renyi(n, p, seed ^ 0x1), churn, seed ^ 0x2)
+            .net_multiset();
+        let d = cur.diff(&prev);
+        prop_assert_eq!(prev.apply_delta(&d), cur);
+        // And backwards: the reverse delta reconstructs prev.
+        prop_assert_eq!(cur.apply_delta(&prev.diff(&cur)), prev);
+    }
+
+    #[test]
+    fn diff_size_is_the_symmetric_difference(
+        n in 5usize..40,
+        p in 0.05f64..0.4,
+        seed in 0u64..200,
+    ) {
+        let a = GraphStream::insert_only(&gen::erdos_renyi(n, p, seed), seed).net_multiset();
+        let b = GraphStream::insert_only(&gen::erdos_renyi(n, p, seed ^ 0x9), seed).net_multiset();
+        let d = b.diff(&a);
+        let live_a: std::collections::HashSet<Edge> =
+            a.entries().iter().map(|e| e.edge).collect();
+        let live_b: std::collections::HashSet<Edge> =
+            b.entries().iter().map(|e| e.edge).collect();
+        let sym = live_a.symmetric_difference(&live_b).count();
+        // Insert-only multisets have unit multiplicities and unit weights,
+        // so no pair can land in the reweighted bucket: the delta size IS
+        // the symmetric difference of the live edge sets.
+        prop_assert_eq!(d.reweighted.len(), 0);
+        prop_assert_eq!(d.num_changes(), sym);
+        prop_assert_eq!(d.added.len() + d.removed.len(), sym);
+    }
+}

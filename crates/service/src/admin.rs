@@ -198,13 +198,17 @@ fn render_epochz(registry: &GraphRegistry) -> String {
         }
         out.push_str(&format!(
             "{{\"graph\":{},\"epoch\":{},\"total_updates\":{},\"net_edges\":{},\
-             \"num_vertices\":{},\"load_balance\":{:.4}}}",
+             \"num_vertices\":{},\"load_balance\":{:.4},\
+             \"incremental_builds\":{},\"full_builds\":{},\"last_patch_nanos\":{}}}",
             json_escape(&t.name),
             t.epoch,
             t.total_updates,
             t.net_edges,
             t.num_vertices,
-            t.load_balance
+            t.load_balance,
+            t.incremental_builds,
+            t.full_builds,
+            t.last_patch_nanos
         ));
     }
     out.push_str("]\n");
@@ -274,6 +278,12 @@ mod tests {
         let (status, body) = scrape(addr, "/epochz");
         assert_eq!(status, 200);
         assert!(body.contains("\"graph\":\"social\"") && body.contains("\"epoch\":1"));
+        assert!(
+            body.contains("\"incremental_builds\":")
+                && body.contains("\"full_builds\":")
+                && body.contains("\"last_patch_nanos\":"),
+            "epochz must expose the incremental-vs-full artifact tallies"
+        );
         let (status, body) = scrape(addr, "/tracez?limit=10");
         assert_eq!(status, 200);
         assert!(body.contains("\"traceEvents\""));

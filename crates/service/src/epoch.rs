@@ -38,13 +38,55 @@ use crate::{GraphConfig, ServiceError};
 use dsg_agm::forest::ForestResult;
 use dsg_agm::AgmSketch;
 use dsg_graph::components::UnionFind;
-use dsg_graph::{NetMultiset, Vertex};
+use dsg_graph::{Edge, Graph, NetMultiset, SegmentDelta, Vertex};
 use dsg_spanner::oracle::DistanceOracle;
-use dsg_spanner::twopass;
-use dsg_sparsifier::pipeline::run_sparsifier_net;
+use dsg_spanner::twopass::{self, TwoPassSpanner};
+use dsg_sparsifier::pipeline::{run_sparsifier_net_retained, TwoPassSparsifier};
 use dsg_sparsifier::Laplacian;
 use dsg_telemetry::{trace, EventKind};
-use std::sync::{Arc, OnceLock};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Signed weight updates turning the previous epoch's sparsifier edge
+/// list into the new one — `(edge, 0.0)` deletes, any other entry sets
+/// the edge's new weight. Both inputs are sorted by edge, so one merge
+/// scan finds the differences; weights compare by bit pattern because
+/// the patched Laplacian must be bit-identical to a rebuilt one.
+fn laplacian_updates(prev: &Laplacian, new_edges: &[(Edge, f64)]) -> Vec<(Edge, f64)> {
+    let prev_triples = prev.edge_triples();
+    let mut updates = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < prev_triples.len() && j < new_edges.len() {
+        let (u, v, w) = prev_triples[i];
+        let pe = Edge::new(u, v);
+        let (ne, nw) = new_edges[j];
+        match pe.cmp(&ne) {
+            std::cmp::Ordering::Less => {
+                updates.push((pe, 0.0));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                updates.push((ne, nw));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if w.to_bits() != nw.to_bits() {
+                    updates.push((pe, nw));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    while i < prev_triples.len() {
+        let (u, v, _) = prev_triples[i];
+        updates.push((Edge::new(u, v), 0.0));
+        i += 1;
+    }
+    updates.extend_from_slice(&new_edges[j..]);
+    updates
+}
 
 /// The spanning forest of an epoch plus the component structure derived
 /// from it, so membership queries are O(1) after one decode.
@@ -93,6 +135,23 @@ pub struct EpochSnapshot {
     forest: OnceLock<Arc<ForestData>>,
     oracle: OnceLock<Arc<DistanceOracle>>,
     cut: OnceLock<Arc<CutData>>,
+    /// Predecessor link for incremental artifact maintenance, installed
+    /// at publish time. Publishing a successor clears the predecessor's
+    /// own link, so the chain never grows past depth 1.
+    prev: Mutex<Option<Arc<EpochSnapshot>>>,
+    /// Segment diff against the linked predecessor, computed once on
+    /// first incremental attempt (one merge scan of the two segments).
+    delta: OnceLock<Arc<SegmentDelta>>,
+    /// Retained two-pass spanner state (the pass-1/pass-2 linear states
+    /// of the oracle build), kept so the *next* epoch can patch them
+    /// with the segment diff instead of re-ingesting its whole segment.
+    /// The successor *moves* the state out when it patches (the retained
+    /// sketches are large — deep-cloning them costs more than the patch
+    /// itself); a snapshot whose state was taken simply can no longer
+    /// seed a second patch chain, which a depth-1 chain never needs.
+    retained_spanner: Mutex<Option<Arc<TwoPassSpanner>>>,
+    /// Retained KP12 pipeline state, for the same reason.
+    retained_sparsifier: Mutex<Option<Arc<TwoPassSparsifier>>>,
     /// Telemetry handles for the artifact cells: build timings,
     /// build-once counters, cache hits, and the oracle's memo-cache
     /// counters. All-no-op for directly constructed snapshots.
@@ -119,8 +178,77 @@ impl EpochSnapshot {
             forest: OnceLock::new(),
             oracle: OnceLock::new(),
             cut: OnceLock::new(),
+            prev: Mutex::new(None),
+            delta: OnceLock::new(),
+            retained_spanner: Mutex::new(None),
+            retained_sparsifier: Mutex::new(None),
             metrics,
         }
+    }
+
+    /// Links the predecessor snapshot (called once, by the publisher).
+    pub(crate) fn set_prev(&self, prev: Arc<EpochSnapshot>) {
+        *self.prev.lock().expect("prev lock poisoned") = Some(prev);
+    }
+
+    /// Drops the predecessor link (called on the old snapshot when its
+    /// successor is published, bounding the chain at depth 1).
+    pub(crate) fn clear_prev(&self) {
+        self.prev.lock().expect("prev lock poisoned").take();
+    }
+
+    /// The linked predecessor snapshot, while one is installed.
+    pub fn prev(&self) -> Option<Arc<EpochSnapshot>> {
+        self.prev.lock().expect("prev lock poisoned").clone()
+    }
+
+    fn store_retained_spanner(&self, alg: TwoPassSpanner) {
+        *self
+            .retained_spanner
+            .lock()
+            .expect("retained lock poisoned") = Some(Arc::new(alg));
+    }
+
+    /// Moves the retained oracle spanner state out for a successor's
+    /// patch; `None` if the oracle was never built here or a successor
+    /// already took it.
+    fn take_retained_spanner(&self) -> Option<Arc<TwoPassSpanner>> {
+        self.retained_spanner
+            .lock()
+            .expect("retained lock poisoned")
+            .take()
+    }
+
+    fn store_retained_sparsifier(&self, alg: TwoPassSparsifier) {
+        *self
+            .retained_sparsifier
+            .lock()
+            .expect("retained lock poisoned") = Some(Arc::new(alg));
+    }
+
+    /// Moves the retained KP12 pipeline state out for a successor's
+    /// patch; `None` if the cut was never built here or a successor
+    /// already took it.
+    fn take_retained_sparsifier(&self) -> Option<Arc<TwoPassSparsifier>> {
+        self.retained_sparsifier
+            .lock()
+            .expect("retained lock poisoned")
+            .take()
+    }
+
+    /// The segment diff against `prev`, computed once per snapshot.
+    fn delta_from(&self, prev: &EpochSnapshot) -> Arc<SegmentDelta> {
+        Arc::clone(
+            self.delta
+                .get_or_init(|| Arc::new(self.net.diff(prev.net_edges()))),
+        )
+    }
+
+    /// The patch-vs-rebuild decision rule: patch only when the diff holds
+    /// at most `churn_threshold × live_edges` changes. Purely a
+    /// performance choice — both paths produce bit-identical artifacts.
+    fn within_churn_budget(&self, delta: &SegmentDelta) -> bool {
+        delta.num_changes() as f64 <= self.config.churn_threshold * self.net.num_edges() as f64
     }
 
     /// The epoch number (0 is the empty snapshot a graph starts with).
@@ -174,19 +302,71 @@ impl EpochSnapshot {
             let _t = self.metrics.build_nanos[ART_FOREST].start_timer();
             self.metrics.builds[ART_FOREST].inc();
             self.trace_build(ART_FOREST);
-            let result = self.sketch.spanning_forest();
-            let mut uf = UnionFind::new(self.config.n);
-            for e in &result.edges {
-                uf.union(e.u(), e.v());
+            if let Some(patched) = self.try_patch_forest() {
+                return patched;
             }
-            let labels: Vec<Vertex> = (0..self.config.n as Vertex).map(|v| uf.find(v)).collect();
-            let num_components = uf.num_components();
-            Arc::new(ForestData {
-                result,
-                labels,
-                num_components,
-            })
+            self.metrics.record_full(ART_FOREST);
+            Self::forest_data(self.config.n, self.sketch.spanning_forest())
         }))
+    }
+
+    /// Derives labels and the component count from a decoded forest.
+    fn forest_data(n: usize, result: ForestResult) -> Arc<ForestData> {
+        let mut uf = UnionFind::new(n);
+        for e in &result.edges {
+            uf.union(e.u(), e.v());
+        }
+        let labels: Vec<Vertex> = (0..n as Vertex).map(|v| uf.find(v)).collect();
+        let num_components = uf.num_components();
+        Arc::new(ForestData {
+            result,
+            labels,
+            num_components,
+        })
+    }
+
+    /// Attempts the O(changes) forest refresh: restricted Borůvka over
+    /// only the components the segment diff touched, splicing the
+    /// predecessor's forest edges in everywhere else. Returns `None`
+    /// (→ full rebuild) when no predecessor with a built forest is
+    /// linked or the diff exceeds the churn budget. The edge set is
+    /// bit-identical to a full decode either way; only
+    /// `ForestResult::decode_failures` (a diagnostic) is scoped to the
+    /// re-decoded components.
+    fn try_patch_forest(&self) -> Option<Arc<ForestData>> {
+        let prev = self.prev()?;
+        let prev_forest = Arc::clone(prev.forest.get()?);
+        let delta = self.delta_from(&prev);
+        if !self.within_churn_budget(&delta) {
+            return None;
+        }
+        let started = Instant::now();
+        // A component is dirty iff the diff changed the net multiplicity
+        // of an edge incident to it — weight-only changes are invisible
+        // to the AGM sketch.
+        let mut dirty_labels: HashSet<Vertex> = HashSet::new();
+        delta.for_each_multiplicity_delta(&mut |e, _, _| {
+            dirty_labels.insert(prev_forest.labels[e.u() as usize]);
+            dirty_labels.insert(prev_forest.labels[e.v() as usize]);
+        });
+        let active: Vec<bool> = prev_forest
+            .labels
+            .iter()
+            .map(|l| dirty_labels.contains(l))
+            .collect();
+        // A forest edge's endpoints share a component, so testing one
+        // endpoint classifies the edge.
+        let kept: Vec<Edge> = prev_forest
+            .result
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| !active[e.u() as usize])
+            .collect();
+        let result = self.sketch.spanning_forest_restricted(&active, &kept);
+        let data = Self::forest_data(self.config.n, result);
+        self.record_patch(ART_FOREST, started);
+        Some(data)
     }
 
     /// The distance-oracle artifact, built on first use by running the
@@ -202,19 +382,74 @@ impl EpochSnapshot {
             let _t = self.metrics.build_nanos[ART_ORACLE].start_timer();
             self.metrics.builds[ART_ORACLE].inc();
             self.trace_build(ART_ORACLE);
-            let out = twopass::run_two_pass_net(self.net.as_ref(), self.config.oracle_params());
-            let mut oracle = DistanceOracle::new(out.spanner, 1 << self.config.spanner_k);
-            // Fold the oracle's memo-cache counters into the registry
-            // when instrumented; standalone snapshots keep the oracle's
-            // own private cells (`cache_stats()` reads whichever is in).
-            if self.metrics.oracle_cache_hits.is_active() {
-                oracle = oracle.with_cache_counters(
-                    self.metrics.oracle_cache_hits.clone(),
-                    self.metrics.oracle_cache_misses.clone(),
-                );
+            if let Some(patched) = self.try_patch_oracle() {
+                return patched;
             }
-            Arc::new(oracle)
+            self.metrics.record_full(ART_ORACLE);
+            let (out, alg) =
+                twopass::run_two_pass_net_retained(self.net.as_ref(), self.config.oracle_params());
+            self.store_retained_spanner(alg);
+            Arc::new(self.wrap_oracle(out.spanner))
         }))
+    }
+
+    /// Wraps a spanner in the oracle, folding its memo-cache counters
+    /// into the registry when instrumented; standalone snapshots keep the
+    /// oracle's own private cells (`cache_stats()` reads whichever is in).
+    fn wrap_oracle(&self, spanner: Graph) -> DistanceOracle {
+        let mut oracle = DistanceOracle::new(spanner, 1 << self.config.spanner_k);
+        if self.metrics.oracle_cache_hits.is_active() {
+            oracle = oracle.with_cache_counters(
+                self.metrics.oracle_cache_hits.clone(),
+                self.metrics.oracle_cache_misses.clone(),
+            );
+        }
+        oracle
+    }
+
+    /// Attempts the O(changes) oracle refresh: take over the
+    /// predecessor's retained two-pass state, patch its linear pass
+    /// states with the segment diff, and re-decode — bit-identical to
+    /// re-ingesting the whole segment, by pass linearity. Cached BFS rows
+    /// of the previous oracle carry over for every source whose spanner
+    /// component no added or removed spanner edge touches (those rows are
+    /// provably unchanged).
+    fn try_patch_oracle(&self) -> Option<Arc<DistanceOracle>> {
+        let prev = self.prev()?;
+        let prev_oracle = Arc::clone(prev.oracle.get()?);
+        let delta = self.delta_from(&prev);
+        if !self.within_churn_budget(&delta) {
+            return None;
+        }
+        let retained = prev.take_retained_spanner()?;
+        let started = Instant::now();
+        let mut alg = Arc::try_unwrap(retained).unwrap_or_else(|shared| (*shared).clone());
+        let spanner = alg.patch(delta.as_ref(), self.net.as_ref()).spanner.clone();
+        self.store_retained_spanner(alg);
+        let oracle = self.wrap_oracle(spanner);
+        let prev_edges: HashSet<Edge> = prev_oracle.spanner().edges().iter().copied().collect();
+        let new_edges: HashSet<Edge> = oracle.spanner().edges().iter().copied().collect();
+        let mut touched: Vec<Vertex> = Vec::new();
+        for e in prev_edges.symmetric_difference(&new_edges) {
+            touched.push(e.u());
+            touched.push(e.v());
+        }
+        if touched.is_empty() {
+            oracle.warm_from(&prev_oracle, &|_| true);
+        } else {
+            // Components are taken over the *previous* spanner: a kept
+            // row is a BFS over that graph, and it stays valid exactly
+            // when its whole component is untouched by the edge diff.
+            let mut uf = UnionFind::new(self.config.n);
+            for e in prev_oracle.spanner().edges() {
+                uf.union(e.u(), e.v());
+            }
+            let labels: Vec<Vertex> = (0..self.config.n as Vertex).map(|v| uf.find(v)).collect();
+            let dirty: HashSet<Vertex> = touched.iter().map(|&v| labels[v as usize]).collect();
+            oracle.warm_from(&prev_oracle, &|src| !dirty.contains(&labels[src as usize]));
+        }
+        self.record_patch(ART_ORACLE, started);
+        Some(Arc::new(oracle))
     }
 
     /// The cut artifact, built on first use by running KP12 over the
@@ -228,12 +463,58 @@ impl EpochSnapshot {
             let _t = self.metrics.build_nanos[ART_CUT].start_timer();
             self.metrics.builds[ART_CUT].inc();
             self.trace_build(ART_CUT);
-            let out = run_sparsifier_net(self.net.as_ref(), self.config.cut_params());
+            if let Some(patched) = self.try_patch_cut() {
+                return patched;
+            }
+            self.metrics.record_full(ART_CUT);
+            let (out, alg) =
+                run_sparsifier_net_retained(self.net.as_ref(), self.config.cut_params());
+            self.store_retained_sparsifier(alg);
             Arc::new(CutData {
                 laplacian: Laplacian::from_weighted(&out.sparsifier),
                 sparsifier_edges: out.sparsifier.num_edges(),
             })
         }))
+    }
+
+    /// Attempts the O(changes) cut refresh: patch the predecessor's
+    /// retained KP12 pipeline with the diff (only the inner spanners
+    /// whose subsample filters intersect the diff do any work), then
+    /// splice the sparsifier's weight changes into the previous Laplacian
+    /// as ±w edge updates instead of rebuilding it with `from_weighted`.
+    fn try_patch_cut(&self) -> Option<Arc<CutData>> {
+        let prev = self.prev()?;
+        let prev_cut = Arc::clone(prev.cut.get()?);
+        let delta = self.delta_from(&prev);
+        if !self.within_churn_budget(&delta) {
+            return None;
+        }
+        let retained = prev.take_retained_sparsifier()?;
+        let started = Instant::now();
+        let mut alg = Arc::try_unwrap(retained).unwrap_or_else(|shared| (*shared).clone());
+        let out = alg.patch(delta.as_ref(), self.net.as_ref());
+        self.store_retained_sparsifier(alg);
+        let updates = laplacian_updates(&prev_cut.laplacian, out.sparsifier.edges());
+        let laplacian = prev_cut.laplacian.apply_edge_updates(updates);
+        let data = Arc::new(CutData {
+            laplacian,
+            sparsifier_edges: out.sparsifier.num_edges(),
+        });
+        self.record_patch(ART_CUT, started);
+        Some(data)
+    }
+
+    /// Records a successful patch: counters + histogram + shared tallies,
+    /// and one flight-recorder event under the ambient trace id.
+    fn record_patch(&self, artifact: usize, started: Instant) {
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.record_patch(artifact, nanos);
+        self.metrics.tracer.record(
+            EventKind::ArtifactPatch,
+            trace::current_trace_id(),
+            self.metrics.tenant,
+            artifact as u64,
+        );
     }
 
     /// Traces one artifact build under the building thread's ambient

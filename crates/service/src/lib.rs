@@ -108,6 +108,13 @@ pub struct GraphConfig {
     /// Target spectral precision of the per-epoch KP12 sparsifier that
     /// backs cut queries.
     pub cut_eps: f64,
+    /// Incremental-artifact churn budget: an epoch's artifacts are
+    /// refreshed by **patching** the previous epoch's artifacts when the
+    /// segment diff holds at most `churn_threshold × live_edges` changes,
+    /// and rebuilt from scratch past it. Purely a performance knob —
+    /// patched artifacts are bit-identical to rebuilt ones at any
+    /// threshold. `0.0` disables incremental maintenance entirely.
+    pub churn_threshold: f64,
 }
 
 impl GraphConfig {
@@ -127,6 +134,7 @@ impl GraphConfig {
             batch_size: 256,
             spanner_k: 2,
             cut_eps: 0.5,
+            churn_threshold: 0.2,
         }
     }
 
@@ -179,6 +187,21 @@ impl GraphConfig {
     pub fn cut_eps(mut self, eps: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
         self.cut_eps = eps;
+        self
+    }
+
+    /// Sets the incremental-artifact churn budget (see the
+    /// [`churn_threshold`](GraphConfig::churn_threshold) field docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    pub fn churn_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "churn threshold must be finite and non-negative"
+        );
+        self.churn_threshold = threshold;
         self
     }
 

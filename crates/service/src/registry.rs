@@ -386,7 +386,8 @@ impl ServedGraph {
     /// by the live graph no matter how long the stream has run.
     fn publish(&self, st: &mut IngestState, merged: AgmSketch) -> Arc<EpochSnapshot> {
         let total = st.engine.pushed();
-        let next_epoch = self.snapshot().epoch() + 1;
+        let prev = self.snapshot();
+        let next_epoch = prev.epoch() + 1;
         let net = self.metrics.epoch_seal.time(|| st.live.seal_epoch());
         self.metrics.tracer.record(
             EventKind::EpochSeal,
@@ -402,6 +403,11 @@ impl ServedGraph {
             total,
             self.metrics.artifacts.clone(),
         ));
+        // Link the predecessor so the new epoch's artifact builders can
+        // patch instead of rebuilding; cut the predecessor's own
+        // back-link so the chain never grows past depth 1.
+        prev.clear_prev();
+        snap.set_prev(prev);
         *self.current.write().expect("epoch lock poisoned") = Arc::clone(&snap);
         self.metrics.tracer.record(
             EventKind::EpochPublish,
@@ -542,7 +548,9 @@ impl ServedGraph {
     /// A point-in-time operational summary of this tenant — what the
     /// admin endpoint's `/epochz` serves per graph.
     pub fn epoch_stats(&self) -> TenantEpochStats {
+        use std::sync::atomic::Ordering;
         let snap = self.snapshot();
+        let choices = &self.metrics.artifacts.shared;
         TenantEpochStats {
             name: self.name.clone(),
             epoch: snap.epoch(),
@@ -550,6 +558,9 @@ impl ServedGraph {
             net_edges: snap.net_edges().num_edges(),
             num_vertices: snap.num_vertices(),
             load_balance: self.metrics.engine.load_balance.get(),
+            incremental_builds: choices.incremental_total.load(Ordering::Relaxed),
+            full_builds: choices.full_total.load(Ordering::Relaxed),
+            last_patch_nanos: choices.last_patch_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -570,6 +581,14 @@ pub struct TenantEpochStats {
     /// Live max/mean routed-update ratio across the ingest shards (0.0
     /// when telemetry is off — the gauge is a no-op).
     pub load_balance: f64,
+    /// Artifact refreshes this tenant served by patching the previous
+    /// epoch (incremental path). Counted across all artifact kinds.
+    pub incremental_builds: u64,
+    /// Artifact refreshes that ran the full from-scratch build.
+    pub full_builds: u64,
+    /// Wall time of the most recent successful patch, nanoseconds (0
+    /// until the first patch).
+    pub last_patch_nanos: u64,
 }
 
 /// The multi-tenant registry: many named [`ServedGraph`]s behind one

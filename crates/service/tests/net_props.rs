@@ -10,10 +10,11 @@
 //! guard rail that makes cancellation sound: a deletion below net
 //! multiplicity zero is a typed, whole-batch-atomic error.
 
-use dsg_graph::{gen, GraphStream, StreamUpdate, Vertex};
-use dsg_service::{GraphConfig, GraphRegistry, Query, Response, ServiceError};
+use dsg_graph::{gen, Edge, GraphStream, StreamUpdate, Vertex};
+use dsg_service::{EpochSnapshot, GraphConfig, GraphRegistry, Query, Response, ServiceError};
 use dsg_sketch::LinearSketch;
 use proptest::prelude::*;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Ingests a full stream into a fresh served graph and advances one
@@ -190,6 +191,201 @@ fn cut_estimates_invariant_under_interleavings_and_topology() {
     };
     assert_eq!(a, b, "cut estimate diverged across interleavings");
     assert_eq!(a, c, "cut estimate diverged across shard topologies");
+}
+
+/// Builds every artifact of a snapshot, so the *next* epoch's builders
+/// find a patchable predecessor.
+fn touch_artifacts(snap: &EpochSnapshot) {
+    let _ = snap.forest();
+    let _ = snap.oracle();
+    let _ = snap.cut_data();
+}
+
+/// Full bit-identity check between two epoch snapshots of the same
+/// stream position: sketch bytes, sealed segment, forest edge set +
+/// labels + component count, every oracle distance row, and the cut
+/// Laplacian down to the bit patterns of its weights and degrees.
+fn assert_bit_identical(a: &EpochSnapshot, b: &EpochSnapshot, ctx: &str) {
+    assert_eq!(
+        LinearSketch::to_bytes(a.sketch()),
+        LinearSketch::to_bytes(b.sketch()),
+        "sketch bytes diverged: {ctx}"
+    );
+    assert_eq!(a.net_edges().entries(), b.net_edges().entries(), "{ctx}");
+    let (fa, fb) = (a.forest(), b.forest());
+    assert_eq!(fa.result.edges, fb.result.edges, "forest diverged: {ctx}");
+    assert_eq!(fa.labels, fb.labels, "labels diverged: {ctx}");
+    assert_eq!(fa.num_components, fb.num_components, "{ctx}");
+    let (oa, ob) = (a.oracle(), b.oracle());
+    let n = a.num_vertices();
+    for u in 0..n as Vertex {
+        assert_eq!(
+            oa.estimates_from(u),
+            ob.estimates_from(u),
+            "oracle row {u} diverged: {ctx}"
+        );
+    }
+    let (ca, cb) = (a.cut_data(), b.cut_data());
+    assert_eq!(ca.sparsifier_edges, cb.sparsifier_edges, "{ctx}");
+    let bits = |l: &dsg_sparsifier::Laplacian| -> Vec<(Vertex, Vertex, u64)> {
+        l.edge_triples()
+            .iter()
+            .map(|&(u, v, w)| (u, v, w.to_bits()))
+            .collect()
+    };
+    assert_eq!(
+        bits(&ca.laplacian),
+        bits(&cb.laplacian),
+        "laplacian weights diverged: {ctx}"
+    );
+    for v in 0..n as Vertex {
+        assert_eq!(
+            ca.laplacian.degree(v).to_bits(),
+            cb.laplacian.degree(v).to_bits(),
+            "degree {v} diverged: {ctx}"
+        );
+    }
+}
+
+fn lcg(s: &mut u64) -> u64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *s >> 33
+}
+
+/// Deterministic churn batch: deletes ~`frac` of the live edges and
+/// inserts about half as many fresh pairs, keeping `live` in sync.
+fn churn_batch(live: &mut HashSet<Edge>, n: usize, frac: f64, rng: &mut u64) -> Vec<StreamUpdate> {
+    let mut batch = Vec::new();
+    let kill = ((live.len() as f64 * frac) as usize).max(1);
+    let mut pool: Vec<Edge> = live.iter().copied().collect();
+    pool.sort_unstable();
+    for _ in 0..kill {
+        let idx = (lcg(rng) as usize) % pool.len();
+        let e = pool.swap_remove(idx);
+        live.remove(&e);
+        batch.push(StreamUpdate::delete(e.u(), e.v()));
+    }
+    let mut added = 0;
+    while added < kill / 2 + 1 {
+        let u = (lcg(rng) % n as u64) as Vertex;
+        let v = (lcg(rng) % n as u64) as Vertex;
+        if u == v {
+            continue;
+        }
+        let e = Edge::new(u.min(v), u.max(v));
+        if live.insert(e) {
+            batch.push(StreamUpdate::insert(e.u(), e.v()));
+            added += 1;
+        }
+    }
+    batch
+}
+
+/// The tentpole contract end to end: N successive epochs advanced
+/// incrementally (each patching the previous epoch's artifacts with the
+/// segment diff) are bit-identical — sketch bytes, forest, labels,
+/// oracle distances, cut Laplacian — to the same epochs each built from
+/// scratch off the full stream, at several churn levels.
+#[test]
+fn incremental_epoch_chain_matches_scratch_builds() {
+    let n = 30;
+    let g = gen::erdos_renyi(n, 0.25, 31);
+    for (threshold, frac) in [(0.5f64, 0.08f64), (0.9, 0.3)] {
+        let config = GraphConfig::new(n)
+            .seed(17)
+            .shards(2)
+            .batch_size(16)
+            .churn_threshold(threshold);
+        let reg = GraphRegistry::new();
+        let chained = reg.create("g", config).unwrap();
+        let mut cumulative: Vec<StreamUpdate> = GraphStream::insert_only(&g, 32).updates().to_vec();
+        chained.apply(&cumulative).unwrap();
+        touch_artifacts(&chained.advance_epoch());
+        let mut live: HashSet<Edge> = g.edges().iter().copied().collect();
+        let mut rng = 0xDEAD_BEEF ^ (frac.to_bits());
+        for epoch in 0..4 {
+            let batch = churn_batch(&mut live, n, frac, &mut rng);
+            chained.apply(&batch).unwrap();
+            cumulative.extend_from_slice(&batch);
+            let snap = chained.advance_epoch();
+            touch_artifacts(&snap);
+            let scratch = epoch_of(config, &cumulative);
+            assert_bit_identical(
+                &snap,
+                &scratch,
+                &format!("chain epoch {epoch}, churn {frac}"),
+            );
+        }
+        // The chain must actually have exercised the patch path: every
+        // artifact of every post-warmup epoch fits the churn budget.
+        let stats = chained.epoch_stats();
+        assert_eq!(
+            stats.incremental_builds, 12,
+            "4 epochs x 3 artifacts patched (threshold {threshold}, churn {frac})"
+        );
+        assert!(stats.last_patch_nanos > 0, "patch duration recorded");
+    }
+}
+
+/// The fallback boundary is sharp and harmless: a diff exactly at
+/// `churn_threshold x live_edges` patches, one change more rebuilds, and
+/// both produce bit-identical snapshots.
+#[test]
+fn churn_threshold_boundary_switches_patch_to_rebuild() {
+    let n = 40;
+    // 39 path edges + 27 star edges = 66 live edges, all exact in f64.
+    let mut base = Vec::new();
+    for i in 0..39u32 {
+        base.push(StreamUpdate::insert(i, i + 1));
+    }
+    for j in 2..29u32 {
+        base.push(StreamUpdate::insert(0, j));
+    }
+    let config = GraphConfig::new(n).seed(23).shards(2).churn_threshold(0.25);
+    let reg = GraphRegistry::new();
+    let served = reg.create("g", config).unwrap();
+    served.apply(&base).unwrap();
+    touch_artifacts(&served.advance_epoch());
+    let full_warmup = served.epoch_stats().full_builds;
+
+    // Exactly at the boundary: 9 deletions + 7 insertions = 16 changes,
+    // 64 live edges, 16 <= 0.25 * 64 ⇒ patch.
+    let mut cumulative = base.clone();
+    let mut batch: Vec<StreamUpdate> = (0..9).map(|i| StreamUpdate::delete(i, i + 1)).collect();
+    batch.extend((3..10).map(|j| StreamUpdate::insert(1, j)));
+    served.apply(&batch).unwrap();
+    cumulative.extend_from_slice(&batch);
+    let at_boundary = served.advance_epoch();
+    touch_artifacts(&at_boundary);
+    let stats = served.epoch_stats();
+    assert_eq!(stats.incremental_builds, 3, "boundary diff must patch");
+    assert_eq!(
+        stats.full_builds, full_warmup,
+        "no fallback at the boundary"
+    );
+    assert_bit_identical(&at_boundary, &epoch_of(config, &cumulative), "at boundary");
+
+    // One change over: 10 deletions + 7 insertions = 17 changes, 61 live
+    // edges, 17 > 0.25 * 61 ⇒ full rebuild, still bit-identical.
+    let mut batch: Vec<StreamUpdate> = (10..20).map(|i| StreamUpdate::delete(i, i + 1)).collect();
+    batch.extend((4..11).map(|j| StreamUpdate::insert(2, j)));
+    served.apply(&batch).unwrap();
+    cumulative.extend_from_slice(&batch);
+    let over = served.advance_epoch();
+    touch_artifacts(&over);
+    let stats = served.epoch_stats();
+    assert_eq!(
+        stats.incremental_builds, 3,
+        "over-budget diff must not patch"
+    );
+    assert_eq!(
+        stats.full_builds,
+        full_warmup + 3,
+        "fallback past the boundary"
+    );
+    assert_bit_identical(&over, &epoch_of(config, &cumulative), "over boundary");
 }
 
 /// Invalid deltas are typed errors too (the compacted log can only cancel

@@ -18,7 +18,9 @@
 use crate::estimate::{ConnectivityEstimator, NestedSamplers};
 use crate::kp12::SparsifierParams;
 use dsg_graph::stream::StreamUpdate;
-use dsg_graph::{Graph, GraphStream, StreamAlgorithm, WeightedGraph};
+use dsg_graph::{
+    FilteredMultiset, Graph, GraphStream, SegmentDelta, StreamAlgorithm, WeightedGraph,
+};
 use dsg_hash::{SeedTree, SubsetSampler};
 use dsg_spanner::{SpannerParams, TwoPassSpanner};
 use dsg_util::SpaceUsage;
@@ -189,17 +191,31 @@ impl TwoPassSparsifier {
     /// Assembles the sparsifier after both passes.
     ///
     /// Consumes the pipeline; returns `None` if the passes did not run.
-    pub fn into_output(mut self) -> Option<PipelineOutput> {
+    pub fn into_output(self) -> Option<PipelineOutput> {
+        self.assemble()
+    }
+
+    /// Assembles the sparsifier after both passes **without consuming**
+    /// the pipeline — the retaining-mode accessor: the instance (and
+    /// every inner spanner's linear state) stays alive to be
+    /// [`patch`](TwoPassSparsifier::patch)ed to the next segment.
+    ///
+    /// Returns `None` if the passes did not run. The weight accumulation
+    /// runs in the same deterministic order as always (estimate rows in
+    /// `j` then `t` order; sample rows in `s` then level order, observed
+    /// edges in their recorded order), so repeated assembly of the same
+    /// state is bit-identical.
+    pub fn assemble(&self) -> Option<PipelineOutput> {
         if !self.finished {
             return None;
         }
         let est_params = self.params.estimate_params(self.n);
         // Collect the estimator oracle graphs.
         let mut oracle_graphs: Vec<Vec<Graph>> = Vec::with_capacity(est_params.j_reps);
-        for row in self.estimate_spanners.drain(..) {
+        for row in &self.estimate_spanners {
             let mut graphs = Vec::with_capacity(est_params.t_levels);
             for alg in row {
-                graphs.push(alg.into_output()?.spanner);
+                graphs.push(alg.output()?.spanner.clone());
             }
             oracle_graphs.push(graphs);
         }
@@ -210,11 +226,11 @@ impl TwoPassSparsifier {
         let mut weights: HashMap<dsg_graph::Edge, f64> = HashMap::new();
         let mut level_cache: HashMap<dsg_graph::Edge, usize> = HashMap::new();
         let mut observed_candidates = 0usize;
-        for row in self.sample_spanners.drain(..) {
-            for (jlev, alg) in row.into_iter().enumerate() {
+        for row in &self.sample_spanners {
+            for (jlev, alg) in row.iter().enumerate() {
                 let jlev = jlev + 1;
-                let out = alg.into_output()?;
-                for e in out.observed_edges {
+                let out = alg.output()?;
+                for &e in &out.observed_edges {
                     observed_candidates += 1;
                     let level = *level_cache
                         .entry(e)
@@ -225,13 +241,81 @@ impl TwoPassSparsifier {
                 }
             }
         }
-        self.stats.observed_candidates = observed_candidates;
+        let mut stats = self.stats.clone();
+        stats.observed_candidates = observed_candidates;
         let sparsifier =
             WeightedGraph::from_edges(self.n, weights.into_iter().filter(|&(_, w)| w > 0.0));
-        Some(PipelineOutput {
-            sparsifier,
-            stats: self.stats,
-        })
+        Some(PipelineOutput { sparsifier, stats })
+    }
+
+    /// Switches every inner spanner into retaining mode (see
+    /// [`TwoPassSpanner::retaining`]): after a run, the pipeline holds
+    /// all pass-facing linear state and can be patched across epochs.
+    pub fn retaining(mut self) -> Self {
+        for row in &mut self.estimate_spanners {
+            for alg in row {
+                alg.set_retaining();
+            }
+        }
+        for row in &mut self.sample_spanners {
+            for alg in row {
+                alg.set_retaining();
+            }
+        }
+        self
+    }
+
+    /// Advances a completed retaining-mode run to a nearby segment,
+    /// returning output **bit-identical** to a from-scratch
+    /// [`run_sparsifier_net`] over `cur`.
+    ///
+    /// The pipeline is a bank of two-pass spanners behind deterministic
+    /// subsample filters, so the delta routes: each inner spanner receives
+    /// the sub-delta surviving its filter (restriction commutes with
+    /// diffing — the filters are functions of edge identity) and patches
+    /// itself in O(its changes); a spanner whose sub-delta is empty is
+    /// skipped outright, its state and output already being exactly those
+    /// of a full rebuild. The final weighting (Algorithm 6) is recomputed
+    /// by [`assemble`](TwoPassSparsifier::assemble) — a deterministic
+    /// function of bit-identical inner states.
+    ///
+    /// `delta` must be `cur.diff(&prev)` for the segment `prev` this
+    /// pipeline currently represents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has not completed both passes, is not in
+    /// retaining mode, or `cur` disagrees on the vertex count.
+    pub fn patch<M>(&mut self, delta: &SegmentDelta, cur: &M) -> PipelineOutput
+    where
+        M: dsg_graph::EdgeMultiset + ?Sized,
+    {
+        assert!(self.finished, "patch requires a completed run");
+        assert_eq!(cur.num_vertices(), self.n, "vertex count mismatch");
+        let nested = &self.nested;
+        for (j, row) in self.estimate_spanners.iter_mut().enumerate() {
+            for (t0, alg) in row.iter_mut().enumerate() {
+                let pred = |coord: u64| nested.contains(j, t0 + 1, coord);
+                let sub = delta.filtered(self.n, &pred);
+                if sub.is_empty() {
+                    continue;
+                }
+                alg.patch(&sub, &FilteredMultiset::new(cur, pred));
+            }
+        }
+        let filters = &self.sample_filters;
+        for (s, row) in self.sample_spanners.iter_mut().enumerate() {
+            for (j0, alg) in row.iter_mut().enumerate() {
+                let pred = |coord: u64| filters[s][j0].contains(coord);
+                let sub = delta.filtered(self.n, &pred);
+                if sub.is_empty() {
+                    continue;
+                }
+                alg.patch(&sub, &FilteredMultiset::new(cur, pred));
+            }
+        }
+        self.stats.sketch_bytes = self.stats.sketch_bytes.max(self.space_bytes());
+        self.assemble().expect("patched pipeline completed")
     }
 }
 
@@ -342,6 +426,23 @@ where
     alg.into_output().expect("both passes completed")
 }
 
+/// [`run_sparsifier_net`] in retaining mode: same output (bit for bit),
+/// plus the pipeline instance holding every inner spanner's linear state
+/// — the seed of an O(changes) [`patch`](TwoPassSparsifier::patch) chain
+/// across epochs.
+pub fn run_sparsifier_net_retained<M>(
+    view: &M,
+    params: SparsifierParams,
+) -> (PipelineOutput, TwoPassSparsifier)
+where
+    M: dsg_graph::EdgeMultiset + ?Sized,
+{
+    let mut alg = TwoPassSparsifier::new(view.num_vertices(), params).retaining();
+    dsg_graph::pass::run_multiset(&mut alg, view);
+    let out = alg.assemble().expect("both passes completed");
+    (out, alg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,5 +530,66 @@ mod tests {
         assert!(out.stats.sketch_bytes > 0);
         assert!(out.stats.estimate_instances > 0);
         assert!(out.stats.sample_instances > 0);
+    }
+
+    #[test]
+    fn retained_run_and_assemble_match_plain_run() {
+        let g = gen::erdos_renyi(24, 0.35, 21);
+        let net = GraphStream::with_churn(&g, 1.0, 22).net_multiset();
+        let params = small_params(23);
+        let plain = run_sparsifier_net(&net, params);
+        let (kept, alg) = run_sparsifier_net_retained(&net, params);
+        assert_eq!(plain.sparsifier, kept.sparsifier);
+        // Assembly is repeatable: same state, same bits.
+        assert_eq!(
+            alg.assemble().expect("finished").sparsifier,
+            plain.sparsifier
+        );
+    }
+
+    #[test]
+    fn patch_is_bit_identical_to_full_rebuild() {
+        // Light and heavy churn alike: the patched pipeline must equal a
+        // from-scratch run on the new segment, weights and all.
+        let params = small_params(31);
+        let g = gen::erdos_renyi(24, 0.4, 32);
+        let prev_net = GraphStream::insert_only(&g, 33).net_multiset();
+        for (kill_stride, add_seed) in [(7usize, 34u64), (2, 35)] {
+            // Drop every `kill_stride`-th edge, add a few fresh non-edges.
+            let mut edges: Vec<dsg_graph::Edge> = g
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % kill_stride != 0)
+                .map(|(_, e)| *e)
+                .collect();
+            let have: std::collections::HashSet<dsg_graph::Edge> = edges.iter().copied().collect();
+            let mut added = 0;
+            'hunt: for u in 0..24u32 {
+                for v in (u + 1)..24 {
+                    let e = dsg_graph::Edge::new(u, v);
+                    if !g.has_edge(u, v) && !have.contains(&e) {
+                        edges.push(e);
+                        added += 1;
+                        if added >= 5 {
+                            break 'hunt;
+                        }
+                    }
+                }
+            }
+            let cur = Graph::from_edges(24, edges);
+            let cur_net = GraphStream::insert_only(&cur, add_seed).net_multiset();
+            let delta = cur_net.diff(&prev_net);
+            assert!(!delta.is_empty());
+
+            let (_, mut alg) = run_sparsifier_net_retained(&prev_net, params);
+            let patched = alg.patch(&delta, &cur_net);
+            let full = run_sparsifier_net(&cur_net, params);
+            assert_eq!(patched.sparsifier, full.sparsifier, "stride {kill_stride}");
+            assert_eq!(
+                patched.stats.observed_candidates,
+                full.stats.observed_candidates
+            );
+        }
     }
 }
